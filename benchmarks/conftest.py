@@ -1,0 +1,16 @@
+"""Shared benchmark fixtures (built once per session)."""
+
+import pytest
+
+from repro.apps.nlu import build_domain_kb
+from repro.network import GeneratorSpec, generate_kb
+
+
+@pytest.fixture(scope="session")
+def domain_kb():
+    return build_domain_kb(total_nodes=2000)
+
+
+@pytest.fixture(scope="session")
+def synthetic_kb():
+    return generate_kb(GeneratorSpec(total_nodes=2000))

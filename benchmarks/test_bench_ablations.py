@@ -1,0 +1,121 @@
+"""Ablations of SNAP-1's design choices (§II-C architectural features).
+
+Each benchmark disables or varies one mechanism the paper argues for,
+and asserts the direction of the effect:
+
+* **instruction overlap** (β-parallelism): queue depth 1 vs 64;
+* **marker units per cluster** (α exploitation): 1 vs 3 MUs;
+* **allocation policy** (semantic locality): round-robin vs semantic;
+* **message packing** (bfloat16 wire truncation): results must agree.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.nlu import MemoryBasedParser, build_domain_kb, sentences
+from repro.experiments import make_alpha_workload, make_beta_workload
+from repro.machine import MachineConfig, SnapMachine, snap1_16cluster
+
+
+class TestInstructionOverlapAblation:
+    """Without overlap, β-parallel workloads serialize at the
+    controller: the 64-deep PU instruction queue is what buys the
+    Fig. 17 speedups."""
+
+    def _time(self, depth: int) -> float:
+        workload = make_beta_workload(beta=8, alpha_per_stream=8)
+        config = replace(
+            snap1_16cluster(), instruction_queue_depth=depth,
+            partition_policy="semantic",
+        )
+        machine = SnapMachine(workload.network, config)
+        return machine.run(workload.program).total_time_us
+
+    def test_overlap_ablation(self, benchmark):
+        times = benchmark.pedantic(
+            lambda: (self._time(1), self._time(64)),
+            iterations=1, rounds=1,
+        )
+        serialized, overlapped = times
+        assert overlapped < serialized
+        assert serialized / overlapped > 1.5
+
+
+class TestMarkerUnitAblation:
+    """Cluster-internal MU pool: resource sharing for α-parallelism."""
+
+    @pytest.mark.parametrize("mus", [1, 3])
+    def test_parse_with_mu_count(self, benchmark, domain_kb, mus):
+        config = MachineConfig(num_clusters=16, mus_per_cluster=mus,
+                               partition_policy="semantic")
+
+        def run():
+            machine = SnapMachine(domain_kb.network, config)
+            return MemoryBasedParser(machine, domain_kb).parse(
+                sentences()[1]
+            )
+
+        result = benchmark(run)
+        assert result.winner is not None
+
+    def test_more_mus_help_alpha_work(self, benchmark):
+        def run():
+            times = {}
+            for mus in (1, 3):
+                workload = make_alpha_workload(256, path_length=8)
+                config = MachineConfig(
+                    num_clusters=16, mus_per_cluster=mus,
+                    partition_policy="semantic",
+                )
+                machine = SnapMachine(workload.network, config)
+                times[mus] = machine.run(workload.program).total_time_us
+            return times
+
+        times = benchmark.pedantic(run, iterations=1, rounds=1)
+        assert times[3] < times[1]
+
+
+class TestAllocationAblation:
+    """Semantically-based allocation cuts cross-cluster traffic."""
+
+    def test_semantic_allocation_reduces_messages(self, benchmark, domain_kb):
+        def run():
+            messages = {}
+            for policy in ("round-robin", "semantic"):
+                config = MachineConfig(
+                    num_clusters=16, mus_per_cluster=3,
+                    partition_policy=policy,
+                )
+                machine = SnapMachine(domain_kb.network, config)
+                parser = MemoryBasedParser(machine, domain_kb,
+                                           keep_trace=True)
+                parser.parse(sentences()[0])
+                messages[policy] = sum(
+                    r.icn_stats.messages for _p, r in parser.trace_log
+                )
+            return messages
+
+        messages = benchmark.pedantic(run, iterations=1, rounds=1)
+        assert messages["semantic"] < messages["round-robin"]
+
+
+class TestMessagePackingAblation:
+    """The 64-bit wire format truncates values to bfloat16; parse
+    outcomes must survive the precision loss."""
+
+    def test_packed_vs_exact_same_winner(self, benchmark, domain_kb):
+        def run():
+            winners = {}
+            for packed in (False, True):
+                config = MachineConfig(
+                    num_clusters=16, mus_per_cluster=3,
+                    partition_policy="semantic", pack_messages=packed,
+                )
+                machine = SnapMachine(domain_kb.network, config)
+                parser = MemoryBasedParser(machine, domain_kb)
+                winners[packed] = parser.parse(sentences()[0]).winner
+            return winners
+
+        winners = benchmark.pedantic(run, iterations=1, rounds=1)
+        assert winners[False] == winners[True]

@@ -1,0 +1,46 @@
+"""Benchmarks behind Figs. 6 and 8: uniprocessor profile + traffic.
+
+Each benchmark times the simulator work that regenerates the figure;
+the asserted properties are the figure's headline shape.
+"""
+
+import pytest
+
+from repro.apps.nlu import MemoryBasedParser, sentences
+from repro.baselines import SerialMachine
+from repro.machine import SnapMachine, snap1_16cluster
+
+
+class TestFig06UniprocessorProfile:
+    def test_serial_parse(self, benchmark, domain_kb):
+        machine = SerialMachine(domain_kb.network)
+        parser = MemoryBasedParser(machine, domain_kb)
+        result = benchmark(parser.parse, sentences()[1])
+        assert result.winner is not None
+        # Fig. 6 shape: propagation's time share exceeds its
+        # frequency share on one processor.
+        time_share = result.category_time_us["propagate"] / sum(
+            result.category_time_us.values()
+        )
+        freq_share = result.category_counts["propagate"] / sum(
+            result.category_counts.values()
+        )
+        assert time_share > freq_share
+
+
+class TestFig08MarkerTraffic:
+    def test_timed_parse_with_sync_stats(self, benchmark, domain_kb):
+        machine = SnapMachine(domain_kb.network, snap1_16cluster())
+        parser = MemoryBasedParser(machine, domain_kb, keep_trace=True)
+
+        def parse():
+            parser.trace_log.clear()
+            return parser.parse(sentences()[1])
+
+        result = benchmark(parse)
+        series = []
+        for _program, report in parser.trace_log:
+            series.extend(report.sync_stats.messages_per_sync())
+        # Fig. 8 shape: bursty traffic.
+        assert max(series) > 2 * (sum(series) / len(series) / 2)
+        assert result.mb_time_us > 0

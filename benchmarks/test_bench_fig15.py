@@ -1,0 +1,42 @@
+"""Benchmark behind Fig. 15: inheritance on SNAP-1 vs CM-2."""
+
+import pytest
+
+from repro.apps.inheritance import inheritance_program
+from repro.baselines import SimdMachine
+from repro.machine import SnapMachine, snap1_full
+from repro.network import generate_hierarchy_kb
+
+
+class TestFig15Inheritance:
+    @pytest.mark.parametrize("nodes", [800, 3200])
+    def test_snap1_inheritance(self, benchmark, nodes):
+        def run():
+            machine = SnapMachine(
+                generate_hierarchy_kb(nodes), snap1_full()
+            )
+            return machine.run(inheritance_program())
+
+        report = benchmark(run)
+        assert report.total_time_us < 1e6  # < 1 s simulated (paper)
+
+    def test_cm2_inheritance(self, benchmark):
+        def run():
+            machine = SimdMachine(generate_hierarchy_kb(3200))
+            return machine.run(inheritance_program())
+
+        report = benchmark(run)
+        assert report.total_time_us < 10e6  # < 10 s simulated (paper)
+
+    def test_snap_beats_cm2_at_6k(self, benchmark):
+        def run():
+            snap = SnapMachine(
+                generate_hierarchy_kb(6400), snap1_full()
+            ).run(inheritance_program())
+            simd = SimdMachine(generate_hierarchy_kb(6400)).run(
+                inheritance_program()
+            )
+            return snap, simd
+
+        snap, simd = benchmark.pedantic(run, iterations=1, rounds=1)
+        assert snap.total_time_us < simd.total_time_us

@@ -1,0 +1,68 @@
+"""Benchmarks behind Figs. 16/17: α and β speedup workloads."""
+
+import pytest
+
+from repro.baselines import SerialMachine
+from repro.experiments import make_alpha_workload, make_beta_workload
+from repro.machine import SnapMachine, snap1_16cluster
+
+
+class TestFig16AlphaWorkloads:
+    @pytest.mark.parametrize("alpha", [10, 100, 1000])
+    def test_snap_72pe(self, benchmark, alpha):
+        def run():
+            workload = make_alpha_workload(alpha, path_length=10)
+            machine = SnapMachine(workload.network, snap1_16cluster())
+            return machine.run(workload.program)
+
+        report = benchmark(run)
+        assert report.total_time_us > 0
+
+    def test_speedup_shape_alpha100(self, benchmark):
+        """Fig. 16 anchor: α≈100 yields double-digit speedup at 72 PEs."""
+
+        def run():
+            workload = make_alpha_workload(100, path_length=10)
+            serial = SerialMachine(workload.network).run(workload.program)
+            snap = SnapMachine(
+                make_alpha_workload(100, path_length=10).network,
+                snap1_16cluster(),
+            ).run(workload.program)
+            return serial.total_time_us / snap.total_time_us
+
+        speedup = benchmark.pedantic(run, iterations=1, rounds=1)
+        assert speedup > 10.0
+
+
+class TestFig17BetaWorkloads:
+    @pytest.mark.parametrize("beta", [1, 16, 32])
+    def test_snap_beta(self, benchmark, beta):
+        def run():
+            workload = make_beta_workload(beta, alpha_per_stream=4)
+            machine = SnapMachine(workload.network, snap1_16cluster())
+            return machine.run(workload.program)
+
+        report = benchmark(run)
+        assert report.total_time_us > 0
+
+    def test_saturation_shape(self, benchmark):
+        """Fig. 17 anchor: β 16→32 gains much less than β 1→16."""
+
+        def run():
+            times = {}
+            for beta in (1, 16, 32):
+                workload = make_beta_workload(beta, alpha_per_stream=4)
+                serial = SerialMachine(workload.network).run(
+                    workload.program
+                )
+                snap = SnapMachine(
+                    make_beta_workload(beta, alpha_per_stream=4).network,
+                    snap1_16cluster(),
+                ).run(workload.program)
+                times[beta] = serial.total_time_us / snap.total_time_us
+            return times
+
+        speedups = benchmark.pedantic(run, iterations=1, rounds=1)
+        gain_low = speedups[16] / speedups[1]
+        gain_high = speedups[32] / speedups[16]
+        assert gain_high < gain_low

@@ -1,0 +1,86 @@
+"""Benchmarks behind Figs. 18-21: sweeps over clusters and KB size."""
+
+import pytest
+
+from repro.apps.nlu import MemoryBasedParser, build_domain_kb, sentences
+from repro.experiments import make_alpha_workload
+from repro.machine import MachineConfig, SnapMachine, snap1_16cluster
+
+
+class TestFig18ClusterSweep:
+    @pytest.mark.parametrize("clusters", [1, 16])
+    def test_parse_at_cluster_count(self, benchmark, domain_kb, clusters):
+        config = MachineConfig(
+            num_clusters=clusters, mus_per_cluster=2,
+            partition_policy="semantic",
+        )
+
+        def run():
+            machine = SnapMachine(domain_kb.network, config)
+            parser = MemoryBasedParser(machine, domain_kb)
+            return parser.parse(sentences()[1])
+
+        result = benchmark(run)
+        assert result.winner is not None
+
+    def test_16_clusters_faster_than_1(self, benchmark):
+        def run():
+            times = {}
+            for clusters in (1, 16):
+                kb = build_domain_kb(total_nodes=2000)
+                machine = SnapMachine(
+                    kb.network,
+                    MachineConfig(num_clusters=clusters, mus_per_cluster=2,
+                                  partition_policy="semantic"),
+                )
+                result = MemoryBasedParser(machine, kb).parse(sentences()[1])
+                times[clusters] = result.mb_time_us
+            return times
+
+        times = benchmark.pedantic(run, iterations=1, rounds=1)
+        assert times[16] < times[1]
+
+
+class TestFig19Fig20KbSweep:
+    @pytest.mark.parametrize("nodes", [1000, 4000])
+    def test_parse_at_kb_size(self, benchmark, nodes):
+        kb = build_domain_kb(total_nodes=nodes)
+        machine = SnapMachine(kb.network, snap1_16cluster())
+        parser = MemoryBasedParser(machine, kb)
+        result = benchmark(parser.parse, sentences()[1])
+        assert result.winner is not None
+
+    def test_propagation_events_grow_with_kb(self, benchmark):
+        """Fig. 20 anchor: more KB -> more propagation events."""
+
+        def run():
+            events = {}
+            for nodes in (1000, 4000):
+                kb = build_domain_kb(total_nodes=nodes)
+                machine = SnapMachine(kb.network, snap1_16cluster())
+                result = MemoryBasedParser(machine, kb).parse(sentences()[1])
+                events[nodes] = result.propagation_events
+            return events
+
+        events = benchmark.pedantic(run, iterations=1, rounds=1)
+        assert events[4000] > events[1000]
+
+
+class TestFig21Overheads:
+    @pytest.mark.parametrize("clusters", [1, 16])
+    def test_overhead_workload(self, benchmark, clusters):
+        config = MachineConfig(num_clusters=clusters, mus_per_cluster=2)
+
+        def run():
+            workload = make_alpha_workload(32, path_length=8, collect=True)
+            machine = SnapMachine(workload.network, config)
+            return machine.run(workload.program)
+
+        report = benchmark(run)
+        if clusters == 1:
+            assert report.overheads.communication == 0.0
+        else:
+            assert report.overheads.communication > 0.0
+        # Fig. 21 anchor: collection dominates.
+        breakdown = report.overheads.as_dict()
+        assert max(breakdown, key=breakdown.get) == "collection"

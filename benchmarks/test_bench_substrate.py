@@ -1,0 +1,71 @@
+"""Substrate kernels: the primitives every experiment exercises."""
+
+import pytest
+
+from repro.core.tables import MarkerStatusTable
+from repro.machine import HypercubeTopology
+from repro.network import (
+    GeneratorSpec,
+    generate_kb,
+    make_partition,
+    preprocess_fanout,
+)
+
+
+class TestStatusTableKernels:
+    """The MU's word-parallel marker operations (Fig. 4)."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        table = MarkerStatusTable(1024)
+        for node in range(0, 1024, 3):
+            table.set(1, node)
+        for node in range(0, 1024, 5):
+            table.set(2, node)
+        return table
+
+    def test_and_rows(self, benchmark, table):
+        benchmark(table.and_rows, 1, 2, 3)
+
+    def test_nodes_with(self, benchmark, table):
+        result = benchmark(table.nodes_with, 1)
+        assert len(result) == 342
+
+    def test_set_clear_cycle(self, benchmark, table):
+        def cycle():
+            table.set_all(7)
+            table.clear_all(7)
+
+        benchmark(cycle)
+
+
+class TestGraphKernels:
+    def test_kb_generation(self, benchmark):
+        net = benchmark(generate_kb, GeneratorSpec(total_nodes=1000))
+        assert net.num_nodes > 900
+
+    def test_fanout_preprocessing(self, benchmark, synthetic_kb):
+        benchmark(preprocess_fanout, synthetic_kb)
+
+    @pytest.mark.parametrize("policy", ["round-robin", "semantic"])
+    def test_partitioning(self, benchmark, synthetic_kb, policy):
+        part = benchmark(
+            make_partition, synthetic_kb, 32, policy,
+            synthetic_kb.num_nodes,
+        )
+        assert part.num_nodes == synthetic_kb.num_nodes
+
+
+class TestIcnKernels:
+    def test_routing_all_pairs(self, benchmark):
+        topo = HypercubeTopology(32)
+
+        def all_pairs():
+            hops = 0
+            for src in range(32):
+                for dst in range(32):
+                    hops += len(topo.route(src, dst))
+            return hops
+
+        total = benchmark(all_pairs)
+        assert total > 0

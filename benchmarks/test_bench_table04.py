@@ -1,0 +1,17 @@
+"""Benchmark behind Tables III/IV: MUC-4 sentence parsing."""
+
+import pytest
+
+from repro.apps.nlu import MUC4_SENTENCES, MemoryBasedParser
+from repro.machine import SnapMachine, snap1_16cluster
+
+
+@pytest.mark.parametrize("sid,text", MUC4_SENTENCES)
+def test_parse_sentence(benchmark, domain_kb, sid, text):
+    machine = SnapMachine(domain_kb.network, snap1_16cluster())
+    parser = MemoryBasedParser(machine, domain_kb)
+    result = benchmark(parser.parse, text)
+    # Table IV shape: real-time performance — simulated parse time
+    # far below a human reading speed (~2 words/second).
+    assert result.total_time_us < result.num_words * 500_000
+    assert result.winner is not None

@@ -1,0 +1,78 @@
+"""Architecture exploration: the design-space questions of §II-C.
+
+Uses the simulator as the paper's designers used their measurement
+system — to ask *what if*: how many marker units per cluster, which
+partitioning policy, how much does the hypercube's burst absorption
+matter.  Prints one table per question.
+
+Run:  python examples/architecture_exploration.py
+"""
+
+from dataclasses import replace
+
+from repro.apps.nlu import MemoryBasedParser, build_domain_kb, sentences
+from repro.experiments import make_alpha_workload
+from repro.machine import MachineConfig, SnapMachine
+
+
+SENTENCE = sentences()[1]
+
+
+def mu_count_sweep():
+    print("== marker units per cluster (resource sharing, §II-C) ==")
+    print(f"{'MUs/cluster':>12}{'PEs':>6}{'parse ms':>10}{'MU util':>9}")
+    for mus in (1, 2, 3, 4):
+        kb = build_domain_kb(total_nodes=2000)
+        config = MachineConfig(num_clusters=16, mus_per_cluster=mus,
+                               partition_policy="semantic")
+        machine = SnapMachine(kb.network, config)
+        parser = MemoryBasedParser(machine, kb)
+        result = parser.parse(SENTENCE)
+        report = machine.last_report
+        print(f"{mus:>12}{config.total_pes:>6}"
+              f"{result.mb_time_us / 1e3:>10.2f}"
+              f"{report.mu_utilization():>9.2f}")
+
+
+def partition_policy_sweep():
+    print("\n== knowledge-base allocation policy (§II-A) ==")
+    print(f"{'policy':>12}{'parse ms':>10}{'messages':>10}{'mean hops':>10}")
+    for policy in ("sequential", "round-robin", "semantic"):
+        kb = build_domain_kb(total_nodes=2000)
+        config = MachineConfig(num_clusters=16, mus_per_cluster=3,
+                               partition_policy=policy)
+        machine = SnapMachine(kb.network, config)
+        parser = MemoryBasedParser(machine, kb, keep_trace=True)
+        result = parser.parse(SENTENCE)
+        messages = sum(
+            r.icn_stats.messages for _p, r in parser.trace_log
+        )
+        hops = [
+            r.icn_stats.mean_hops for _p, r in parser.trace_log
+            if r.icn_stats.messages
+        ]
+        mean_hops = sum(hops) / len(hops) if hops else 0.0
+        print(f"{policy:>12}{result.mb_time_us / 1e3:>10.2f}"
+              f"{messages:>10}{mean_hops:>10.2f}")
+
+
+def network_pressure():
+    print("\n== interconnect pressure under bursts (Fig. 8 discussion) ==")
+    print(f"{'alpha':>7}{'messages':>10}{'peak queue':>11}{'overflows':>10}")
+    for alpha in (32, 128, 512):
+        workload = make_alpha_workload(alpha, path_length=8)
+        config = MachineConfig(num_clusters=16, mus_per_cluster=3)
+        machine = SnapMachine(workload.network, config)
+        report = machine.run(workload.program)
+        peak = max(c["activation_peak"] for c in report.cluster_busy)
+        overflows = sum(
+            c["activation_overflows"] for c in report.cluster_busy
+        )
+        print(f"{alpha:>7}{report.icn_stats.messages:>10}"
+              f"{peak:>11}{overflows:>10}")
+
+
+if __name__ == "__main__":
+    mu_count_sweep()
+    partition_policy_sweep()
+    network_pressure()

@@ -1,0 +1,69 @@
+"""Basic inferencing: property inheritance and concept classification.
+
+The two knowledge-processing operations the paper used to validate the
+instruction set (§II-B) and to compare against the CM-2 (Fig. 15).
+Runs root-to-leaf inheritance across machine models and answers
+classification queries by marker intersection.
+
+Run:  python examples/inheritance_and_classification.py
+"""
+
+from repro.apps import (
+    classify,
+    inheritance_program,
+    install_property,
+    property_lookup_program,
+)
+from repro.baselines import SerialMachine, SimdMachine
+from repro.machine import SnapMachine, snap1_full
+from repro.network import generate_hierarchy_kb
+
+
+def inheritance_demo():
+    print("== property inheritance (Fig. 15 workload) ==")
+    for nodes in (400, 1600, 6400):
+        snap = SnapMachine(generate_hierarchy_kb(nodes), snap1_full())
+        snap_report = snap.run(inheritance_program())
+        simd = SimdMachine(generate_hierarchy_kb(nodes))
+        simd_report = simd.run(inheritance_program())
+        inherited = len(snap_report.results()[-1])
+        print(f"  {nodes:>5} nodes: {inherited} concepts inherit "
+              f"4 attributes | SNAP-1 {snap_report.total_time_us/1e3:8.2f} ms"
+              f" | CM-2 {simd_report.total_time_us/1e6:6.2f} s")
+
+
+def lookup_demo():
+    print("\n== inherited-property lookup ==")
+    network = generate_hierarchy_kb(500, properties_at_root=2)
+    queries = (("c123", "attr0"), ("c123", "nothing"))
+    for _concept, prop in queries:
+        network.ensure_node(f"p:{prop}")
+    machine = SerialMachine(network)
+    for concept, prop in queries:
+        report = machine.run(property_lookup_program(concept, prop))
+        has = bool(report.results()[-1])
+        print(f"  does {concept} inherit {prop!r}?  {has}")
+
+
+def classification_demo():
+    print("\n== concept classification by property intersection ==")
+    network = generate_hierarchy_kb(500, properties_at_root=0)
+    # The root's four children are c1..c4; give them distinguishable
+    # properties that their subtrees inherit.
+    install_property(network, "c1", "armed")
+    install_property(network, "c2", "armed")
+    install_property(network, "c1", "mobile")
+    install_property(network, "c3", "mobile")
+    machine = SnapMachine(network, snap1_full())
+    for query in (["armed"], ["mobile"], ["armed", "mobile"]):
+        result = classify(machine, query)
+        roots = [m for m in result.matches if m in ("c1", "c2", "c3", "c4")]
+        print(f"  properties {query}: {len(result.matches)} concepts "
+              f"(subtree roots: {roots}) in "
+              f"{result.time_us / 1e3:.2f} ms simulated")
+
+
+if __name__ == "__main__":
+    inheritance_demo()
+    lookup_demo()
+    classification_demo()

@@ -1,0 +1,52 @@
+"""Speech understanding: the PASS-style workload (β-parallelism demo).
+
+Synthesizes word lattices — competing recognition hypotheses per time
+slot with acoustic costs — and lets the array evaluate all
+alternatives of each slot in parallel against the concept-sequence
+knowledge base.  Each slot's alternatives are marker-independent, so
+the controller overlaps their propagations: this is where the paper's
+higher speech-workload β (2.8–6 for PASS vs 2.3–5 for DMSNAP) comes
+from.
+
+Run:  python examples/speech_understanding.py
+"""
+
+from repro.apps import SpeechParser, synthesize_lattice
+from repro.apps.nlu import build_domain_kb
+from repro.machine import SnapMachine, snap1_16cluster
+
+UTTERANCES = (
+    "terrorists attacked the mayor in bogota",
+    "guerrillas bombed the embassy",
+    "soldiers reported the casualties in the city",
+    "unidentified men kidnapped the judge yesterday",
+)
+
+
+def main():
+    kb = build_domain_kb(total_nodes=3000)
+    machine = SnapMachine(kb.network, snap1_16cluster())
+    parser = SpeechParser(machine, kb)
+
+    for utterance in UTTERANCES:
+        lattice = synthesize_lattice(utterance, confusability=0.9)
+        result = parser.understand(lattice)
+        print(f"\nreference : {utterance}")
+        noisy = [
+            "/".join(h.word for h in slot) for slot in lattice.slots
+        ]
+        print(f"lattice   : {' '.join(noisy)}")
+        print(f"meaning   : {result.winner}  (cost {result.cost})")
+        runners = result.candidates[1:3]
+        if runners:
+            print(f"rejected  : "
+                  + ", ".join(f"{n}@{c}" for n, c in runners))
+        print(f"measured  : {result.time_us / 1e3:.2f} ms simulated, "
+              f"{result.instruction_count} instructions, "
+              f"beta max {result.beta_max:.0f} / "
+              f"mean {result.beta_mean:.2f} "
+              f"(lattice branching {lattice.mean_branching:.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim so editable installs work without the `wheel` package.
+
+`pip install -e .` requires `wheel` on this interpreter; in offline
+environments without it, use `python setup.py develop` which produces
+an equivalent editable install.
+"""
+from setuptools import setup
+
+setup()

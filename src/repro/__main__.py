@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``parse "SENTENCE"``
+    Parse a newswire sentence on the simulated 72-PE machine and print
+    the extracted event template with timing.
+``speech "SENTENCE"``
+    Synthesize a noisy word lattice from the sentence and run the
+    speech parser over it.
+``experiments [IDS...] [--full]``
+    Regenerate the paper's tables/figures (same as
+    ``python -m repro.experiments.runner``).
+``info``
+    Print the machine configuration and knowledge-base statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def _build(kb_nodes: int):
+    from repro.apps.nlu import build_domain_kb
+    from repro.machine import SnapMachine, snap1_16cluster
+
+    kb = build_domain_kb(total_nodes=kb_nodes)
+    machine = SnapMachine(kb.network, snap1_16cluster())
+    return kb, machine
+
+
+def cmd_parse(args) -> int:
+    """Handle the `parse` subcommand."""
+    from repro.apps.nlu import MemoryBasedParser, extract_template
+
+    kb, machine = _build(args.kb_nodes)
+    parser = MemoryBasedParser(machine, kb)
+    result = parser.parse(args.sentence)
+    template = extract_template(result, kb)
+    if template is None:
+        print("no completed hypothesis")
+        if result.oov:
+            print(f"out of vocabulary: {', '.join(result.oov)}")
+        return 1
+    print(template.render())
+    print(
+        f"\nP.P. {result.pp_time_us / 1e3:.2f} ms + "
+        f"M.B. {result.mb_time_us / 1e3:.2f} ms simulated, "
+        f"{result.instruction_count} SNAP instructions"
+    )
+    return 0
+
+
+def cmd_speech(args) -> int:
+    """Handle the `speech` subcommand."""
+    from repro.apps import SpeechParser, synthesize_lattice
+
+    kb, machine = _build(args.kb_nodes)
+    parser = SpeechParser(machine, kb)
+    lattice = synthesize_lattice(
+        args.sentence, confusability=args.confusability
+    )
+    print("lattice: " + " ".join(
+        "/".join(h.word for h in slot) for slot in lattice.slots
+    ))
+    result = parser.understand(lattice)
+    print(f"meaning: {result.winner} (cost {result.cost})")
+    print(
+        f"{result.time_us / 1e3:.2f} ms simulated, beta max "
+        f"{result.beta_max:.0f}"
+    )
+    return 0 if result.winner else 1
+
+
+def cmd_experiments(args) -> int:
+    """Handle the `experiments` subcommand."""
+    from repro.experiments.runner import main as runner_main
+
+    argv = list(args.ids)
+    if args.full:
+        argv.append("--full")
+    if args.out:
+        argv.extend(["--out", args.out])
+    return runner_main(argv)
+
+
+def cmd_info(args) -> int:
+    """Handle the `info` subcommand."""
+    from repro.machine import snap1_16cluster, snap1_full
+
+    kb, machine = _build(args.kb_nodes)
+    full = snap1_full()
+    print("SNAP-1 prototype (full configuration):")
+    print(f"  clusters: {full.num_clusters}, PEs: {full.total_pes}, "
+          f"node capacity: {full.node_capacity}")
+    experiment = snap1_16cluster()
+    print("experiment configuration (paper SS IV):")
+    print(f"  clusters: {experiment.num_clusters}, "
+          f"PEs: {experiment.total_pes}")
+    stats = kb.network.stats()
+    print(f"knowledge base ({args.kb_nodes} requested nodes):")
+    for key, value in stats.items():
+        print(f"  {key}: {value}")
+    print(f"  concept sequences: {len(kb.cs_roots)} "
+          f"({len(kb.core_roots)} core)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    cli = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = cli.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("parse", help="parse a newswire sentence")
+    p.add_argument("sentence")
+    p.add_argument("--kb-nodes", type=int, default=3000)
+    p.set_defaults(fn=cmd_parse)
+
+    p = sub.add_parser("speech", help="understand a noisy word lattice")
+    p.add_argument("sentence")
+    p.add_argument("--kb-nodes", type=int, default=3000)
+    p.add_argument("--confusability", type=float, default=0.8)
+    p.set_defaults(fn=cmd_speech)
+
+    p = sub.add_parser("experiments", help="regenerate paper artifacts")
+    p.add_argument("ids", nargs="*")
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--out")
+    p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser("info", help="machine + knowledge base statistics")
+    p.add_argument("--kb-nodes", type=int, default=3000)
+    p.set_defaults(fn=cmd_info)
+
+    args = cli.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Measurement analysis: profiles, speedup, traffic, overheads, α/β."""
+
+from .profiles import (
+    CATEGORY_ORDER,
+    Profile,
+    format_profile_table,
+    profile_from_parse_results,
+    profile_from_report,
+)
+from .speedup import (
+    SpeedupCurve,
+    SweepPoint,
+    format_speedup_table,
+    knee,
+)
+from .traffic import (
+    TrafficSummary,
+    format_traffic_series,
+    summarize_sync_stats,
+    summarize_traffic,
+    traffic_histogram,
+)
+from .overhead import (
+    COMPONENTS,
+    OverheadSweep,
+    format_overhead_table,
+)
+from .parallelism import (
+    ParallelismStats,
+    measure_alpha,
+    measure_beta,
+    parallelism_stats,
+)
+from .timeline import (
+    cluster_activity,
+    instruction_gantt,
+    overlap_factor,
+    render_report_timeline,
+)
+
+__all__ = [
+    "CATEGORY_ORDER", "Profile", "format_profile_table",
+    "profile_from_parse_results", "profile_from_report",
+    "SpeedupCurve", "SweepPoint", "format_speedup_table", "knee",
+    "TrafficSummary", "format_traffic_series", "summarize_sync_stats",
+    "summarize_traffic", "traffic_histogram",
+    "COMPONENTS", "OverheadSweep", "format_overhead_table",
+    "ParallelismStats", "measure_alpha", "measure_beta",
+    "parallelism_stats",
+    "cluster_activity", "instruction_gantt", "overlap_factor",
+    "render_report_timeline",
+]

@@ -1,0 +1,79 @@
+"""α / β parallelism measurement (§II-C).
+
+* **α-parallelism** (intra-propagation): the number of nodes activated
+  simultaneously by one PROPAGATE — measured per instruction by the
+  engines; the paper observed 10–1000 depending on path length/breadth.
+* **β-parallelism** (inter-propagation): the number of overlapped
+  PROPAGATE statements with no marker data dependencies — a static
+  property of the program, computed by
+  :meth:`repro.isa.program.SnapProgram.beta_profile`; the paper
+  measured β ranging 2.8–6 (PASS) and 2.3–5 (DMSNAP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence
+
+from ..isa.program import SnapProgram
+
+
+@dataclass
+class ParallelismStats:
+    """α and β statistics for a workload."""
+
+    alpha_min: int
+    alpha_max: int
+    alpha_mean: float
+    beta_min: float
+    beta_max: float
+    beta_mean: float
+    propagates: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (JSON-friendly)."""
+        return {
+            "alpha_min": self.alpha_min,
+            "alpha_max": self.alpha_max,
+            "alpha_mean": round(self.alpha_mean, 1),
+            "beta_min": self.beta_min,
+            "beta_max": self.beta_max,
+            "beta_mean": round(self.beta_mean, 2),
+            "propagates": self.propagates,
+        }
+
+
+def measure_alpha(reports: Iterable[Any]) -> List[int]:
+    """α per PROPAGATE across run reports (machine or serial)."""
+    alphas: List[int] = []
+    for report in reports:
+        for trace in report.traces:
+            if trace.category == "propagate":
+                alphas.append(trace.alpha)
+    return alphas
+
+
+def measure_beta(programs: Iterable[SnapProgram]) -> List[int]:
+    """β overlap-run sizes across program segments."""
+    betas: List[int] = []
+    for program in programs:
+        betas.extend(program.beta_profile())
+    return betas
+
+
+def parallelism_stats(
+    reports: Sequence[Any], programs: Sequence[SnapProgram]
+) -> ParallelismStats:
+    """Combined α/β measurement for a workload."""
+    measured = measure_alpha(reports)
+    alphas = measured or [0]
+    betas = [float(b) for b in measure_beta(programs)] or [0.0]
+    return ParallelismStats(
+        alpha_min=min(alphas),
+        alpha_max=max(alphas),
+        alpha_mean=sum(alphas) / len(alphas),
+        beta_min=min(betas),
+        beta_max=max(betas),
+        beta_mean=sum(betas) / len(betas),
+        propagates=len(measured),
+    )

@@ -1,0 +1,116 @@
+"""Property inheritance over a concept hierarchy (Fig. 15 workload).
+
+*"Performance was also measured for some basic inferencing operations
+such as inheritance of attributes from concepts in the knowledge base
+hierarchy"* (§IV).  Inheritance from *root to leaf* pushes a property
+marker down the hierarchy (along ``inverse:is-a`` links installed by
+the hierarchy generator), so every concept inherits the root's
+attributes; the length of the critical path is the hierarchy depth,
+which is what the CM-2's per-step controller round-trip multiplies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..isa.instructions import (
+    AndMarker,
+    ClearMarker,
+    CollectNode,
+    Propagate,
+    SearchNode,
+    binary_marker,
+    complex_marker,
+)
+from ..isa.program import SnapProgram
+from ..isa.rules import chain, step
+from ..network.generator import HIERARCHY_ROOT, generate_hierarchy_kb
+from ..network.graph import SemanticNetwork
+
+M_SRC = complex_marker(20)
+M_INHERIT = complex_marker(21)
+M_PROP = complex_marker(22)
+M_HAS = complex_marker(23)
+
+
+def inheritance_program(
+    root: str = HIERARCHY_ROOT,
+    num_properties: int = 4,
+) -> SnapProgram:
+    """Root-to-leaf inheritance of the root's attributes.
+
+    One flood per attribute (matching *"inheritance of attributes"* —
+    every attribute's value must reach every concept), each followed by
+    retrieval of the inheriting concepts.  Attribute floods use
+    distinct markers, so the controller overlaps them (β-parallelism);
+    each COLLECT then forces a barrier.
+    """
+    program = SnapProgram(name="inheritance")
+    program.append(ClearMarker(M_SRC))
+    for k in range(num_properties):
+        program.append(ClearMarker(complex_marker(21 + k)))
+    program.append(SearchNode(root, M_SRC, 0.0))
+    for k in range(num_properties):
+        marker = complex_marker(21 + k)
+        program.append(
+            Propagate(M_SRC, marker, chain("inverse:is-a"), "add-weight")
+        )
+    for k in range(num_properties):
+        program.append(CollectNode(complex_marker(21 + k)))
+    return program
+
+
+def property_lookup_program(concept: str, prop: str) -> SnapProgram:
+    """Does ``concept`` inherit property ``prop``? (upward inheritance)
+
+    Marks the concept, climbs ``is-a`` to its ancestors, steps onto
+    their properties, and intersects with the property node.
+    """
+    program = SnapProgram(name="property-lookup")
+    for marker in (M_SRC, M_INHERIT, M_PROP, M_HAS):
+        program.append(ClearMarker(marker))
+    program.append(SearchNode(concept, M_SRC, 0.0))
+    program.append(
+        Propagate(M_SRC, M_INHERIT, chain("is-a"), "count-hops")
+    )
+    program.append(
+        Propagate(M_INHERIT, M_PROP, step("has-property"), "identity")
+    )
+    program.append(SearchNode(f"p:{prop}", M_HAS, 0.0))
+    program.append(AndMarker(M_PROP, M_HAS, M_HAS, "first"))
+    program.append(CollectNode(M_HAS))
+    return program
+
+
+@dataclass
+class InheritanceRun:
+    """Measurement of one root-to-leaf inheritance."""
+
+    kb_nodes: int
+    time_us: float
+    inherited: int
+    machine: str
+
+    @property
+    def time_s(self) -> float:
+        """Execution time in seconds."""
+        return self.time_us / 1e6
+
+
+def run_inheritance(machine: Any, kb_nodes: int, label: str) -> InheritanceRun:
+    """Execute the inheritance program and time it on ``machine``.
+
+    ``machine`` is any object with ``run(program) -> report``; the KB
+    must already be loaded (use :func:`repro.network.generator.
+    generate_hierarchy_kb`).
+    """
+    report = machine.run(inheritance_program())
+    results = report.results()
+    inherited = len(results[-1]) if results else 0
+    return InheritanceRun(
+        kb_nodes=kb_nodes,
+        time_us=report.total_time_us,
+        inherited=inherited,
+        machine=label,
+    )

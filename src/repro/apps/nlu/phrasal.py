@@ -1,0 +1,175 @@
+"""The phrasal parser (serial, controller-resident).
+
+*"Parsing time has been broken down into time for the phrasal parser
+(P.P. time) and the memory based parser (M.B. time).  The phrasal
+parser is a serial program that executes on the controller and thus
+its processing time is relatively independent of knowledge base size.
+The role of the phrasal parser is to break down the input sentence
+into subparts which can be handled by the memory-based parser"*
+(paper §IV).
+
+Implemented as a deterministic finite-state chunker over lexicon POS
+tags: noun phrases (determiner/adjective/number* noun+), verb groups
+(verb with adverbs), and prepositional phrases (preposition + NP).
+Its cost model is serial controller time per token, independent of KB
+size by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .lexicon import LexEntry, Lexicon, POS, tokenize
+
+
+class PhraseKind:
+    """Chunk types produced by the phrasal parser."""
+
+    NP = "NP"
+    VP = "VP"
+    PP = "PP"
+    OTHER = "X"
+
+
+@dataclass
+class Phrase:
+    """A chunk of the input sentence."""
+
+    kind: str
+    words: List[str]
+    head: str
+    #: Content words (those that activate lexical nodes).
+    content: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+@dataclass
+class PhrasalResult:
+    """Chunking output plus serial controller time."""
+
+    sentence: str
+    tokens: List[str]
+    phrases: List[Phrase]
+    pp_time_us: float
+
+    @property
+    def num_words(self) -> int:
+        """Word count."""
+        return len(self.tokens)
+
+
+#: POS tags that contribute content (activate lexical nodes).
+_CONTENT_POS = {POS.NOUN, POS.VERB, POS.PRON, POS.ADJ, POS.ADV}
+
+#: POS tags that may open/extend the pre-head part of an NP.
+_NP_PRE = {POS.DET, POS.ADJ, POS.NUM}
+
+
+class PhrasalParser:
+    """Finite-state chunker with a serial controller cost model."""
+
+    def __init__(
+        self,
+        lexicon: Lexicon,
+        t_per_token_us: float = 450.0,
+        t_fixed_us: float = 3_000.0,
+    ) -> None:
+        self.lexicon = lexicon
+        self.t_per_token_us = t_per_token_us
+        self.t_fixed_us = t_fixed_us
+
+    def parse(self, sentence: str) -> PhrasalResult:
+        """Chunk a sentence; charge serial time per token."""
+        tokens = tokenize(sentence)
+        entries = [self.lexicon.lookup(t) for t in tokens]
+        phrases = self._chunk(entries)
+        pp_time = self.t_fixed_us + self.t_per_token_us * len(tokens)
+        return PhrasalResult(
+            sentence=sentence,
+            tokens=tokens,
+            phrases=phrases,
+            pp_time_us=pp_time,
+        )
+
+    # ------------------------------------------------------------------
+    def _chunk(self, entries: Sequence[LexEntry]) -> List[Phrase]:
+        phrases: List[Phrase] = []
+        i = 0
+        n = len(entries)
+        while i < n:
+            entry = entries[i]
+            if entry.pos in _NP_PRE or entry.pos in (POS.NOUN, POS.PRON):
+                phrase, i = self._noun_phrase(entries, i)
+                phrases.append(phrase)
+            elif entry.pos == POS.VERB or entry.pos == POS.ADV:
+                phrase, i = self._verb_group(entries, i)
+                phrases.append(phrase)
+            elif entry.pos == POS.PREP:
+                phrase, i = self._prep_phrase(entries, i)
+                phrases.append(phrase)
+            else:  # conjunctions and anything unchunkable
+                phrases.append(
+                    Phrase(PhraseKind.OTHER, [entry.word], entry.word)
+                )
+                i += 1
+        return phrases
+
+    def _noun_phrase(
+        self, entries: Sequence[LexEntry], start: int
+    ) -> Tuple[Phrase, int]:
+        i = start
+        words: List[str] = []
+        while i < len(entries) and entries[i].pos in _NP_PRE:
+            words.append(entries[i].word)
+            i += 1
+        head = words[-1] if words else ""
+        while i < len(entries) and entries[i].pos in (POS.NOUN, POS.PRON):
+            words.append(entries[i].word)
+            head = entries[i].word
+            i += 1
+        if not words:  # lone determiner at end of input
+            words = [entries[start].word]
+            head = words[0]
+            i = start + 1
+        content = [
+            w for w, e in zip(words, entries[start:start + len(words)])
+            if e.pos in _CONTENT_POS
+        ]
+        return Phrase(PhraseKind.NP, words, head, content), i
+
+    def _verb_group(
+        self, entries: Sequence[LexEntry], start: int
+    ) -> Tuple[Phrase, int]:
+        i = start
+        words: List[str] = []
+        head: Optional[str] = None
+        while i < len(entries) and entries[i].pos in (POS.VERB, POS.ADV):
+            words.append(entries[i].word)
+            if head is None and entries[i].pos == POS.VERB:
+                head = entries[i].word
+            i += 1
+        head = head or words[0]
+        content = [
+            w for w, e in zip(words, entries[start:start + len(words)])
+            if e.pos in _CONTENT_POS
+        ]
+        return Phrase(PhraseKind.VP, words, head, content), i
+
+    def _prep_phrase(
+        self, entries: Sequence[LexEntry], start: int
+    ) -> Tuple[Phrase, int]:
+        words = [entries[start].word]
+        i = start + 1
+        if i < len(entries) and (
+            entries[i].pos in _NP_PRE or entries[i].pos in (POS.NOUN, POS.PRON)
+        ):
+            inner, i = self._noun_phrase(entries, i)
+            words.extend(inner.words)
+            return (
+                Phrase(PhraseKind.PP, words, inner.head, inner.content),
+                i,
+            )
+        return Phrase(PhraseKind.PP, words, words[0]), i

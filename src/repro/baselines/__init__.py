@@ -1,0 +1,21 @@
+"""Comparison machines: serial single-PE and CM-2-style SIMD.
+
+Both baselines execute the identical instruction semantics as the
+SNAP-1 simulator (shared :class:`~repro.core.state.MachineState`
+primitives) under their own cost models, so every comparison in the
+evaluation is apples-to-apples on results and differs only in the
+modeled architecture.
+"""
+
+from .serial import SerialMachine, SerialRunReport, SerialTrace
+from .simd import SimdMachine, SimdRunReport, SimdTiming, SimdTrace
+
+__all__ = [
+    "SerialMachine",
+    "SerialRunReport",
+    "SerialTrace",
+    "SimdMachine",
+    "SimdRunReport",
+    "SimdTiming",
+    "SimdTrace",
+]

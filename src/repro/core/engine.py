@@ -1,0 +1,229 @@
+"""The functional (untimed) SNAP executor.
+
+Runs SNAP programs to completion with exact semantics but no notion of
+time.  It is both the **serial baseline's** execution core and the
+**golden model** against which the discrete-event machine simulator is
+property-tested: both drive the same :class:`~repro.core.state.
+MachineState` primitives, so final marker state must agree bit-for-bit
+for any program and any cluster count.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..isa.instructions import (
+    AndMarker,
+    ClearMarker,
+    CollectColor,
+    CollectMarker,
+    CollectNode,
+    CollectRelation,
+    Create,
+    Delete,
+    FuncMarker,
+    Instruction,
+    MarkerCreate,
+    MarkerDelete,
+    MarkerSetColor,
+    NotMarker,
+    OrMarker,
+    Propagate,
+    SearchColor,
+    SearchNode,
+    SearchRelation,
+    SetColor,
+    SetMarker,
+)
+from ..isa.program import SnapProgram
+from ..network.graph import SemanticNetwork
+from .state import ExecutionError, MachineState, WorkReport
+
+
+@dataclass
+class ExecutionRecord:
+    """What one instruction did: work counters and propagation stats."""
+
+    instruction: Instruction
+    work: WorkReport
+    result: Any = None
+    #: Number of simultaneously activated source nodes (α, §II-C).
+    alpha: int = 0
+    #: Longest path any marker traveled (hops).
+    max_hops: int = 0
+    #: Cross-cluster activation messages emitted.
+    remote_messages: int = 0
+    #: Total marker deliveries.
+    arrivals: int = 0
+
+    @property
+    def category(self) -> str:
+        """The instruction's profiling category."""
+        return self.instruction.category
+
+    @property
+    def opcode(self) -> str:
+        """The instruction's opcode string."""
+        return self.instruction.opcode
+
+
+@dataclass
+class RunResult:
+    """Outcome of running a whole program."""
+
+    records: List[ExecutionRecord] = field(default_factory=list)
+
+    @property
+    def collects(self) -> List[ExecutionRecord]:
+        """Records of retrieval instructions, in program order."""
+        return [r for r in self.records if r.result is not None]
+
+    def category_counts(self) -> Dict[str, int]:
+        """Instruction counts per category."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.category] = counts.get(record.category, 0) + 1
+        return counts
+
+    def total_work(self) -> WorkReport:
+        """Sum of all instructions' work counters."""
+        total = WorkReport()
+        for record in self.records:
+            total.merge(record.work)
+        return total
+
+
+class FunctionalEngine:
+    """Untimed executor of SNAP programs over a partitioned KB."""
+
+    def __init__(
+        self,
+        network: SemanticNetwork,
+        num_clusters: int = 1,
+        partition_policy: str = "round-robin",
+        state: Optional[MachineState] = None,
+    ) -> None:
+        self.state = state or MachineState(
+            network, num_clusters, partition_policy
+        )
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters."""
+        return self.state.num_clusters
+
+    # ------------------------------------------------------------------
+    def run(self, program: SnapProgram) -> RunResult:
+        """Execute a program in order; return all execution records."""
+        result = RunResult()
+        for instruction in program:
+            result.records.append(self.execute(instruction))
+        return result
+
+    def execute(self, instruction: Instruction) -> ExecutionRecord:
+        """Execute one instruction with exact semantics."""
+        if isinstance(instruction, Propagate):
+            return self._propagate(instruction)
+        if isinstance(instruction, Create):
+            return ExecutionRecord(instruction, self.state.create(instruction))
+        if isinstance(instruction, Delete):
+            return ExecutionRecord(instruction, self.state.delete(instruction))
+        if isinstance(instruction, SetColor):
+            return ExecutionRecord(
+                instruction, self.state.set_color(instruction)
+            )
+
+        per_cluster = {
+            SearchNode: self.state.search_node,
+            SearchRelation: self.state.search_relation,
+            SearchColor: self.state.search_color,
+            AndMarker: self.state.and_marker,
+            OrMarker: self.state.or_marker,
+            NotMarker: self.state.not_marker,
+            SetMarker: self.state.set_marker,
+            ClearMarker: self.state.clear_marker,
+            FuncMarker: self.state.func_marker,
+            MarkerCreate: self.state.marker_create,
+            MarkerDelete: self.state.marker_delete,
+            MarkerSetColor: self.state.marker_set_color,
+        }
+        collectors = {
+            CollectNode: self.state.collect_node,
+            CollectMarker: self.state.collect_marker,
+            CollectRelation: self.state.collect_relation,
+            CollectColor: self.state.collect_color,
+        }
+
+        for cls, primitive in per_cluster.items():
+            if isinstance(instruction, cls):
+                work = WorkReport()
+                for cid in range(self.state.num_clusters):
+                    work.merge(primitive(cid, instruction))
+                return ExecutionRecord(instruction, work)
+
+        for cls, primitive in collectors.items():
+            if isinstance(instruction, cls):
+                work = WorkReport()
+                collected: List = []
+                for cid in range(self.state.num_clusters):
+                    part, part_work = primitive(cid, instruction)
+                    collected.extend(part)
+                    work.merge(part_work)
+                collected.sort(key=lambda item: item[0])
+                return ExecutionRecord(instruction, work, result=collected)
+
+        raise ExecutionError(
+            f"unsupported instruction: {instruction.opcode}"
+        )
+
+    # ------------------------------------------------------------------
+    def _propagate(self, instruction: Propagate) -> ExecutionRecord:
+        """Breadth-first marker propagation over all partitions."""
+        state = self.state
+        ctx = state.make_context(instruction)
+        work = WorkReport()
+        queue = deque()
+
+        for cid in range(state.num_clusters):
+            seeds, seed_work = state.seeds(ctx, cid)
+            work.merge(seed_work)
+            # Seeds are expanded directly: the origin node re-emits the
+            # marker without receiving it.
+            for seed in seeds:
+                local_out, remote_out, expand_work = state.expand(ctx, seed)
+                work.merge(expand_work)
+                queue.extend(local_out)
+                queue.extend(state.message_to_arrival(m) for m in remote_out)
+
+        while queue:
+            arrival = queue.popleft()
+            should_expand, deliver_work = state.deliver(ctx, arrival)
+            work.merge(deliver_work)
+            if not should_expand:
+                continue
+            local_out, remote_out, expand_work = state.expand(ctx, arrival)
+            work.merge(expand_work)
+            queue.extend(local_out)
+            queue.extend(state.message_to_arrival(m) for m in remote_out)
+
+        return ExecutionRecord(
+            instruction,
+            work,
+            alpha=ctx.alpha,
+            max_hops=ctx.max_hops,
+            remote_messages=ctx.remote_messages,
+            arrivals=ctx.total_arrivals,
+        )
+
+
+def run_program(
+    network: SemanticNetwork,
+    program: SnapProgram,
+    num_clusters: int = 1,
+    partition_policy: str = "round-robin",
+) -> RunResult:
+    """Convenience one-shot: build an engine and run a program."""
+    engine = FunctionalEngine(network, num_clusters, partition_policy)
+    return engine.run(program)

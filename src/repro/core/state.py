@@ -1,0 +1,807 @@
+"""Shared machine state and instruction semantics.
+
+:class:`MachineState` holds the distributed knowledge-base tables and
+implements the *semantics* of every SNAP instruction as **per-cluster
+primitives** that report the work they performed.  Two executors drive
+it:
+
+* the :class:`~repro.core.engine.FunctionalEngine` — untimed, global
+  worklist; used by the serial baseline and as the golden model;
+* the timed :class:`~repro.machine.machine.SnapMachine` — schedules the
+  same primitives through a discrete-event simulation of the PU/MU/CU
+  pipeline, interconnect, and tiered synchronization.
+
+Because both executors run the *same* primitive code, final marker
+state is identical regardless of cluster count or event ordering — a
+property the test suite checks explicitly.
+
+Propagation value semantics: when a complex marker reaches a node more
+than once, the *minimum* value is kept, and the node is re-expanded
+only when a strictly smaller value arrives.  This makes the final
+values a deterministic fixpoint (minimum path cost under the hop
+function), matching the "cost of accepting a particular concept
+sequence" reading of marker values, independent of message ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..isa.functions import FunctionRegistry, condition
+from ..isa.instructions import (
+    AndMarker,
+    ClearMarker,
+    CollectColor,
+    CollectMarker,
+    CollectNode,
+    CollectRelation,
+    Create,
+    Delete,
+    FuncMarker,
+    Instruction,
+    MarkerCreate,
+    MarkerDelete,
+    MarkerSetColor,
+    NotMarker,
+    OrMarker,
+    Propagate,
+    SearchColor,
+    SearchNode,
+    SearchRelation,
+    SetColor,
+    SetMarker,
+    is_complex,
+)
+from ..isa.rules import PropagationRule
+from ..network.builder import preprocess_fanout
+from ..network.graph import SemanticNetwork
+from ..network.node import Color
+from ..network.partition import Partitioning, make_partition
+from .activation import ActivationMessage
+from .tables import ClusterTables, RelationEntry, build_tables
+
+
+class ExecutionError(RuntimeError):
+    """Raised when an instruction cannot be executed."""
+
+
+@dataclass
+class WorkReport:
+    """Counters of machine work performed by a primitive.
+
+    The timing model converts these into simulated time; the
+    functional engine aggregates them for instruction profiles.
+    """
+
+    words: int = 0       # marker-status words read/written
+    nodes: int = 0       # per-node visits (table row touches)
+    slots: int = 0       # relation-table slots scanned
+    sets: int = 0        # marker bits written
+    fp_ops: int = 0      # floating-point value updates
+    messages: int = 0    # cross-cluster activation messages emitted
+    links_made: int = 0  # relation slots written (bindings)
+
+    def merge(self, other: "WorkReport") -> "WorkReport":
+        """Merge another instance into this one; returns self."""
+        self.words += other.words
+        self.nodes += other.nodes
+        self.slots += other.slots
+        self.sets += other.sets
+        self.fp_ops += other.fp_ops
+        self.messages += other.messages
+        self.links_made += other.links_made
+        return self
+
+    def total(self) -> int:
+        """Aggregate micro-operation count."""
+        return (
+            self.words + self.nodes + self.slots + self.sets
+            + self.fp_ops + self.messages + self.links_made
+        )
+
+
+@dataclass
+class Arrival:
+    """A marker delivery pending at a cluster (local or remote origin)."""
+
+    cluster: int
+    local: int
+    state: int
+    value: float
+    origin: int
+    level: int
+    hops: int
+    remote: bool = False
+
+
+#: Compiled rule: state -> ((relation id, next state), ...).
+CompiledRule = Dict[int, Tuple[Tuple[int, int], ...]]
+
+
+@dataclass
+class PropagationContext:
+    """Per-PROPAGATE bookkeeping shared by all clusters."""
+
+    instr: Propagate
+    rule: PropagationRule
+    compiled: CompiledRule
+    hop_name: str
+    level: int = 0
+    #: (cluster, local, state) -> best value already expanded from.
+    expanded: Dict[Tuple[int, int, int], float] = field(default_factory=dict)
+    expansions: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+    #: Safety valve for pathological negative-cost cycles.
+    max_expansions: int = 64
+    # statistics
+    total_arrivals: int = 0
+    remote_messages: int = 0
+    max_hops: int = 0
+    alpha: int = 0  # number of seed (source-activated) nodes
+
+
+class MachineState:
+    """Distributed knowledge base + SNAP instruction semantics."""
+
+    def __init__(
+        self,
+        network: SemanticNetwork,
+        num_clusters: int = 32,
+        partition_policy: str = "round-robin",
+        partitioning: Optional[Partitioning] = None,
+        functions: Optional[FunctionRegistry] = None,
+        node_capacity_per_cluster: Optional[int] = None,
+    ) -> None:
+        """``node_capacity_per_cluster``: pass 1024 to enforce the
+        prototype's physical cluster memory limit; ``None`` (default)
+        places no bound, which baselines and sweep configurations
+        rely on (a 1-cluster reference run holds the whole KB)."""
+        self.network = preprocess_fanout(network)
+        self.num_clusters = num_clusters
+        self.functions = functions or FunctionRegistry()
+        if partitioning is None:
+            capacity = (
+                node_capacity_per_cluster
+                if node_capacity_per_cluster is not None
+                else max(1, self.network.num_nodes)
+            )
+            partitioning = make_partition(
+                self.network, num_clusters, partition_policy, capacity
+            )
+        self.partitioning = partitioning
+        self.clusters: List[ClusterTables] = build_tables(
+            self.network, partitioning
+        )
+        #: global node id -> (cluster, local id); maintained through
+        #: runtime node creation.
+        self.addr: Dict[int, Tuple[int, int]] = {}
+        for tables in self.clusters:
+            for gid, lid in tables.to_local.items():
+                self.addr[gid] = (tables.cluster_id, lid)
+        #: Reclaimed node slots awaiting reuse (controller GC, §III-C).
+        self._free_nodes: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def resolve(self, ref) -> int:
+        """Resolve a node operand to a global id."""
+        return self.network.resolve(ref)
+
+    def address(self, ref) -> Tuple[int, int]:
+        """(cluster, local) address of a node operand.
+
+        Raises :class:`ExecutionError` for nodes the machine does not
+        host — typically a symptom of mutating the network object
+        directly instead of through CREATE/MARKER-CREATE instructions.
+        """
+        gid = self.resolve(ref)
+        try:
+            return self.addr[gid]
+        except KeyError:
+            raise ExecutionError(
+                f"node {self.network.node(gid).name!r} (id {gid}) is not "
+                f"loaded into the machine tables; create nodes through "
+                f"CREATE/MARKER-CREATE instructions, not by mutating the "
+                f"network directly"
+            ) from None
+
+    def node_name(self, gid: int) -> str:
+        """Name of a node by global id."""
+        return self.network.node(gid).name
+
+    def compile_rule(self, rule: PropagationRule) -> CompiledRule:
+        """Translate a rule's relation names into relation ids.
+
+        Relations absent from the knowledge base compile to no
+        transitions (a marker simply cannot move along them).
+        """
+        compiled: CompiledRule = {}
+        for state in rule.table:
+            moves = []
+            for rel_name, nxt in rule.moves(state):
+                rid = self.network.relations.get(rel_name)
+                if rid is not None:
+                    moves.append((rid, nxt))
+            compiled[state] = tuple(moves)
+        return compiled
+
+    def _least_loaded_cluster(self) -> int:
+        sizes = [t.num_nodes for t in self.clusters]
+        return sizes.index(min(sizes))
+
+    def _create_node(self, name: str, color: int) -> int:
+        """Create a node at runtime, reusing a reclaimed slot if any."""
+        if self._free_nodes:
+            gid = self._free_nodes.pop()
+            self.network.rename_node(gid, name)
+            self.network.set_color(gid, color)
+            cid, lid = self.addr[gid]
+            self.clusters[cid].node_table.color[lid] = color
+            return gid
+        node = self.network.add_node(name, color)
+        cid = self._least_loaded_cluster()
+        lid = self.clusters[cid].add_node(node.node_id, color)
+        self.addr[node.node_id] = (cid, lid)
+        return node.node_id
+
+    def garbage_collect(self) -> int:
+        """Reclaim orphaned result nodes (§III-C housekeeping).
+
+        The controller performs *"node management and garbage
+        collection"* when the pipeline is empty.  A runtime-created
+        result node whose bindings have all been MARKER-DELETEd is
+        unreachable; its markers are wiped and its physical slot is
+        queued for reuse by the next CREATE/MARKER-CREATE.
+        """
+        from ..isa.instructions import NUM_MARKERS
+
+        freed = 0
+        free_set = set(self._free_nodes)
+        for node in list(self.network.nodes()):
+            gid = node.node_id
+            if (
+                node.color != Color.RESULT
+                or gid in free_set
+                or self.network.fanout(gid) > 0
+                or self.network.in_degree(gid) > 0
+            ):
+                continue
+            cid, lid = self.addr[gid]
+            tables = self.clusters[cid]
+            for marker in range(NUM_MARKERS):
+                tables.status.clear(marker, lid)
+                tables.node_table.clear_value(lid, marker)
+            self.network.rename_node(gid, f"__free__:{gid}")
+            self._free_nodes.append(gid)
+            freed += 1
+        return freed
+
+    @property
+    def free_node_slots(self) -> int:
+        """Reclaimed slots currently awaiting reuse."""
+        return len(self._free_nodes)
+
+    def ensure_node(self, ref, color: int = Color.RESULT) -> int:
+        """Resolve a node operand, creating it (by name) if missing."""
+        if isinstance(ref, str) and ref not in self.network:
+            return self._create_node(ref, color)
+        return self.resolve(ref)
+
+    def add_link_runtime(
+        self, source_gid: int, relation: str, dest_gid: int, weight: float
+    ) -> WorkReport:
+        """Install a link in both the logical network and the tables."""
+        link = self.network.add_link(source_gid, relation, dest_gid, weight)
+        src_c, src_l = self.addr[source_gid]
+        dst_c, dst_l = self.addr[dest_gid]
+        self.clusters[src_c].relations.add(
+            src_l,
+            RelationEntry(link.relation, dst_c, dst_l, dest_gid, weight),
+        )
+        return WorkReport(links_made=1)
+
+    def remove_link_runtime(
+        self, source_gid: int, relation: str, dest_gid: int
+    ) -> WorkReport:
+        """Remove a link from the network and tables (if present)."""
+        removed = self.network.remove_link(source_gid, relation, dest_gid)
+        rid = self.network.relations.get(relation)
+        if removed and rid is not None:
+            src_c, src_l = self.addr[source_gid]
+            self.clusters[src_c].relations.remove(src_l, rid, dest_gid)
+        return WorkReport(slots=1, links_made=1 if removed else 0)
+
+    # ------------------------------------------------------------------
+    # Node maintenance (controller-initiated, global)
+    # ------------------------------------------------------------------
+    def create(self, instr: Create) -> WorkReport:
+        """CREATE: load one link, creating endpoints as needed."""
+        src = self.ensure_node(instr.source, Color.GENERIC)
+        dst = self.ensure_node(instr.end, Color.GENERIC)
+        return self.add_link_runtime(src, instr.relation, dst, instr.weight)
+
+    def delete(self, instr: Delete) -> WorkReport:
+        """DELETE: remove one knowledge-base link."""
+        src = self.resolve(instr.source)
+        dst = self.resolve(instr.end)
+        return self.remove_link_runtime(src, instr.relation, dst)
+
+    def set_color(self, instr: SetColor) -> WorkReport:
+        """SET-COLOR: retag a node's color in network and tables."""
+        gid = self.resolve(instr.node)
+        self.network.set_color(gid, instr.color)
+        cid, lid = self.addr[gid]
+        self.clusters[cid].node_table.color[lid] = instr.color
+        return WorkReport(nodes=1)
+
+    # ------------------------------------------------------------------
+    # Search (configuration phase)
+    # ------------------------------------------------------------------
+    def search_node(self, cid: int, instr: SearchNode) -> WorkReport:
+        """Set a marker at a named node if it lives on this cluster."""
+        gid = self.resolve(instr.node)
+        home, lid = self.address(gid)
+        if home != cid:
+            return WorkReport(nodes=1)  # each PE checks its name table
+        tables = self.clusters[cid]
+        tables.status.set(instr.marker, lid)
+        tables.node_table.set_value(lid, instr.marker, instr.value, gid)
+        return WorkReport(nodes=1, sets=1, fp_ops=1)
+
+    def search_relation(self, cid: int, instr: SearchRelation) -> WorkReport:
+        """Mark every local node with an outgoing link of the relation."""
+        tables = self.clusters[cid]
+        rid = self.network.relations.get(instr.relation)
+        work = WorkReport()
+        if rid is None:
+            return work
+        for lid in range(tables.num_nodes):
+            entries, scanned = tables.relations.links_of(lid)
+            work.slots += scanned
+            if any(e.relation == rid for e in entries):
+                tables.status.set(instr.marker, lid)
+                gid = tables.to_global[lid]
+                tables.node_table.set_value(lid, instr.marker, instr.value, gid)
+                work.sets += 1
+                work.fp_ops += 1
+        work.nodes += tables.num_nodes
+        return work
+
+    def search_color(self, cid: int, instr: SearchColor) -> WorkReport:
+        """Mark every local node of the given color."""
+        tables = self.clusters[cid]
+        work = WorkReport(nodes=tables.num_nodes)
+        for lid in range(tables.num_nodes):
+            if tables.node_table.color[lid] == instr.color:
+                tables.status.set(instr.marker, lid)
+                gid = tables.to_global[lid]
+                tables.node_table.set_value(lid, instr.marker, instr.value, gid)
+                work.sets += 1
+                work.fp_ops += 1
+        return work
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def make_context(self, instr: Propagate, level: int = 0) -> PropagationContext:
+        """Prepare the shared bookkeeping for one PROPAGATE."""
+        hop = self.functions.hop(instr.function)
+        return PropagationContext(
+            instr=instr,
+            rule=instr.rule,
+            compiled=self.compile_rule(instr.rule),
+            hop_name=hop.name,
+            level=level,
+        )
+
+    def seeds(
+        self, ctx: PropagationContext, cid: int
+    ) -> Tuple[List[Arrival], WorkReport]:
+        """Scan a cluster's status table for source-marker nodes.
+
+        Returns pseudo-arrivals at the origin nodes themselves (state =
+        rule initial, marker2 not set at origins) that the executor
+        expands.
+        """
+        tables = self.clusters[cid]
+        instr = ctx.instr
+        work = WorkReport(words=tables.status.num_words)
+        out: List[Arrival] = []
+        for lid in tables.status.nodes_with(instr.marker1):
+            gid = tables.to_global[lid]
+            value = tables.node_table.get_value(lid, instr.marker1)
+            out.append(
+                Arrival(
+                    cluster=cid,
+                    local=lid,
+                    state=ctx.rule.initial_state,
+                    value=value,
+                    origin=gid,
+                    level=ctx.level,
+                    hops=0,
+                )
+            )
+            work.nodes += 1
+        ctx.alpha += len(out)
+        return out, work
+
+    def expand(
+        self, ctx: PropagationContext, arrival: Arrival
+    ) -> Tuple[List[Arrival], List[ActivationMessage], WorkReport]:
+        """Expand propagation from a node: scan links, emit deliveries.
+
+        Local destinations come back as :class:`Arrival`; destinations
+        on other clusters come back as :class:`ActivationMessage` for
+        the CU/ICN to transport.
+        """
+        work = WorkReport()
+        key = (arrival.cluster, arrival.local, arrival.state)
+        count = ctx.expansions.get(key, 0)
+        if count >= ctx.max_expansions:
+            return [], [], work
+        ctx.expansions[key] = count + 1
+        ctx.expanded[key] = arrival.value
+
+        moves = ctx.compiled.get(arrival.state, ())
+        if not moves:
+            return [], [], work
+
+        hop = self.functions.hop(ctx.instr.function)
+        tables = self.clusters[arrival.cluster]
+        entries, scanned = tables.relations.links_of(arrival.local)
+        work.slots += scanned
+
+        local_out: List[Arrival] = []
+        remote_out: List[ActivationMessage] = []
+        for entry in entries:
+            for rid, next_state in moves:
+                if entry.relation != rid:
+                    continue
+                new_value = hop.apply(arrival.value, entry.weight)
+                work.fp_ops += 1
+                if not hop.alive(new_value):
+                    continue
+                if entry.dest_cluster == arrival.cluster:
+                    local_out.append(
+                        Arrival(
+                            cluster=entry.dest_cluster,
+                            local=entry.dest_local,
+                            state=next_state,
+                            value=new_value,
+                            origin=arrival.origin,
+                            level=arrival.level,
+                            hops=arrival.hops + 1,
+                        )
+                    )
+                else:
+                    work.messages += 1
+                    ctx.remote_messages += 1
+                    remote_out.append(
+                        ActivationMessage(
+                            marker=ctx.instr.marker2,
+                            value=new_value,
+                            function=0,
+                            rule=ctx.rule,
+                            state=next_state,
+                            dest_cluster=entry.dest_cluster,
+                            dest_local=entry.dest_local,
+                            origin=arrival.origin,
+                            level=arrival.level,
+                            hops=arrival.hops + 1,
+                        )
+                    )
+        return local_out, remote_out, work
+
+    def deliver(
+        self, ctx: PropagationContext, arrival: Arrival
+    ) -> Tuple[bool, WorkReport]:
+        """Set marker-2 at the destination; decide whether to re-expand.
+
+        Returns (should_expand, work).  Expansion happens on first
+        arrival at a (node, rule-state), or when a strictly smaller
+        complex-marker value arrives (min-cost fixpoint semantics).
+        """
+        instr = ctx.instr
+        tables = self.clusters[arrival.cluster]
+        work = WorkReport(nodes=1)
+        ctx.total_arrivals += 1
+        ctx.max_hops = max(ctx.max_hops, arrival.hops)
+
+        was_clear = tables.status.set(instr.marker2, arrival.local)
+        work.sets += 1
+        if is_complex(instr.marker2):
+            current = tables.node_table.get_value(arrival.local, instr.marker2)
+            if was_clear or arrival.value < current:
+                tables.node_table.set_value(
+                    arrival.local, instr.marker2, arrival.value, arrival.origin
+                )
+                work.fp_ops += 1
+
+        key = (arrival.cluster, arrival.local, arrival.state)
+        if key not in ctx.expanded:
+            return True, work
+        if is_complex(instr.marker2) and arrival.value < ctx.expanded[key]:
+            return True, work
+        return False, work
+
+    def message_to_arrival(self, msg: ActivationMessage) -> Arrival:
+        """Convert a transported activation message back to a delivery."""
+        return Arrival(
+            cluster=msg.dest_cluster,
+            local=msg.dest_local,
+            state=msg.state,
+            value=msg.value,
+            origin=msg.origin,
+            level=msg.level,
+            hops=msg.hops,
+            remote=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Boolean operations (word-wise over the status table)
+    # ------------------------------------------------------------------
+    def and_marker(self, cid: int, instr: AndMarker) -> WorkReport:
+        """AND-MARKER over this cluster's status table."""
+        tables = self.clusters[cid]
+        snapshot = self._source_sets(cid, instr)
+        words = tables.status.and_rows(instr.marker1, instr.marker2,
+                                       instr.marker3)
+        return self._combine_values(cid, instr, snapshot).merge(
+            WorkReport(words=words)
+        )
+
+    def or_marker(self, cid: int, instr: OrMarker) -> WorkReport:
+        """OR-MARKER over this cluster's status table."""
+        tables = self.clusters[cid]
+        snapshot = self._source_sets(cid, instr)
+        words = tables.status.or_rows(instr.marker1, instr.marker2,
+                                      instr.marker3)
+        return self._combine_values(cid, instr, snapshot).merge(
+            WorkReport(words=words)
+        )
+
+    def _source_sets(self, cid: int, instr) -> Tuple[set, set]:
+        """Set-status of both source markers *before* marker-3 is
+        written (marker-3 may alias a source)."""
+        if not is_complex(instr.marker3):
+            return set(), set()
+        tables = self.clusters[cid]
+        return (
+            set(tables.status.nodes_with(instr.marker1)),
+            set(tables.status.nodes_with(instr.marker2)),
+        )
+
+    def _combine_values(
+        self,
+        cid: int,
+        instr: Union[AndMarker, OrMarker],
+        snapshot: Tuple[set, set],
+    ) -> WorkReport:
+        """Merge source values into marker-3 where it is now set.
+
+        For AND-MARKER both sources are set wherever marker-3 is, so
+        the combine function always applies.  For OR-MARKER a node may
+        carry only one of the sources; the combine function applies
+        only where both were set, otherwise the present source's value
+        is taken unchanged (an unset marker has no value to merge).
+        """
+        work = WorkReport()
+        if not is_complex(instr.marker3):
+            return work
+        tables = self.clusters[cid]
+        combine = self.functions.combine(instr.function)
+        is_or = isinstance(instr, OrMarker)
+        m1_set, m2_set = snapshot
+        for lid in tables.status.nodes_with(instr.marker3):
+            v1 = tables.node_table.get_value(lid, instr.marker1)
+            v2 = tables.node_table.get_value(lid, instr.marker2)
+            origin = tables.node_table.get_origin(lid, instr.marker1)
+            if origin < 0:
+                origin = tables.node_table.get_origin(lid, instr.marker2)
+            if is_or and lid not in m1_set:
+                value = v2
+            elif is_or and lid not in m2_set:
+                value = v1
+            else:
+                value = combine.combine(v1, v2)
+            tables.node_table.set_value(lid, instr.marker3, value, origin)
+            work.fp_ops += 1
+        return work
+
+    def not_marker(self, cid: int, instr: NotMarker) -> WorkReport:
+        """m2 := nodes where m1 is clear or fails the condition."""
+        tables = self.clusters[cid]
+        work = WorkReport()
+        work.words += tables.status.not_row(instr.marker1, instr.marker2)
+        if instr.condition != "always":
+            cond = condition(instr.condition)
+            for lid in tables.status.nodes_with(instr.marker1):
+                v1 = tables.node_table.get_value(lid, instr.marker1)
+                work.fp_ops += 1
+                if not cond(v1, instr.value):
+                    tables.status.set(instr.marker2, lid)
+                    work.sets += 1
+        return work
+
+    # ------------------------------------------------------------------
+    # Set/clear
+    # ------------------------------------------------------------------
+    def set_marker(self, cid: int, instr: SetMarker) -> WorkReport:
+        """SET-MARKER: set at every local node."""
+        tables = self.clusters[cid]
+        tables.status.set_all(instr.marker)
+        work = WorkReport(words=tables.status.num_words)
+        if is_complex(instr.marker):
+            tables.node_table.value[:, instr.marker] = instr.value
+            tables.node_table.origin[:, instr.marker] = -1
+            work.fp_ops += tables.num_nodes
+        return work
+
+    def clear_marker(self, cid: int, instr: ClearMarker) -> WorkReport:
+        """CLEAR-MARKER: clear at every local node."""
+        tables = self.clusters[cid]
+        tables.status.clear_all(instr.marker)
+        work = WorkReport(words=tables.status.num_words)
+        if is_complex(instr.marker):
+            tables.node_table.value[:, instr.marker] = 0.0
+            tables.node_table.origin[:, instr.marker] = -1
+        return work
+
+    def func_marker(self, cid: int, instr: FuncMarker) -> WorkReport:
+        """FUNC-MARKER: rewrite values where set."""
+        tables = self.clusters[cid]
+        work = WorkReport(words=tables.status.num_words)
+        if not is_complex(instr.marker):
+            return work
+        unary = self.functions.unary(instr.function)
+        for lid in tables.status.nodes_with(instr.marker):
+            value = tables.node_table.get_value(lid, instr.marker)
+            origin = tables.node_table.get_origin(lid, instr.marker)
+            tables.node_table.set_value(lid, instr.marker,
+                                        unary.apply(value), origin)
+            work.fp_ops += 1
+        return work
+
+    # ------------------------------------------------------------------
+    # Marker node maintenance (binding)
+    # ------------------------------------------------------------------
+    def marker_create(self, cid: int, instr: MarkerCreate) -> WorkReport:
+        """Bind each locally marked node to the end node."""
+        end_gid = self.ensure_node(instr.end)
+        tables = self.clusters[cid]
+        work = WorkReport(words=tables.status.num_words)
+        for lid in tables.status.nodes_with(instr.marker):
+            gid = tables.to_global[lid]
+            work.merge(self.add_link_runtime(gid, instr.forward, end_gid, 0.0))
+            if instr.reverse:
+                work.merge(
+                    self.add_link_runtime(end_gid, instr.reverse, gid, 0.0)
+                )
+            work.nodes += 1
+        return work
+
+    def marker_delete(self, cid: int, instr: MarkerDelete) -> WorkReport:
+        """Unbind each locally marked node from the end node."""
+        end_gid = self.resolve(instr.end)
+        tables = self.clusters[cid]
+        work = WorkReport(words=tables.status.num_words)
+        for lid in tables.status.nodes_with(instr.marker):
+            gid = tables.to_global[lid]
+            work.merge(self.remove_link_runtime(gid, instr.forward, end_gid))
+            if instr.reverse:
+                work.merge(
+                    self.remove_link_runtime(end_gid, instr.reverse, gid)
+                )
+            work.nodes += 1
+        return work
+
+    def marker_set_color(self, cid: int, instr: MarkerSetColor) -> WorkReport:
+        """Recolor every locally marked node."""
+        tables = self.clusters[cid]
+        work = WorkReport(words=tables.status.num_words)
+        for lid in tables.status.nodes_with(instr.marker):
+            tables.node_table.color[lid] = instr.color
+            gid = tables.to_global[lid]
+            self.network.set_color(gid, instr.color)
+            work.nodes += 1
+        return work
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def collect_node(
+        self, cid: int, instr: CollectNode
+    ) -> Tuple[List[Tuple[int, str]], WorkReport]:
+        """Collect (gid, name) for locally marked nodes."""
+        tables = self.clusters[cid]
+        work = WorkReport(words=tables.status.num_words)
+        out = []
+        for lid in tables.status.nodes_with(instr.marker):
+            gid = tables.to_global[lid]
+            out.append((gid, self.node_name(gid)))
+            work.nodes += 1
+        return out, work
+
+    def collect_marker(
+        self, cid: int, instr: CollectMarker
+    ) -> Tuple[List[Tuple[int, float, int]], WorkReport]:
+        """Collect (gid, value, origin) for locally marked nodes."""
+        tables = self.clusters[cid]
+        work = WorkReport(words=tables.status.num_words)
+        out = []
+        for lid in tables.status.nodes_with(instr.marker):
+            gid = tables.to_global[lid]
+            out.append(
+                (
+                    gid,
+                    tables.node_table.get_value(lid, instr.marker),
+                    tables.node_table.get_origin(lid, instr.marker),
+                )
+            )
+            work.nodes += 1
+        return out, work
+
+    def collect_relation(
+        self, cid: int, instr: CollectRelation
+    ) -> Tuple[List[Tuple[int, str, int, float]], WorkReport]:
+        """Collect matching links leaving locally marked nodes."""
+        tables = self.clusters[cid]
+        rid = self.network.relations.get(instr.relation)
+        work = WorkReport(words=tables.status.num_words)
+        out = []
+        if rid is None:
+            return out, work
+        for lid in tables.status.nodes_with(instr.marker):
+            gid = tables.to_global[lid]
+            entries, scanned = tables.relations.links_of(lid)
+            work.slots += scanned
+            for entry in entries:
+                if entry.relation == rid:
+                    out.append(
+                        (gid, instr.relation, entry.dest_global, entry.weight)
+                    )
+            work.nodes += 1
+        return out, work
+
+    def collect_color(
+        self, cid: int, instr: CollectColor
+    ) -> Tuple[List[Tuple[int, int]], WorkReport]:
+        """Collect (gid, color) for locally marked nodes."""
+        tables = self.clusters[cid]
+        work = WorkReport(words=tables.status.num_words)
+        out = []
+        for lid in tables.status.nodes_with(instr.marker):
+            gid = tables.to_global[lid]
+            out.append((gid, int(tables.node_table.color[lid])))
+            work.nodes += 1
+        return out, work
+
+    # ------------------------------------------------------------------
+    # Whole-state queries (tests / applications)
+    # ------------------------------------------------------------------
+    def marker_set_nodes(self, marker: int) -> List[int]:
+        """Global ids of all nodes where ``marker`` is set."""
+        out: List[int] = []
+        for tables in self.clusters:
+            out.extend(
+                tables.to_global[lid]
+                for lid in tables.status.nodes_with(marker)
+            )
+        return sorted(out)
+
+    def marker_value(self, marker: int, node_ref) -> float:
+        """Value of a complex marker at one node."""
+        cid, lid = self.address(node_ref)
+        return self.clusters[cid].node_table.get_value(lid, marker)
+
+    def marker_test(self, marker: int, node_ref) -> bool:
+        """Whether a marker is set at one node."""
+        cid, lid = self.address(node_ref)
+        return self.clusters[cid].status.test(marker, lid)
+
+    def status_snapshot(self) -> Dict[int, "object"]:
+        """Per-cluster status-table snapshots (equivalence testing)."""
+        return {
+            t.cluster_id: t.status.snapshot() for t in self.clusters
+        }

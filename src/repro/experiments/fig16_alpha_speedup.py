@@ -1,0 +1,107 @@
+"""Fig. 16 — processor speedup under α-parallelism.
+
+*"Fig. 16 shows that to obtain speedup of 20-fold, α-parallelism on
+the order of 100 source activations was required.  For α = 1000,
+nearly linear speedup was obtained up to the full processor
+configuration.  Thus for typical values of α, namely 128 ≤ α ≤ 512,
+speedup ranges from 18-fold to 33-fold in a 72 processor
+configuration."*
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.speedup import SpeedupCurve, SweepPoint, format_speedup_table
+from ..baselines.serial import SerialMachine
+from ..machine import MachineConfig, SnapMachine, processor_sweep, snap1_16cluster
+from .common import ExperimentResult, experiment, timed
+from .workloads import make_alpha_workload
+
+
+def _time_on(config: MachineConfig, alpha: int, path_length: int) -> float:
+    from dataclasses import replace
+
+    # Locality-preserving (semantic) allocation keeps each propagation
+    # chain cluster-local, as the paper's KB mapping does (SS II-A).
+    config = replace(config, partition_policy="semantic")
+    workload = make_alpha_workload(alpha, path_length)
+    machine = SnapMachine(workload.network, config)
+    return machine.run(workload.program).total_time_us
+
+
+def _serial_time(alpha: int, path_length: int) -> float:
+    """True single-PE reference (no PU/CU pipeline assistance)."""
+    workload = make_alpha_workload(alpha, path_length)
+    return SerialMachine(workload.network).run(workload.program).total_time_us
+
+
+@experiment("fig16")
+def run(fast: bool = True) -> ExperimentResult:
+    """Sweep processors for α ∈ {10, 100, 1000}."""
+
+    def body() -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id="fig16",
+            title="Speedup vs number of processors for varying "
+                  "alpha-parallelism",
+            paper_claim="~20x speedup needs alpha~100; alpha=1000 nearly "
+                        "linear to 72 PEs; alpha in [128,512] gives "
+                        "18x-33x at 72 PEs",
+        )
+        path_length = 10
+        alphas = [10, 100, 1000]
+        configs = processor_sweep()
+        if fast:
+            configs = [c for c in configs if c.total_pes in
+                       (3, 5, 10, 20, 40, 72)]
+        curves: List[SpeedupCurve] = []
+        for alpha in alphas:
+            curve = SpeedupCurve(label=f"alpha={alpha}")
+            # Reference point: one processor (the serial machine).
+            curve.add(
+                SweepPoint(
+                    processors=1,
+                    clusters=0,
+                    time_us=_serial_time(alpha, path_length),
+                )
+            )
+            for config in configs:
+                time_us = _time_on(config, alpha, path_length)
+                curve.add(
+                    SweepPoint(
+                        processors=config.total_pes,
+                        clusters=config.num_clusters,
+                        time_us=time_us,
+                    )
+                )
+            curves.append(curve)
+        result.add_table(format_speedup_table(curves))
+
+        # Typical-α band at the full 72-PE configuration.
+        result.add()
+        band: Dict[int, float] = {}
+        config72 = snap1_16cluster()
+        for alpha in (128, 512):
+            t72 = _time_on(config72, alpha, path_length)
+            tbase = _serial_time(alpha, path_length)
+            band[alpha] = tbase / t72
+            result.add(
+                f"alpha={alpha}: speedup at 72 PEs = {band[alpha]:.1f}x"
+            )
+        result.add(
+            f"typical-alpha band at 72 PEs: "
+            f"{min(band.values()):.1f}x .. {max(band.values()):.1f}x "
+            f"(paper: 18x .. 33x)"
+        )
+        result.data = {
+            "curves": {c.label: c.speedups() for c in curves},
+            "band_72pe": band,
+        }
+        return result
+
+    return timed(body)
+
+
+if __name__ == "__main__":
+    print(run(fast=True).render())

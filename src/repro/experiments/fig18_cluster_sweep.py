@@ -1,0 +1,83 @@
+"""Fig. 18 — per-class execution time vs number of clusters.
+
+*"Propagation time was reduced by nearly an order of magnitude by
+increasing the number of clusters from 1 to 16.  Even though some
+instructions took slightly longer as the number of PE's was increased,
+they contributed only second-order effects."*
+
+Time per class here is summed instruction *latency* (issue→complete),
+the quantity that shrinks as each instruction's work spreads over more
+marker units.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.profiles import CATEGORY_ORDER, category_latency
+from ..apps.nlu import MemoryBasedParser, build_domain_kb, sentences
+from ..machine import SnapMachine, cluster_sweep
+from .common import ExperimentResult, experiment, nlu_config, timed
+
+
+@experiment("fig18")
+def run(fast: bool = True) -> ExperimentResult:
+    """Parse the same sentence at 1..16 clusters; split time by class."""
+
+    def body() -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id="fig18",
+            title="Execution time per instruction class vs number of "
+                  "clusters (NLU parse)",
+            paper_claim="propagation time drops ~an order of magnitude "
+                        "from 1 to 16 clusters; other classes change "
+                        "only second-order",
+        )
+        kb_nodes = 4000 if fast else 9000
+        sentence = sentences()[1]
+        rows: List[Dict] = []
+        categories = list(CATEGORY_ORDER)
+        header = f"{'clusters':>8}" + "".join(
+            f"{c[:10]:>12}" for c in categories
+        ) + f"{'parse ms':>10}"
+        result.add(header + "   (per-class latency, ms)")
+        for config in cluster_sweep():
+            kb = build_domain_kb(total_nodes=kb_nodes)
+            machine = SnapMachine(kb.network, nlu_config(config))
+            parser = MemoryBasedParser(machine, kb, keep_trace=True)
+            parse = parser.parse(sentence)
+            latency = category_latency(
+                report for _program, report in parser.trace_log
+            )
+            rows.append(
+                {
+                    "clusters": config.num_clusters,
+                    "latency_us": latency,
+                    "parse_ms": parse.mb_time_us / 1e3,
+                }
+            )
+            result.add(
+                f"{config.num_clusters:>8}"
+                + "".join(
+                    f"{latency.get(c, 0.0) / 1e3:>12.3f}"
+                    for c in categories
+                )
+                + f"{parse.mb_time_us / 1e3:>10.3f}"
+            )
+        prop_first = rows[0]["latency_us"].get("propagate", 0.0)
+        prop_last = rows[-1]["latency_us"].get("propagate", 0.0)
+        result.add()
+        if prop_last > 0:
+            result.add(
+                f"propagation latency 1 -> {rows[-1]['clusters']} clusters: "
+                f"x{prop_first / prop_last:.1f} reduction "
+                f"(paper: ~order of magnitude)"
+            )
+        result.data = {"rows": rows}
+        return result
+
+    return timed(body)
+
+
+if __name__ == "__main__":
+    print(run(fast=True).render())

@@ -1,0 +1,77 @@
+"""Fig. 21 — components of parallel overhead vs machine size.
+
+*"Due to the global bus, the broadcast overhead is small and constant.
+The overhead for message communication grows slowly, proportional to
+log N for an array of N clusters.  The barrier synchronization
+overhead is proportional to the number of processors, but the
+dependency is small ...  The most expensive operation is COLLECT-NODE
+which is proportional to the number of clusters used."*
+"""
+
+from __future__ import annotations
+
+from ..analysis.overhead import OverheadSweep, format_overhead_table
+from ..machine import SnapMachine, cluster_sweep
+from .common import ExperimentResult, experiment, timed
+from .workloads import make_alpha_workload
+
+
+@experiment("fig21")
+def run(fast: bool = True) -> ExperimentResult:
+    """Fixed workload across 1..16 clusters; split overhead by source."""
+
+    def body() -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id="fig21",
+            title="Parallel overhead components vs number of clusters",
+            paper_claim="broadcast constant; communication ~ log N; "
+                        "synchronization ~ processors (small slope); "
+                        "collection ~ clusters and dominant",
+        )
+        alpha = 32 if fast else 64
+        sweep = OverheadSweep()
+        for config in cluster_sweep():
+            workload = make_alpha_workload(
+                alpha, path_length=8, collect=True
+            )
+            machine = SnapMachine(workload.network, config)
+            report = machine.run(workload.program)
+            sweep.add(
+                config.num_clusters, config.total_pes, report.overheads
+            )
+        result.add_table(format_overhead_table(sweep))
+        result.add()
+        result.add(
+            f"broadcast roughly constant: "
+            f"{sweep.is_roughly_constant('broadcast')}"
+        )
+        result.add(
+            f"communication sublinear in clusters (hypercube log N): "
+            f"{sweep.is_sublinear('communication')}"
+        )
+        result.add(
+            f"synchronization grows with PEs, small slope: growth "
+            f"x{sweep.growth_ratio('synchronization'):.2f} over "
+            f"x{sweep.rows[-1][0] / sweep.rows[0][0]:.0f} clusters"
+        )
+        result.add(
+            f"dominant overhead at 16 clusters: "
+            f"{sweep.dominant_component()} (paper: collection)"
+        )
+        result.data = {
+            "rows": [
+                {
+                    "clusters": clusters,
+                    "pes": pes,
+                    **breakdown.as_dict(),
+                }
+                for clusters, pes, breakdown in sweep.rows
+            ]
+        }
+        return result
+
+    return timed(body)
+
+
+if __name__ == "__main__":
+    print(run(fast=True).render())

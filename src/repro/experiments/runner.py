@@ -1,0 +1,83 @@
+"""Run every regenerated table/figure and print/save the results.
+
+Usage::
+
+    python -m repro.experiments.runner            # fast mode, all
+    python -m repro.experiments.runner --full     # paper-scale sizes
+    python -m repro.experiments.runner fig16 fig21  # selected only
+    python -m repro.experiments.runner --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+# Importing the modules populates the registry.
+from . import (  # noqa: F401
+    fig06_instruction_profile,
+    fig08_marker_traffic,
+    fig15_inheritance,
+    fig16_alpha_speedup,
+    fig17_beta_speedup,
+    fig18_cluster_sweep,
+    fig19_kb_sweep,
+    fig20_propagation_counts,
+    fig21_overheads,
+    scaling_projection,
+    speech_robustness,
+    table04_parse_times,
+    textstats_parallelism,
+)
+from .common import REGISTRY, ExperimentResult
+
+#: Paper order.
+DEFAULT_ORDER = (
+    "fig06", "fig08", "table04", "fig15", "fig16", "fig17",
+    "fig18", "fig19", "fig20", "fig21", "textstats", "scaling",
+    "speech",
+)
+
+
+def run_experiments(
+    ids: Optional[Sequence[str]] = None, fast: bool = True
+) -> List[ExperimentResult]:
+    """Run the selected experiments (all, in paper order, by default)."""
+    selected = list(ids) if ids else list(DEFAULT_ORDER)
+    results = []
+    for experiment_id in selected:
+        if experiment_id not in REGISTRY:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; "
+                f"available: {sorted(REGISTRY)}"
+            )
+        results.append(REGISTRY[experiment_id](fast=fast))
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments", nargs="*",
+        help=f"experiment ids to run (default: all of {DEFAULT_ORDER})",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale knowledge bases (slower)",
+    )
+    parser.add_argument("--out", help="also write results to this file")
+    args = parser.parse_args(argv)
+
+    results = run_experiments(args.experiments or None, fast=not args.full)
+    text = "\n\n".join(r.render() for r in results)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

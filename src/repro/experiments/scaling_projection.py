@@ -1,0 +1,132 @@
+"""Extension study — toward the one-million-concept machine.
+
+Not a figure in the paper, but its stated trajectory: SNAP-1 *"provides
+a testbed for an architecture which is being designed to handle a
+one-million concept knowledge base"* (§I-A).  This study measures how
+inheritance-style inferencing scales on the simulated prototype as the
+knowledge base grows toward the 32 K-node capacity, fits the scaling
+law, and projects the cluster count a 1M-concept machine needs to keep
+the paper's real-time budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps.inheritance import inheritance_program
+from ..machine import MachineConfig, SnapMachine
+from ..network.generator import generate_hierarchy_kb
+from .common import ExperimentResult, experiment, fmt_us, timed
+
+
+@experiment("scaling")
+def run(fast: bool = True) -> ExperimentResult:
+    """KB-size and cluster-count scaling of a fixed inference."""
+
+    def body() -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id="scaling",
+            title="EXTENSION: scaling toward the 1M-concept machine",
+            paper_claim="(not a paper figure) SNAP-1 is 'a testbed for "
+                        "an architecture being designed to handle a "
+                        "one-million concept knowledge base' (SS I-A)",
+        )
+        sizes = [2000, 8000, 24000] if fast else [2000, 8000, 32000]
+        clusters_list = [16, 32] if fast else [16, 32, 64]
+        properties = 2
+
+        # --- KB scaling at fixed machine, split by bottleneck -----------
+        result.add("KB scaling on the 32-cluster prototype "
+                   "(2-attribute inheritance + retrieval):")
+        result.add(
+            f"{'nodes':>8}{'total':>12}{'collection':>12}"
+            f"{'propagation+':>13}"
+        )
+        rows: List[Dict] = []
+        for size in sizes:
+            machine = SnapMachine(
+                generate_hierarchy_kb(size),
+                MachineConfig(num_clusters=32, mus_per_cluster=(3, 2)),
+            )
+            report = machine.run(
+                inheritance_program(num_properties=properties)
+            )
+            collect_us = report.overheads.collection
+            compute_us = report.total_time_us - collect_us
+            rows.append(
+                {"nodes": size, "time_us": report.total_time_us,
+                 "collect_us": collect_us, "compute_us": compute_us}
+            )
+            result.add(
+                f"{size:>8}{fmt_us(report.total_time_us):>12}"
+                f"{fmt_us(collect_us):>12}{fmt_us(compute_us):>13}"
+            )
+
+        # --- cluster scaling at fixed KB --------------------------------
+        kb_size = sizes[-1]
+        result.add("")
+        result.add(f"cluster scaling at {kb_size} nodes:")
+        result.add(f"{'clusters':>9}{'PEs':>6}{'total':>12}"
+                   f"{'non-collect':>12}")
+        cluster_rows: List[Dict] = []
+        for clusters in clusters_list:
+            machine = SnapMachine(
+                generate_hierarchy_kb(kb_size),
+                MachineConfig(num_clusters=clusters,
+                              mus_per_cluster=(3, 2)),
+            )
+            report = machine.run(
+                inheritance_program(num_properties=properties)
+            )
+            non_collect = (
+                report.total_time_us - report.overheads.collection
+            )
+            cluster_rows.append(
+                {"clusters": clusters, "time_us": report.total_time_us,
+                 "non_collect_us": non_collect}
+            )
+            result.add(
+                f"{clusters:>9}{machine.total_pes:>6}"
+                f"{fmt_us(report.total_time_us):>12}"
+                f"{fmt_us(non_collect):>12}"
+            )
+
+        # --- projection -------------------------------------------------
+        target_nodes = 1_000_000
+        budget_us = 1e6  # the paper's real-time second
+        compute_per_node = rows[-1]["compute_us"] / rows[-1]["nodes"]
+        collect_per_node = rows[-1]["collect_us"] / rows[-1]["nodes"]
+        compute_at_target = compute_per_node * target_nodes
+        collect_at_target = collect_per_node * target_nodes
+        # Propagation work divides across clusters (1K nodes each).
+        clusters_for_compute = max(
+            32, int(32 * compute_at_target / budget_us)
+        )
+        result.add("")
+        result.add(
+            f"1M-concept projection: propagation work "
+            f"{fmt_us(compute_at_target)} at 32 clusters -> "
+            f"~{clusters_for_compute} clusters keep inference under "
+            f"1 s; but retrieval alone would take "
+            f"{fmt_us(collect_at_target)} through the serial "
+            f"controller port."
+        )
+        result.add(
+            "conclusion: the 1M-concept machine is retrieval-bound, "
+            "confirming the paper's §IV remark — 'more improvement "
+            "could be made using interleaved memories at the "
+            "controller' and reducing collection frequency."
+        )
+        result.data = {
+            "kb_rows": rows,
+            "cluster_rows": cluster_rows,
+            "clusters_for_compute": clusters_for_compute,
+            "collect_at_target_us": collect_at_target,
+        }
+        return result
+
+    return timed(body)
+
+
+if __name__ == "__main__":
+    print(run(fast=True).render())

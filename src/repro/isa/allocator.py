@@ -1,0 +1,135 @@
+"""Marker register allocation.
+
+SNAP programs juggle a fixed register file of 64 complex and 64 binary
+markers (Fig. 4).  Hand-assigning constants works for one program, but
+applications that compose (the NLU parser + speech parser +
+inferencing queries sharing one machine) need disciplined allocation —
+this is the compile-time bookkeeping the host compiler performed.
+
+:class:`MarkerAllocator` hands out named registers, tracks liveness,
+and raises when the file is exhausted; :meth:`scope` gives RAII-style
+temporaries for program builders.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Set
+
+from .instructions import (
+    NUM_BINARY_MARKERS,
+    NUM_COMPLEX_MARKERS,
+    binary_marker,
+    complex_marker,
+    is_complex,
+)
+
+
+class AllocationError(RuntimeError):
+    """Raised when the marker register file is exhausted or misused."""
+
+
+class MarkerAllocator:
+    """Named allocation over the 64 + 64 marker register file."""
+
+    def __init__(
+        self,
+        reserved: Optional[Set[int]] = None,
+    ) -> None:
+        """``reserved`` marker ids are never handed out (e.g. the NLU
+        parser's fixed bank when composing with other programs)."""
+        self._reserved = set(reserved or ())
+        self._by_name: Dict[str, int] = {}
+        self._owner: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    def _next_free(self, complex_: bool) -> int:
+        count = NUM_COMPLEX_MARKERS if complex_ else NUM_BINARY_MARKERS
+        make = complex_marker if complex_ else binary_marker
+        for index in range(count):
+            marker = make(index)
+            if marker in self._reserved or marker in self._owner:
+                continue
+            return marker
+        kind = "complex" if complex_ else "binary"
+        raise AllocationError(f"{kind} marker registers exhausted")
+
+    def complex(self, name: str) -> int:
+        """Allocate a named complex (valued) marker."""
+        return self._claim(name, self._next_free(complex_=True))
+
+    def binary(self, name: str) -> int:
+        """Allocate a named binary marker."""
+        return self._claim(name, self._next_free(complex_=False))
+
+    def _claim(self, name: str, marker: int) -> int:
+        if name in self._by_name:
+            raise AllocationError(f"marker name already in use: {name!r}")
+        self._by_name[name] = marker
+        self._owner[marker] = name
+        return marker
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> int:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise AllocationError(f"unknown marker name: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def name_of(self, marker: int) -> Optional[str]:
+        """Name for an id (None/generic when unknown)."""
+        return self._owner.get(marker)
+
+    def free(self, name: str) -> int:
+        """Release a named marker; returns the freed id."""
+        try:
+            marker = self._by_name.pop(name)
+        except KeyError:
+            raise AllocationError(f"unknown marker name: {name!r}") from None
+        del self._owner[marker]
+        return marker
+
+    def live(self) -> List[str]:
+        """Currently allocated names."""
+        return sorted(self._by_name)
+
+    @property
+    def free_complex(self) -> int:
+        """Unallocated complex registers remaining."""
+        used = sum(
+            1 for m in self._owner if is_complex(m)
+        ) + sum(1 for m in self._reserved if is_complex(m))
+        return NUM_COMPLEX_MARKERS - used
+
+    @property
+    def free_binary(self) -> int:
+        """Unallocated binary registers remaining."""
+        used = sum(
+            1 for m in self._owner if not is_complex(m)
+        ) + sum(1 for m in self._reserved if not is_complex(m))
+        return NUM_BINARY_MARKERS - used
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def scope(self, *names: str, binary: bool = False) -> Iterator[List[int]]:
+        """Temporaries freed automatically at scope exit.
+
+        >>> alloc = MarkerAllocator()
+        >>> with alloc.scope("tmp1", "tmp2") as (a, b):
+        ...     pass
+        >>> alloc.live()
+        []
+        """
+        markers = [
+            self.binary(name) if binary else self.complex(name)
+            for name in names
+        ]
+        try:
+            yield markers
+        finally:
+            for name in names:
+                if name in self._by_name:
+                    self.free(name)

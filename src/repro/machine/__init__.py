@@ -1,0 +1,68 @@
+"""Discrete-event simulator of the SNAP-1 hardware (paper §II–III).
+
+Component models: clusters of PU/MU/CU functional units over multiport
+memories, the global broadcast bus, the 4-ary hypercube interconnect,
+tiered barrier synchronization, the dual-processor controller, and the
+performance-collection network.  The façade is :class:`SnapMachine`.
+"""
+
+from .config import (
+    ConfigError,
+    MachineConfig,
+    Timing,
+    cluster_sweep,
+    processor_sweep,
+    snap1_16cluster,
+    snap1_full,
+    uniprocessor,
+)
+from .des import Job, Server, ServerPool, SimulationError, Simulator, utilization
+from .icn import HypercubeTopology, IcnStats, TopologyError
+from .memory import (
+    BoundedQueue,
+    ClusterArbiter,
+    MemoryError_,
+    MultiportMemory,
+    SemaphoreTable,
+)
+from .sync import (
+    SyncError,
+    SyncPoint,
+    SyncStats,
+    TieredSynchronizer,
+    barrier_cost,
+)
+from .perfnet import (
+    EventCode,
+    PerfRecord,
+    PerformanceCollector,
+    RECORD_TRANSFER_US,
+)
+from .cluster import (
+    ACTIVATION_QUEUE_CAPACITY,
+    ClusterSim,
+    build_clusters,
+    pe_index_of_cluster,
+    work_service_time,
+)
+from .report import InstructionTrace, MachineRunReport, OverheadBreakdown
+from .simulator import SnapSimulation
+from .machine import SnapMachine
+
+__all__ = [
+    "ConfigError", "MachineConfig", "Timing", "cluster_sweep",
+    "processor_sweep", "snap1_16cluster", "snap1_full", "uniprocessor",
+    "Job", "Server", "ServerPool", "SimulationError", "Simulator",
+    "utilization",
+    "HypercubeTopology", "IcnStats", "TopologyError",
+    "BoundedQueue", "ClusterArbiter", "MemoryError_", "MultiportMemory",
+    "SemaphoreTable",
+    "SyncError", "SyncPoint", "SyncStats", "TieredSynchronizer",
+    "barrier_cost",
+    "EventCode", "PerfRecord", "PerformanceCollector",
+    "RECORD_TRANSFER_US",
+    "ACTIVATION_QUEUE_CAPACITY", "ClusterSim", "build_clusters",
+    "pe_index_of_cluster", "work_service_time",
+    "InstructionTrace", "MachineRunReport", "OverheadBreakdown",
+    "SnapSimulation", "SnapMachine",
+]

@@ -1,0 +1,111 @@
+"""Per-cluster hardware model: PU, MU pool, CU, and memory queues.
+
+Each SNAP-1 cluster executes *"three stages of SNAP instruction
+processing"* (paper §III-A): the **PU** dequeues broadcast instructions
+from the dual-port memory and decomposes them into marker-propagation
+tasks; up to three **MUs** execute those tasks asynchronously from the
+marker processing memory; the **CU** moves inter-cluster activation
+messages between the marker activation memory and the hypercube ICN
+memories.
+
+The DES maps each unit onto a FIFO server: the PU and CU are single
+servers, the MUs a server pool.  The marker activation memory is a
+capacity-accounted queue so burst pressure (Fig. 8) is observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.state import WorkReport
+from .config import MachineConfig, Timing
+from .des import Server, ServerPool, Simulator
+from .memory import BoundedQueue
+
+
+def work_service_time(work: WorkReport, timing: Timing) -> float:
+    """Convert a primitive's work counters into MU busy time (µs)."""
+    return (
+        timing.t_task_overhead
+        + work.words * timing.t_status_word
+        + work.nodes * timing.t_node_visit
+        + work.slots * timing.t_slot_scan
+        + work.sets * timing.t_marker_set
+        + work.fp_ops * timing.t_fp_op
+        + work.messages * timing.t_msg_write
+        + work.links_made * timing.t_link_write
+    )
+
+
+#: Default marker-activation-memory capacity, in messages.  The IDT
+#: four-port parts gave "a large buffering capacity"; 256 64-bit
+#: messages fit comfortably in a 2K x 32 region.
+ACTIVATION_QUEUE_CAPACITY = 256
+
+
+class ClusterSim:
+    """Simulation-side state of one cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster_id: int,
+        num_mus: int,
+        config: MachineConfig,
+    ) -> None:
+        self.cluster_id = cluster_id
+        self.num_mus = num_mus
+        self.pu = Server(sim, name=f"pu{cluster_id}")
+        self.mus = ServerPool(sim, num_mus, name=f"mu{cluster_id}")
+        self.cu = Server(sim, name=f"cu{cluster_id}")
+        #: Broadcast instructions awaiting/undergoing PU decode.
+        self.instructions_queued = 0
+        #: Marker activation memory occupancy (outbound + forwarded).
+        self.activation_queue = BoundedQueue(
+            ACTIVATION_QUEUE_CAPACITY, name=f"actmem{cluster_id}"
+        )
+
+    @property
+    def queue_full(self) -> bool:
+        """PU circular instruction queue at capacity."""
+        return self.instructions_queued >= 64
+
+    @property
+    def idle(self) -> bool:
+        """All functional units idle (the cluster's AND-tree inputs)."""
+        return self.pu.idle and self.mus.idle and self.cu.idle
+
+    def busy_summary(self) -> dict:
+        """Busy-time accounting for utilization reports."""
+        return {
+            "pu_busy": self.pu.busy_time,
+            "mu_busy": self.mus.busy_time,
+            "cu_busy": self.cu.busy_time,
+            "mu_jobs": self.mus.jobs_done,
+            "cu_jobs": self.cu.jobs_done,
+            "activation_peak": self.activation_queue.peak,
+            "activation_overflows": self.activation_queue.overflows,
+        }
+
+
+def build_clusters(
+    sim: Simulator, config: MachineConfig
+) -> List[ClusterSim]:
+    """Instantiate every cluster of a machine configuration."""
+    return [
+        ClusterSim(sim, cid, mus, config)
+        for cid, mus in enumerate(config.mu_counts())
+    ]
+
+
+def pe_index_of_cluster(config: MachineConfig, cluster_id: int) -> int:
+    """Global PE id of a cluster's first unit (for sync reporting).
+
+    PEs are numbered cluster by cluster: PU, MUs..., CU.
+    """
+    counts = config.mu_counts()
+    base = 0
+    for cid in range(cluster_id):
+        base += 2 + counts[cid]
+    return base

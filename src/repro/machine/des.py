@@ -1,0 +1,205 @@
+"""A small discrete-event simulation kernel.
+
+Time is a float in **microseconds** of simulated machine time.  The
+kernel provides an event heap, deterministic FIFO tie-breaking, and two
+building blocks used by the SNAP-1 component models: a multi-server
+resource (the MU pool of a cluster) and a single server (PU, CU,
+global bus, SCP).
+
+Determinism: events scheduled for the same timestamp fire in schedule
+order (a monotone sequence number breaks ties), so simulations are
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """Event heap + clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[_Event] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> _Event:
+        """Run ``fn`` after ``delay`` microseconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        event = _Event(self.now + delay, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: _Event) -> None:
+        """Cancel a scheduled event (lazy removal)."""
+        event.cancelled = True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the heap empties (or ``until`` passes).
+
+        Returns the final simulated time.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if until is not None and event.time > until:
+                heapq.heappush(self._heap, event)
+                self.now = until
+                return self.now
+            self.now = event.time
+            self.events_processed += 1
+            event.fn()
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Events still scheduled (uncancelled)."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+
+@dataclass
+class Job:
+    """A unit of work submitted to a server: service time + completion."""
+
+    service_time: float
+    on_start: Optional[Callable[[], None]] = None
+    on_done: Optional[Callable[[], None]] = None
+    tag: Any = None
+
+
+class Server:
+    """A single FIFO server (models PU decode, CU DMA, bus, SCP).
+
+    Tracks busy time and queue-length statistics so component
+    utilization can be reported.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "server") -> None:
+        self.sim = sim
+        self.name = name
+        self._queue: Deque[Job] = deque()
+        self._busy = False
+        self.busy_time = 0.0
+        self.jobs_done = 0
+        self.max_queue = 0
+
+    @property
+    def busy(self) -> bool:
+        """Whether the server is currently serving a job."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting (excluding in service)."""
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        """Whether no work is queued or in service."""
+        return not self._busy and not self._queue
+
+    def submit(self, job: Job) -> None:
+        """Enqueue a job; service starts when capacity frees."""
+        self._queue.append(job)
+        self.max_queue = max(self.max_queue, len(self._queue))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        job = self._queue.popleft()
+        if job.on_start:
+            job.on_start()
+        self.busy_time += job.service_time
+        self.sim.schedule(job.service_time, lambda: self._finish(job))
+
+    def _finish(self, job: Job) -> None:
+        self.jobs_done += 1
+        if job.on_done:
+            job.on_done()
+        self._start_next()
+
+
+class ServerPool:
+    """``k`` identical FIFO servers sharing one queue (the MU pool)."""
+
+    def __init__(self, sim: Simulator, servers: int, name: str = "pool") -> None:
+        if servers < 1:
+            raise SimulationError("pool needs at least one server")
+        self.sim = sim
+        self.name = name
+        self.num_servers = servers
+        self._queue: Deque[Job] = deque()
+        self._busy = 0
+        self.busy_time = 0.0
+        self.jobs_done = 0
+        self.max_queue = 0
+
+    @property
+    def busy_servers(self) -> int:
+        """Servers currently serving jobs."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting (excluding in service)."""
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        """Whether no work is queued or in service."""
+        return self._busy == 0 and not self._queue
+
+    def submit(self, job: Job) -> None:
+        """Enqueue a job; service starts when capacity frees."""
+        self._queue.append(job)
+        self.max_queue = max(self.max_queue, len(self._queue))
+        if self._busy < self.num_servers:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue or self._busy >= self.num_servers:
+            return
+        job = self._queue.popleft()
+        self._busy += 1
+        if job.on_start:
+            job.on_start()
+        self.busy_time += job.service_time
+        self.sim.schedule(job.service_time, lambda: self._finish(job))
+
+    def _finish(self, job: Job) -> None:
+        self._busy -= 1
+        self.jobs_done += 1
+        if job.on_done:
+            job.on_done()
+        self._start_next()
+
+
+def utilization(busy_time: float, servers: int, elapsed: float) -> float:
+    """Fraction of capacity used over an interval."""
+    if elapsed <= 0:
+        return 0.0
+    return busy_time / (servers * elapsed)

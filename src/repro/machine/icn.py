@@ -1,0 +1,185 @@
+"""4-ary hypercube interconnection network topology (paper §III-B).
+
+Clusters are addressed by base-4 digits: the 5-bit cluster address *"is
+paired to form modulo-4 fields"* — an L digit selecting one of the four
+clusters on a board, an X digit selecting the board column, and a Y
+digit selecting the board row.  A CU reaches directly every CU whose
+address differs in exactly one digit (they share an L-, X-, or
+Y-memory), so routing corrects one digit per hop and any pair is
+*"accommodated with at most three intermediate hops"*.
+
+The topology generalizes to any cluster count by using
+``ceil(log4(n))`` digits, which the cluster-sweep experiments rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Digit names in routing order (board-local first, then x, then y).
+DIMENSION_NAMES = ("L", "X", "Y")
+
+#: Radix of each address digit.
+RADIX = 4
+
+
+class TopologyError(ValueError):
+    """Raised for invalid cluster addresses."""
+
+
+class HypercubeTopology:
+    """Base-4 digit addressing and dimension-ordered routing."""
+
+    def __init__(self, num_clusters: int) -> None:
+        if num_clusters < 1:
+            raise TopologyError("need at least one cluster")
+        self.num_clusters = num_clusters
+        self.num_digits = 1
+        while RADIX ** self.num_digits < num_clusters:
+            self.num_digits += 1
+
+    def digits(self, cluster: int) -> Tuple[int, ...]:
+        """Base-4 address digits, least significant (L) first."""
+        self._check(cluster)
+        out = []
+        value = cluster
+        for _ in range(self.num_digits):
+            out.append(value % RADIX)
+            value //= RADIX
+        return tuple(out)
+
+    def _check(self, cluster: int) -> None:
+        if not 0 <= cluster < self.num_clusters:
+            raise TopologyError(
+                f"cluster {cluster} outside [0, {self.num_clusters})"
+            )
+
+    def hamming(self, src: int, dst: int) -> int:
+        """Differing address digits (hop count on a full machine)."""
+        a, b = self.digits(src), self.digits(dst)
+        return sum(1 for x, y in zip(a, b) if x != y)
+
+    def distance(self, src: int, dst: int) -> int:
+        """Actual hop count of the routed path."""
+        return len(self.route(src, dst))
+
+    def _value(self, digits: List[int]) -> int:
+        value = 0
+        for digit in reversed(digits):
+            value = value * RADIX + digit
+        return value
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Dimension-ordered path from ``src`` to ``dst``.
+
+        Returns the sequence of clusters *after* ``src`` (ending at
+        ``dst``); empty when ``src == dst``.  Each step corrects one
+        address digit — preferring the lowest (messages use the
+        board-local L-memory first, then cross boards in X, then Y).
+        On partially populated machines (cluster count not a power of
+        4) a correction whose intermediate cluster does not exist is
+        skipped in favor of another digit; zeroing a digit is always a
+        valid fallback since it strictly decreases the cluster id.
+        """
+        self._check(src)
+        self._check(dst)
+        path: List[int] = []
+        current = list(self.digits(src))
+        target = list(self.digits(dst))
+        guard = 0
+        while current != target:
+            guard += 1
+            if guard > 4 * self.num_digits:
+                raise TopologyError(
+                    f"routing {src}->{dst} failed to converge"
+                )
+            hop = None
+            for dim in range(self.num_digits):
+                if current[dim] == target[dim]:
+                    continue
+                candidate = list(current)
+                candidate[dim] = target[dim]
+                value = self._value(candidate)
+                if value < self.num_clusters:
+                    current = candidate
+                    hop = value
+                    break
+            if hop is None:
+                # Zero the highest nonzero differing digit: the id
+                # strictly decreases, so the hop always exists.
+                for dim in reversed(range(self.num_digits)):
+                    if current[dim] != target[dim] and current[dim] != 0:
+                        candidate = list(current)
+                        candidate[dim] = 0
+                        current = candidate
+                        hop = self._value(candidate)
+                        break
+            if hop is None:  # pragma: no cover - unreachable
+                raise TopologyError(f"no valid hop from {current}")
+            path.append(hop)
+        return path
+
+    def neighbors(self, cluster: int) -> List[int]:
+        """All clusters directly reachable (one digit differs)."""
+        digits = list(self.digits(cluster))
+        out = []
+        for dim in range(self.num_digits):
+            for value in range(RADIX):
+                if value == digits[dim]:
+                    continue
+                candidate = list(digits)
+                candidate[dim] = value
+                cid = 0
+                for digit_index in reversed(range(self.num_digits)):
+                    cid = cid * RADIX + candidate[digit_index]
+                if cid < self.num_clusters:
+                    out.append(cid)
+        return sorted(out)
+
+    def dimension_of_hop(self, src: int, dst: int) -> str:
+        """Name of the memory (L/X/Y/...) a single hop travels through."""
+        a, b = self.digits(src), self.digits(dst)
+        diffs = [i for i, (x, y) in enumerate(zip(a, b)) if x != y]
+        if len(diffs) != 1:
+            raise TopologyError(f"{src}->{dst} is not a single hop")
+        dim = diffs[0]
+        if dim < len(DIMENSION_NAMES):
+            return DIMENSION_NAMES[dim]
+        return f"D{dim}"
+
+    def max_distance(self) -> int:
+        """Network diameter in hops."""
+        return self.num_digits
+
+
+@dataclass
+class IcnStats:
+    """Traffic accounting for the interconnection network."""
+
+    messages: int = 0
+    total_hops: int = 0
+    hop_histogram: Dict[int, int] = field(default_factory=dict)
+    dimension_counts: Dict[str, int] = field(default_factory=dict)
+    total_latency: float = 0.0
+
+    def record(self, hops: int, latency: float) -> None:
+        """Account one routed message (hops + latency)."""
+        self.messages += 1
+        self.total_hops += hops
+        self.hop_histogram[hops] = self.hop_histogram.get(hops, 0) + 1
+        self.total_latency += latency
+
+    def record_dimension(self, name: str) -> None:
+        """Count one hop through the named L/X/Y memory."""
+        self.dimension_counts[name] = self.dimension_counts.get(name, 0) + 1
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean hops per message."""
+        return self.total_hops / self.messages if self.messages else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-message latency, in microseconds."""
+        return self.total_latency / self.messages if self.messages else 0.0

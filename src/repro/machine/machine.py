@@ -1,0 +1,107 @@
+"""`SnapMachine`: the user-facing façade of the SNAP-1 simulator.
+
+Mirrors the paper's system flow (§II-A): load a knowledge base into
+the processing array, download a compiled application, run it, and
+retrieve results — with a full measurement report per run.
+
+Example
+-------
+>>> from repro.network import generate_kb, GeneratorSpec
+>>> from repro.machine import SnapMachine, snap1_16cluster
+>>> from repro.isa import assemble
+>>> machine = SnapMachine(generate_kb(GeneratorSpec(total_nodes=500)),
+...                       snap1_16cluster())
+>>> report = machine.run(assemble('''
+...     SEARCH-NODE word0 b0
+...     PROPAGATE b0 b1 chain(is-a)
+...     COLLECT-NODE b1
+... '''))
+>>> report.total_time_us > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from ..core.state import MachineState
+from ..isa.instructions import Instruction
+from ..isa.program import SnapProgram
+from ..network.graph import SemanticNetwork
+from .config import MachineConfig, snap1_full
+from .report import MachineRunReport
+from .simulator import SnapSimulation
+
+
+class SnapMachine:
+    """A configured SNAP-1 with a loaded knowledge base.
+
+    The machine keeps persistent knowledge-base state across ``run``
+    calls (markers, bindings, and node maintenance survive between
+    programs, as on the hardware), while each run gets a fresh
+    measurement report.
+    """
+
+    def __init__(
+        self,
+        network: SemanticNetwork,
+        config: Optional[MachineConfig] = None,
+    ) -> None:
+        self.config = config or snap1_full()
+        self.state = MachineState(
+            network,
+            num_clusters=self.config.num_clusters,
+            partition_policy=self.config.partition_policy,
+            node_capacity_per_cluster=(
+                self.config.nodes_per_cluster
+                if self.config.enforce_capacity
+                else None
+            ),
+        )
+        self.last_report: Optional[MachineRunReport] = None
+
+    # ------------------------------------------------------------------
+    def run(
+        self, program: Union[SnapProgram, Iterable[Instruction]]
+    ) -> MachineRunReport:
+        """Execute a program with full timing; returns the run report."""
+        if not isinstance(program, SnapProgram):
+            program = SnapProgram(list(program))
+        simulation = SnapSimulation(self.state, self.config)
+        self.last_report = simulation.run(program)
+        return self.last_report
+
+    def run_and_collect(
+        self, program: Union[SnapProgram, Iterable[Instruction]]
+    ) -> List:
+        """Run and return just the retrieval results, in program order."""
+        return self.run(program).results()
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self.state.network.num_nodes
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters."""
+        return self.config.num_clusters
+
+    @property
+    def total_pes(self) -> int:
+        """All functional units: PU + CU + MUs per cluster."""
+        return self.config.total_pes
+
+    def marker_set_nodes(self, marker: int) -> List[int]:
+        """Global ids of nodes where ``marker`` is currently set."""
+        return self.state.marker_set_nodes(marker)
+
+    def housekeep(self) -> int:
+        """Controller housekeeping between programs (§III-C).
+
+        *"When the pipeline is empty, housekeeping is performed
+        including node management and garbage collection."*  Returns
+        the number of result-node slots reclaimed.
+        """
+        return self.state.garbage_collect()

@@ -1,0 +1,546 @@
+"""The SNAP-1 discrete-event simulator.
+
+Ties every hardware model together and executes a SNAP program with
+full timing:
+
+1. the **controller** (PCP program flow + SCP operand instantiation)
+   issues instructions over the global bus, stalling on marker
+   dependencies with in-flight instructions (this is where
+   β-parallelism materializes: independent PROPAGATEs overlap);
+2. each cluster's **PU** decodes the broadcast instruction and
+   decomposes it into marker-unit tasks;
+3. **MUs** execute tasks — whole-table boolean/set/clear sweeps, seed
+   scans, and per-node propagation expansions (α-parallelism);
+4. the **CU** DMAs cross-cluster activation messages into the 4-ary
+   hypercube, store-and-forwarding through intermediate CUs;
+5. the **tiered synchronizer** detects propagation termination from
+   per-level produced/consumed counts and charges the barrier cost;
+6. the **performance collection network** records every monitoring
+   event for the run report.
+
+Semantics are delegated to :class:`repro.core.state.MachineState` —
+the same primitives the functional engine uses — so the timed machine
+is functionally identical to the golden model by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.activation import ActivationMessage
+from ..core.state import Arrival, MachineState, PropagationContext, WorkReport
+from ..isa.instructions import (
+    Category,
+    CollectColor,
+    CollectMarker,
+    CollectNode,
+    CollectRelation,
+    Create,
+    Delete,
+    Instruction,
+    Propagate,
+    SetColor,
+)
+from ..isa.program import SnapProgram
+from .cluster import ClusterSim, build_clusters, pe_index_of_cluster, work_service_time
+from .config import MachineConfig
+from .des import Job, Simulator
+from .icn import HypercubeTopology
+from .perfnet import EventCode, PerformanceCollector
+from .report import InstructionTrace, MachineRunReport, OverheadBreakdown
+from .sync import SyncStats, TieredSynchronizer, barrier_cost
+
+
+@dataclass
+class _InstrState:
+    """Bookkeeping for one in-flight instruction."""
+
+    index: int
+    instr: Instruction
+    issue_time: float
+    clusters_remaining: int = 0
+    scan_done: bool = False
+    pending: int = 0
+    ctx: Optional[PropagationContext] = None
+    collected: List[Any] = field(default_factory=list)
+    work_ops: int = 0
+    messages: int = 0
+    completed: bool = False
+
+
+class SnapSimulation:
+    """One timed execution of a SNAP program."""
+
+    def __init__(self, state: MachineState, config: MachineConfig) -> None:
+        if state.num_clusters != config.num_clusters:
+            raise ValueError(
+                "machine state and configuration disagree on cluster count"
+            )
+        self.state = state
+        self.cfg = config
+        self.timing = config.timing
+        self.sim = Simulator()
+        self.clusters: List[ClusterSim] = build_clusters(self.sim, config)
+        self.topology = HypercubeTopology(config.num_clusters)
+        self.syncer = TieredSynchronizer(config.total_pes)
+        self.perf = PerformanceCollector()
+        self.report = MachineRunReport(
+            num_clusters=config.num_clusters,
+            total_pes=config.total_pes,
+        )
+        # Controller: PCP + SCP + global bus, serialized.
+        from .des import Server
+
+        self.controller = Server(self.sim, name="controller")
+        self._program: Optional[SnapProgram] = None
+        self._pc = 0
+        self._in_flight: Dict[int, _InstrState] = {}
+        self._traces: Dict[int, InstructionTrace] = {}
+        self._pe_of_cluster = [
+            pe_index_of_cluster(config, cid)
+            for cid in range(config.num_clusters)
+        ]
+
+    # ------------------------------------------------------------------
+    # Public entry
+    # ------------------------------------------------------------------
+    def run(self, program: SnapProgram) -> MachineRunReport:
+        """Execute the program to completion; return the run report."""
+        self._program = program
+        self._pc = 0
+        self._try_issue()
+        self.sim.run()
+        if self._in_flight or self._pc < len(program):
+            raise RuntimeError(
+                f"simulation deadlock: pc={self._pc}, "
+                f"in flight={sorted(self._in_flight)}"
+            )
+        self.report.total_time_us = self.sim.now
+        self.report.traces = [
+            self._traces[i] for i in sorted(self._traces)
+        ]
+        self.report.events_processed = self.sim.events_processed
+        self.report.perf_records = list(self.perf.records)
+        for cluster in self.clusters:
+            summary = cluster.busy_summary()
+            summary["mu_servers"] = cluster.num_mus
+            self.report.cluster_busy.append(summary)
+        return self.report
+
+    # ------------------------------------------------------------------
+    # Controller
+    # ------------------------------------------------------------------
+    def _depends_on_inflight(self, instr: Instruction) -> bool:
+        if instr.category == Category.COLLECT and self._in_flight:
+            # COLLECT-NODE forces PU serialization: full barrier.
+            return True
+        if isinstance(instr, (Create, Delete, SetColor)) and self._in_flight:
+            # Node management alters the knowledge base; the controller
+            # performs it only when the pipeline is empty (§III-C
+            # "housekeeping is performed when the pipeline is empty").
+            return True
+        reads, writes = set(instr.reads()), set(instr.writes())
+        for st in self._in_flight.values():
+            sw = set(st.instr.writes())
+            sr = set(st.instr.reads())
+            if sw & (reads | writes) or sr & writes:
+                return True
+        return False
+
+    def _try_issue(self) -> None:
+        program = self._program
+        if program is None or self._pc >= len(program):
+            return
+        if len(self._in_flight) >= self.cfg.instruction_queue_depth:
+            return
+        if any(c.queue_full for c in self.clusters):
+            return
+        instr = program[self._pc]
+        if self._depends_on_inflight(instr):
+            return  # re-tried on every instruction completion
+        index = self._pc
+        self._pc += 1
+        st = _InstrState(index=index, instr=instr, issue_time=self.sim.now)
+        self._in_flight[index] = st
+        service = self.timing.t_pcp + self.timing.t_broadcast
+        self.report.overheads.broadcast += self.timing.t_broadcast
+        self._attribute(instr.category, self.timing.t_broadcast)
+        self.perf.record(self.sim.now, -1, EventCode.INSTR_ISSUE, index)
+        self.controller.submit(
+            Job(service, on_done=lambda: self._broadcast_done(st))
+        )
+        # The controller pipeline may issue further independent
+        # instructions while this one is broadcast.
+        self.sim.schedule(0.0, self._try_issue)
+
+    def _broadcast_done(self, st: _InstrState) -> None:
+        instr = st.instr
+        if isinstance(instr, (Create, Delete, SetColor)):
+            self._dispatch_maintenance(st)
+            return
+        if isinstance(instr, Propagate):
+            st.ctx = self.state.make_context(instr, level=st.index)
+        st.clusters_remaining = len(self.clusters)
+        for cluster in self.clusters:
+            cluster.instructions_queued += 1
+            cluster.pu.submit(
+                Job(
+                    self.timing.t_decode,
+                    on_done=lambda c=cluster: self._decode_done(st, c),
+                )
+            )
+        self._try_issue()
+
+    # ------------------------------------------------------------------
+    # Node maintenance (controller-side housekeeping)
+    # ------------------------------------------------------------------
+    def _dispatch_maintenance(self, st: _InstrState) -> None:
+        instr = st.instr
+        if isinstance(instr, Create):
+            work = self.state.create(instr)
+        elif isinstance(instr, Delete):
+            work = self.state.delete(instr)
+        else:
+            assert isinstance(instr, SetColor)
+            work = self.state.set_color(instr)
+        st.work_ops += work.total()
+        # The affected node's home cluster performs the table update.
+        try:
+            home, _ = self.state.address(
+                instr.node if isinstance(instr, SetColor) else instr.source
+            )
+        except Exception:
+            home = 0
+        st.clusters_remaining = 1
+        service = work_service_time(work, self.timing)
+        self._attribute(instr.category, service)
+        self.clusters[home].mus.submit(
+            Job(service, on_done=lambda: self._cluster_task_done(st))
+        )
+        self._try_issue()
+
+    # ------------------------------------------------------------------
+    # PU decode and task dispatch
+    # ------------------------------------------------------------------
+    def _decode_done(self, st: _InstrState, cluster: ClusterSim) -> None:
+        cluster.instructions_queued -= 1
+        instr = st.instr
+        cid = cluster.cluster_id
+        if isinstance(instr, Propagate):
+            self._dispatch_seed_scan(st, cluster)
+            return
+        if instr.category == Category.COLLECT:
+            items, work = self._run_collector(cid, instr)
+            st.work_ops += work.total()
+            service = work_service_time(work, self.timing)
+            self._attribute(instr.category, service)
+            cluster.mus.submit(
+                Job(
+                    service,
+                    on_done=lambda: self._cluster_task_done(st, items),
+                )
+            )
+            return
+        work = self._run_cluster_primitive(cid, instr)
+        st.work_ops += work.total()
+        service = work_service_time(work, self.timing)
+        self._attribute(instr.category, service)
+        cluster.mus.submit(
+            Job(service, on_done=lambda: self._cluster_task_done(st))
+        )
+
+    def _run_collector(self, cid: int, instr: Instruction):
+        state = self.state
+        if isinstance(instr, CollectNode):
+            return state.collect_node(cid, instr)
+        if isinstance(instr, CollectMarker):
+            return state.collect_marker(cid, instr)
+        if isinstance(instr, CollectRelation):
+            return state.collect_relation(cid, instr)
+        assert isinstance(instr, CollectColor)
+        return state.collect_color(cid, instr)
+
+    def _run_cluster_primitive(self, cid: int, instr: Instruction) -> WorkReport:
+        from ..isa.instructions import (
+            AndMarker, ClearMarker, FuncMarker, MarkerCreate, MarkerDelete,
+            MarkerSetColor, NotMarker, OrMarker, SearchColor, SearchNode,
+            SearchRelation, SetMarker,
+        )
+
+        state = self.state
+        dispatch = [
+            (SearchNode, state.search_node),
+            (SearchRelation, state.search_relation),
+            (SearchColor, state.search_color),
+            (AndMarker, state.and_marker),
+            (OrMarker, state.or_marker),
+            (NotMarker, state.not_marker),
+            (SetMarker, state.set_marker),
+            (ClearMarker, state.clear_marker),
+            (FuncMarker, state.func_marker),
+            (MarkerCreate, state.marker_create),
+            (MarkerDelete, state.marker_delete),
+            (MarkerSetColor, state.marker_set_color),
+        ]
+        for cls, primitive in dispatch:
+            if isinstance(instr, cls):
+                return primitive(cid, instr)
+        raise RuntimeError(f"no cluster primitive for {instr.opcode}")
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _dispatch_seed_scan(self, st: _InstrState, cluster: ClusterSim) -> None:
+        """MU scans the status table and expands every seed node."""
+        ctx = st.ctx
+        assert ctx is not None
+        cid = cluster.cluster_id
+        seeds, work = self.state.seeds(ctx, cid)
+        local_out: List[Arrival] = []
+        remote_out: List[ActivationMessage] = []
+        for seed in seeds:
+            seed_local, seed_remote, seed_work = self.state.expand(ctx, seed)
+            work.merge(seed_work)
+            local_out.extend(seed_local)
+            remote_out.extend(seed_remote)
+        st.work_ops += work.total()
+        service = work_service_time(work, self.timing)
+        self._attribute(Category.PROPAGATE, service)
+        self.perf.record(self.sim.now, cid, EventCode.TASK_START, st.index)
+        cluster.mus.submit(
+            Job(
+                service,
+                on_done=lambda: self._seed_scan_done(
+                    st, cid, local_out, remote_out
+                ),
+            )
+        )
+
+    def _seed_scan_done(
+        self,
+        st: _InstrState,
+        cid: int,
+        local_out: List[Arrival],
+        remote_out: List[ActivationMessage],
+    ) -> None:
+        self._release_outputs(st, cid, local_out, remote_out)
+        self._cluster_task_done(st)
+
+    def _release_outputs(
+        self,
+        st: _InstrState,
+        cid: int,
+        local_out: List[Arrival],
+        remote_out: List[ActivationMessage],
+    ) -> None:
+        for arrival in local_out:
+            self._spawn_arrival_job(st, arrival)
+        for msg in remote_out:
+            self._send_message(st, cid, msg)
+
+    def _spawn_arrival_job(self, st: _InstrState, arrival: Arrival) -> None:
+        """Deliver a marker at its destination node (one MU task)."""
+        ctx = st.ctx
+        assert ctx is not None
+        should_expand, work = self.state.deliver(ctx, arrival)
+        local_out: List[Arrival] = []
+        remote_out: List[ActivationMessage] = []
+        if should_expand:
+            local_out, remote_out, expand_work = self.state.expand(ctx, arrival)
+            work.merge(expand_work)
+        st.work_ops += work.total()
+        st.pending += 1
+        pe = self._pe_of_cluster[arrival.cluster]
+        self.syncer.produce(pe, st.index)
+        service = work_service_time(work, self.timing)
+        self._attribute(Category.PROPAGATE, service)
+        cluster = self.clusters[arrival.cluster]
+
+        def done() -> None:
+            self._release_outputs(st, arrival.cluster, local_out, remote_out)
+            self.syncer.consume(pe, st.index)
+            st.pending -= 1
+            self._check_propagate_done(st)
+
+        cluster.mus.submit(Job(service, on_done=done))
+
+    def _send_message(
+        self, st: _InstrState, src: int, msg: ActivationMessage
+    ) -> None:
+        """Transport an activation message across the hypercube."""
+        if self.cfg.pack_messages:
+            # Round-trip through the 64-bit wire format: values are
+            # bfloat16-truncated exactly as on the hardware.
+            from ..core.activation import unpack
+
+            raw = msg.pack([msg.rule])
+            msg = unpack(raw, [msg.rule], level=msg.level, hops=msg.hops)
+        st.pending += 1
+        st.messages += 1
+        pe = self._pe_of_cluster[src]
+        self.syncer.produce(pe, st.index)
+        self.report.sync_stats.count_message()
+        path = self.topology.route(src, msg.dest_cluster)
+        hops = len(path)
+        latency = (
+            self.timing.t_cu_dma
+            + hops * self.timing.t_hop
+            + max(0, hops - 1) * self.timing.t_forward
+        )
+        self.report.icn_stats.record(hops, latency)
+        previous = src
+        for cluster_on_path in path:
+            self.report.icn_stats.record_dimension(
+                self.topology.dimension_of_hop(previous, cluster_on_path)
+            )
+            previous = cluster_on_path
+        self.report.overheads.communication += latency
+        self._attribute(Category.PROPAGATE, latency)
+        self.perf.record(self.sim.now, src, EventCode.MSG_SEND, st.index)
+
+        source_cluster = self.clusters[src]
+        source_cluster.activation_queue.push(msg)
+
+        def launch() -> None:
+            source_cluster.activation_queue.pop()
+            self._advance_message(st, pe, msg, path, 0)
+
+        source_cluster.cu.submit(Job(self.timing.t_cu_dma, on_done=launch))
+
+    def _advance_message(
+        self,
+        st: _InstrState,
+        producer_pe: int,
+        msg: ActivationMessage,
+        path: List[int],
+        hop_index: int,
+    ) -> None:
+        """One wire hop; store-and-forward at intermediate CUs."""
+        if not path:
+            # Destination is the source cluster (can happen only when a
+            # packed message round-trips); deliver directly.
+            self._deliver_message(st, producer_pe, msg)
+            return
+        target = path[hop_index]
+
+        def after_wire() -> None:
+            if hop_index == len(path) - 1:
+                self._deliver_message(st, producer_pe, msg)
+            else:
+                forwarder = self.clusters[target]
+                self.perf.record(
+                    self.sim.now, target, EventCode.MSG_FORWARD, st.index
+                )
+                forwarder.cu.submit(
+                    Job(
+                        self.timing.t_forward,
+                        on_done=lambda: self._advance_message(
+                            st, producer_pe, msg, path, hop_index + 1
+                        ),
+                    )
+                )
+
+        self.sim.schedule(self.timing.t_hop, after_wire)
+
+    def _deliver_message(
+        self, st: _InstrState, producer_pe: int, msg: ActivationMessage
+    ) -> None:
+        self.perf.record(
+            self.sim.now, msg.dest_cluster, EventCode.MSG_RECV, st.index
+        )
+        arrival = self.state.message_to_arrival(msg)
+        self._spawn_arrival_job(st, arrival)
+        self.syncer.consume(producer_pe, st.index)
+        st.pending -= 1
+        self._check_propagate_done(st)
+
+    def _check_propagate_done(self, st: _InstrState) -> None:
+        if st.completed or not st.scan_done or st.pending > 0:
+            return
+        st.completed = True
+        # Tiered protocol check: this level's counters must balance.
+        if self.syncer.level_balance(st.index) != 0:
+            raise RuntimeError(
+                f"tiered sync counters unbalanced for instruction {st.index}"
+            )
+        cost = barrier_cost(
+            self.cfg.total_pes,
+            self.timing.t_sync_base,
+            self.timing.t_sync_per_pe,
+        )
+        self.report.overheads.synchronization += cost
+        self._attribute(Category.PROPAGATE, cost)
+        self.syncer.reset_level(st.index)
+
+        def finish() -> None:
+            self.report.sync_stats.barrier(self.sim.now, st.index)
+            self.perf.record(self.sim.now, -1, EventCode.BARRIER, st.index)
+            self._complete(st)
+
+        self.sim.schedule(cost, finish)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _cluster_task_done(self, st: _InstrState, items: Optional[List] = None) -> None:
+        if items:
+            st.collected.extend(items)
+        st.clusters_remaining -= 1
+        if st.clusters_remaining > 0:
+            return
+        instr = st.instr
+        if isinstance(instr, Propagate):
+            st.scan_done = True
+            self._check_propagate_done(st)
+            return
+        if instr.category == Category.COLLECT:
+            self._gather_results(st)
+            return
+        self._complete(st)
+
+    def _gather_results(self, st: _InstrState) -> None:
+        """Controller retrieves items from each cluster's dual-port.
+
+        Dominant overhead of Fig. 21: cost grows with the number of
+        clusters (per-cluster setup) plus per-item transfer.
+        """
+        service = (
+            self.cfg.num_clusters * self.timing.t_collect_cluster
+            + len(st.collected) * self.timing.t_collect_item
+        )
+        self.report.overheads.collection += service
+        self._attribute(Category.COLLECT, service)
+        self.perf.record(self.sim.now, -1, EventCode.COLLECT, st.index)
+        st.collected.sort(key=lambda item: item[0])
+        self.controller.submit(Job(service, on_done=lambda: self._complete(st)))
+
+    def _complete(self, st: _InstrState) -> None:
+        instr = st.instr
+        ctx = st.ctx
+        self._traces[st.index] = InstructionTrace(
+            index=st.index,
+            opcode=instr.opcode,
+            category=instr.category,
+            issue_time=st.issue_time,
+            complete_time=self.sim.now,
+            alpha=ctx.alpha if ctx else 0,
+            max_hops=ctx.max_hops if ctx else 0,
+            remote_messages=ctx.remote_messages if ctx else 0,
+            arrivals=ctx.total_arrivals if ctx else 0,
+            work_ops=st.work_ops,
+            result=list(st.collected) if st.collected else (
+                [] if instr.category == Category.COLLECT else None
+            ),
+        )
+        self.perf.record(self.sim.now, -1, EventCode.INSTR_COMPLETE, st.index)
+        del self._in_flight[st.index]
+        self._try_issue()
+
+    # ------------------------------------------------------------------
+    def _attribute(self, category: str, busy: float) -> None:
+        self.report.category_busy_us[category] = (
+            self.report.category_busy_us.get(category, 0.0) + busy
+        )
+
+

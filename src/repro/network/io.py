@@ -1,0 +1,128 @@
+"""Knowledge-base serialization.
+
+A plain-text, line-oriented, diff-friendly format (``.snapkb``) for
+saving and loading semantic networks, so domain knowledge bases can be
+authored once, versioned, and shared — the workflow the paper implies
+when it speaks of a knowledge base "developed" for a domain and loaded
+through node-maintenance instructions.
+
+Format (tab-separated; ``#`` comments; order defines node ids)::
+
+    snapkb 1
+    node <name> <color> <function> <parent-id|->
+    link <source-name> <relation> <dest-name> <weight>
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import IO, Iterable, Union
+
+from .graph import SemanticNetwork
+
+#: Format magic + version on the first non-comment line.
+MAGIC = "snapkb"
+VERSION = 1
+
+
+class FormatError(ValueError):
+    """Raised for malformed ``.snapkb`` input."""
+
+
+def _escape(name: str) -> str:
+    if "\t" in name or "\n" in name:
+        raise FormatError(f"node/relation names may not contain tabs: {name!r}")
+    return name
+
+
+def save_network(network: SemanticNetwork, target: Union[str, Path, IO[str]]) -> None:
+    """Write a network to a path or text file object."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w") as handle:
+            save_network(network, handle)
+        return
+    out = target
+    out.write(f"{MAGIC} {VERSION}\n")
+    out.write(f"# {network.num_nodes} nodes, {network.num_links} links\n")
+    for node in network.nodes():
+        parent = "-" if node.parent_id is None else str(node.parent_id)
+        out.write(
+            f"node\t{_escape(node.name)}\t{node.color}\t"
+            f"{node.function}\t{parent}\n"
+        )
+    for link in network.links():
+        out.write(
+            f"link\t{_escape(network.node(link.source).name)}\t"
+            f"{_escape(network.relations.name_of(link.relation))}\t"
+            f"{_escape(network.node(link.dest).name)}\t"
+            f"{link.weight!r}\n"
+        )
+
+
+def saves(network: SemanticNetwork) -> str:
+    """Serialize to a string."""
+    buffer = _io.StringIO()
+    save_network(network, buffer)
+    return buffer.getvalue()
+
+
+def load_network(source: Union[str, Path, IO[str]]) -> SemanticNetwork:
+    """Read a network from a path or text file object."""
+    if isinstance(source, (str, Path)):
+        with open(source) as handle:
+            return load_network(handle)
+    return _parse(source)
+
+
+def loads(text: str) -> SemanticNetwork:
+    """Deserialize from a string."""
+    return _parse(_io.StringIO(text))
+
+
+def _parse(lines: Iterable[str]) -> SemanticNetwork:
+    network = SemanticNetwork()
+    header_seen = False
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if not header_seen:
+            parts = stripped.split()
+            if len(parts) != 2 or parts[0] != MAGIC:
+                raise FormatError(f"line {lineno}: missing snapkb header")
+            try:
+                version = int(parts[1])
+            except ValueError:
+                raise FormatError(
+                    f"line {lineno}: bad version {parts[1]!r}"
+                ) from None
+            if version != VERSION:
+                raise FormatError(
+                    f"line {lineno}: unsupported version {version}"
+                )
+            header_seen = True
+            continue
+        fields = line.split("\t")
+        kind = fields[0].strip()
+        try:
+            if kind == "node":
+                _name, color, function, parent = fields[1:5]
+                network.add_node(
+                    _name,
+                    color=int(color),
+                    function=int(function),
+                    parent_id=None if parent == "-" else int(parent),
+                )
+            elif kind == "link":
+                source, relation, dest, weight = fields[1:5]
+                network.add_link(source, relation, dest, float(weight))
+            else:
+                raise FormatError(f"unknown record kind {kind!r}")
+        except (IndexError, ValueError) as exc:
+            raise FormatError(f"line {lineno}: {exc}") from exc
+    if not header_seen:
+        raise FormatError("empty input: missing snapkb header")
+    network.validate()
+    return network

@@ -1,0 +1,100 @@
+"""NetworkX interoperability.
+
+Bridges SNAP semantic networks to :mod:`networkx` multidigraphs so the
+wider graph-analysis ecosystem (centrality, components, drawing, ...)
+can inspect knowledge bases, and externally authored graphs can be
+loaded into the machine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from .graph import SemanticNetwork
+from .node import Color
+
+
+def to_networkx(network: SemanticNetwork) -> "nx.MultiDiGraph":
+    """Convert to a MultiDiGraph.
+
+    Nodes keep ``name``/``color``/``function`` attributes and are keyed
+    by global id; edges carry ``relation`` (name) and ``weight``.
+    """
+    graph = nx.MultiDiGraph()
+    for node in network.nodes():
+        graph.add_node(
+            node.node_id,
+            name=node.name,
+            color=node.color,
+            function=node.function,
+        )
+    for link in network.links():
+        graph.add_edge(
+            link.source,
+            link.dest,
+            relation=network.relations.name_of(link.relation),
+            weight=link.weight,
+        )
+    return graph
+
+
+def from_networkx(graph: "nx.Graph") -> SemanticNetwork:
+    """Convert any networkx graph to a semantic network.
+
+    Node keys become names unless a ``name`` attribute is present;
+    edges need a ``relation`` attribute (defaulting to ``"related-to"``)
+    and an optional ``weight``.  Directed edges map one-to-one;
+    undirected edges produce links in both directions.
+    """
+    network = SemanticNetwork()
+    key_to_name = {}
+    for key, attrs in graph.nodes(data=True):
+        name = str(attrs.get("name", key))
+        key_to_name[key] = name
+        network.ensure_node(
+            name,
+            color=int(attrs.get("color", Color.GENERIC)),
+            function=int(attrs.get("function", 0)),
+        )
+    directed = graph.is_directed()
+    for u, v, attrs in graph.edges(data=True):
+        relation = str(attrs.get("relation", "related-to"))
+        weight = float(attrs.get("weight", 0.0))
+        network.add_link(key_to_name[u], relation, key_to_name[v], weight)
+        if not directed:
+            network.add_link(key_to_name[v], relation, key_to_name[u], weight)
+    network.validate()
+    return network
+
+
+def kb_graph_metrics(network: SemanticNetwork) -> dict:
+    """Structural metrics of a knowledge base via networkx.
+
+    Useful for validating synthetic KBs against the paper's published
+    statistics (connectivity, hierarchy depth).
+    """
+    graph = to_networkx(network)
+    undirected = graph.to_undirected()
+    components = nx.number_connected_components(undirected)
+    largest = max(nx.connected_components(undirected), key=len, default=set())
+    metrics = {
+        "nodes": graph.number_of_nodes(),
+        "edges": graph.number_of_edges(),
+        "connected_components": components,
+        "largest_component_fraction": (
+            len(largest) / graph.number_of_nodes()
+            if graph.number_of_nodes() else 0.0
+        ),
+    }
+    # Depth of the is-a hierarchy (longest shortest-path to a root).
+    is_a_edges = [
+        (u, v) for u, v, a in graph.edges(data=True)
+        if a.get("relation") == "is-a"
+    ]
+    if is_a_edges:
+        dag = nx.DiGraph(is_a_edges)
+        if nx.is_directed_acyclic_graph(dag):
+            metrics["is_a_depth"] = nx.dag_longest_path_length(dag)
+    return metrics

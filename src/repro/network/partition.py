@@ -1,0 +1,206 @@
+"""Partitioning the semantic network across clusters.
+
+The knowledge base is stored distributed: *"A partitioning function is
+applied to divide the network into regions.  Each region is allocated
+to a cluster which processes all of its concepts, relations, and
+markers.  The mapping function is variable with up to 1024 nodes per
+cluster using sequential, round-robin, or semantically-based
+allocation"* (paper §II-A).
+
+All three allocation policies are implemented.  A
+:class:`Partitioning` resolves global node ids to (cluster, local id)
+pairs — the two fields of the relation table's destination-node entry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .graph import SemanticNetwork
+
+#: Paper §II-A: granularity is at most 1024 nodes per cluster.
+MAX_NODES_PER_CLUSTER = 1024
+
+
+class PartitionError(ValueError):
+    """Raised when a network cannot be partitioned as requested."""
+
+
+class Partitioning:
+    """An assignment of every node to exactly one cluster.
+
+    Provides O(1) translation between global node ids and the
+    (cluster, local-id) addressing used by the machine's relation
+    table.
+    """
+
+    def __init__(self, assignment: Sequence[int], num_clusters: int) -> None:
+        if num_clusters < 1:
+            raise PartitionError("need at least one cluster")
+        self.num_clusters = num_clusters
+        self._cluster_of: List[int] = list(assignment)
+        self._members: List[List[int]] = [[] for _ in range(num_clusters)]
+        self._local_of: List[int] = [0] * len(self._cluster_of)
+        for nid, cluster in enumerate(self._cluster_of):
+            if not 0 <= cluster < num_clusters:
+                raise PartitionError(
+                    f"node {nid} assigned to invalid cluster {cluster}"
+                )
+            self._local_of[nid] = len(self._members[cluster])
+            self._members[cluster].append(nid)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._cluster_of)
+
+    def cluster_of(self, node_id: int) -> int:
+        """Cluster holding ``node_id``."""
+        return self._cluster_of[node_id]
+
+    def local_id(self, node_id: int) -> int:
+        """Local index of ``node_id`` within its cluster."""
+        return self._local_of[node_id]
+
+    def address_of(self, node_id: int) -> Tuple[int, int]:
+        """(cluster, local id) — the relation-table destination fields."""
+        return self._cluster_of[node_id], self._local_of[node_id]
+
+    def global_id(self, cluster: int, local: int) -> int:
+        """Inverse of :meth:`address_of`."""
+        return self._members[cluster][local]
+
+    def members(self, cluster: int) -> List[int]:
+        """Global ids of the nodes stored on ``cluster``."""
+        return list(self._members[cluster])
+
+    def sizes(self) -> List[int]:
+        """Node count per cluster."""
+        return [len(m) for m in self._members]
+
+    def imbalance(self) -> float:
+        """max/mean cluster occupancy (1.0 = perfectly balanced)."""
+        sizes = self.sizes()
+        mean = sum(sizes) / len(sizes)
+        return (max(sizes) / mean) if mean else 1.0
+
+    def cut_links(self, network: SemanticNetwork) -> int:
+        """Number of links crossing cluster boundaries.
+
+        Cross-cluster links generate activation-message traffic during
+        propagation, so a good semantic partition minimizes this.
+        """
+        return sum(
+            1
+            for link in network.links()
+            if self._cluster_of[link.source] != self._cluster_of[link.dest]
+        )
+
+
+def _check_capacity(
+    num_nodes: int, num_clusters: int, capacity: int
+) -> None:
+    if num_clusters < 1:
+        raise PartitionError("need at least one cluster")
+    if num_nodes > num_clusters * capacity:
+        raise PartitionError(
+            f"{num_nodes} nodes exceed capacity of "
+            f"{num_clusters} clusters x {capacity} nodes"
+        )
+
+
+def sequential_partition(
+    network: SemanticNetwork,
+    num_clusters: int,
+    capacity: int = MAX_NODES_PER_CLUSTER,
+) -> Partitioning:
+    """Contiguous blocks of node ids per cluster."""
+    n = network.num_nodes
+    _check_capacity(n, num_clusters, capacity)
+    block = -(-n // num_clusters)  # ceil division
+    block = min(block, capacity) if block else 1
+    if block * num_clusters < n:
+        block = -(-n // num_clusters)
+    assignment = [min(nid // block, num_clusters - 1) for nid in range(n)]
+    return Partitioning(assignment, num_clusters)
+
+
+def round_robin_partition(
+    network: SemanticNetwork,
+    num_clusters: int,
+    capacity: int = MAX_NODES_PER_CLUSTER,
+) -> Partitioning:
+    """Node ``i`` goes to cluster ``i mod num_clusters`` (best balance)."""
+    n = network.num_nodes
+    _check_capacity(n, num_clusters, capacity)
+    return Partitioning([nid % num_clusters for nid in range(n)], num_clusters)
+
+
+def semantic_partition(
+    network: SemanticNetwork,
+    num_clusters: int,
+    capacity: int = MAX_NODES_PER_CLUSTER,
+) -> Partitioning:
+    """Locality-preserving allocation by breadth-first region growing.
+
+    Grows connected regions so that semantically related concepts (which
+    exchange the most markers) land on the same cluster, reducing
+    cross-cluster activation traffic.  Regions are capped at
+    ``ceil(n / num_clusters)`` nodes to stay balanced.
+    """
+    n = network.num_nodes
+    _check_capacity(n, num_clusters, capacity)
+    target = min(-(-n // num_clusters), capacity)
+    assignment = [-1] * n
+    # Undirected adjacency for region growing.
+    neighbors: List[List[int]] = [[] for _ in range(n)]
+    for link in network.links():
+        neighbors[link.source].append(link.dest)
+        neighbors[link.dest].append(link.source)
+
+    cluster = 0
+    filled = 0
+    queue: deque = deque()
+    for seed in range(n):
+        if assignment[seed] != -1:
+            continue
+        queue.append(seed)
+        while queue:
+            nid = queue.popleft()
+            if assignment[nid] != -1:
+                continue
+            if filled >= target and cluster < num_clusters - 1:
+                cluster += 1
+                filled = 0
+            assignment[nid] = cluster
+            filled += 1
+            for nb in neighbors[nid]:
+                if assignment[nb] == -1:
+                    queue.append(nb)
+    return Partitioning(assignment, num_clusters)
+
+
+#: Registry of allocation policies by name (paper §II-A).
+PARTITIONERS: Dict[str, Callable[..., Partitioning]] = {
+    "sequential": sequential_partition,
+    "round-robin": round_robin_partition,
+    "semantic": semantic_partition,
+}
+
+
+def make_partition(
+    network: SemanticNetwork,
+    num_clusters: int,
+    policy: str = "round-robin",
+    capacity: int = MAX_NODES_PER_CLUSTER,
+) -> Partitioning:
+    """Partition ``network`` using a named policy."""
+    try:
+        partitioner = PARTITIONERS[policy]
+    except KeyError:
+        raise PartitionError(
+            f"unknown partition policy {policy!r}; "
+            f"choose from {sorted(PARTITIONERS)}"
+        ) from None
+    return partitioner(network, num_clusters, capacity)

@@ -1,0 +1,109 @@
+"""Domain knowledge-base generator."""
+
+import pytest
+
+from repro.apps.nlu import (
+    CORE_SEQUENCES,
+    DomainKB,
+    build_domain_kb,
+)
+from repro.network import Color, nonlexical_proportions
+
+
+@pytest.fixture(scope="module")
+def kb() -> DomainKB:
+    return build_domain_kb(total_nodes=2000)
+
+
+class TestCore:
+    def test_core_sequences_present(self, kb):
+        for name, _cost, _elements in CORE_SEQUENCES:
+            assert name in kb.network
+            assert kb.network.node(name).color == Color.CS_ROOT
+
+    def test_seeing_event_matches_paper_fig1(self, kb):
+        """The paper's example: experiencer must be animate + NP."""
+        net = kb.network
+        constraints = {
+            net.node(l.dest).name
+            for l in net.outgoing_by_relation(
+                "seeing-event.experiencer", "is-a"
+            )
+        }
+        assert constraints == {"animate", "noun-phrase"}
+
+    def test_aux_sequences_attached(self, kb):
+        net = kb.network
+        assert net.node("time-case").color == Color.CS_AUX
+        aux_links = net.outgoing_by_relation("time-case", "aux")
+        assert aux_links
+
+    def test_vocabulary_loaded(self, kb):
+        assert kb.has_word("terrorists")
+        assert kb.has_word("Bogota")
+        assert not kb.has_word("zyzzyva")
+
+    def test_word_reaches_root_via_is_a(self, kb):
+        """Deep taxonomy: a word's is-a chain reaches *thing* in
+        several hops (paper path lengths)."""
+        net = kb.network
+        frontier = {net.resolve("w:terrorists")}
+        seen = set()
+        depth = 0
+        root = net.resolve("thing")
+        while frontier and root not in seen:
+            depth += 1
+            nxt = set()
+            for nid in frontier:
+                for link in net.outgoing_by_relation(nid, "is-a"):
+                    if link.dest not in seen:
+                        seen.add(link.dest)
+                        nxt.add(link.dest)
+            frontier = nxt
+            assert depth < 20
+        assert root in seen
+        # Words carry direct shortcuts to salient classes, but the
+        # taxonomy itself still takes several hops to the root.
+        assert depth >= 3
+
+
+class TestFiller:
+    def test_target_size_respected(self, kb):
+        assert abs(kb.num_nodes - 2000) / 2000 < 0.06
+
+    def test_nonlexical_mix_near_paper(self, kb):
+        mix = nonlexical_proportions(kb.network)
+        assert mix["concept-sequences"] > 0.55
+        assert 0.05 < mix["hierarchy"] < 0.35
+
+    def test_filler_competes_on_core_classes(self, kb):
+        """Some filler sequences must constrain on core classes so
+        they activate on real input (the Fig. 20 mechanism)."""
+        net = kb.network
+        competing = 0
+        for root in kb.cs_roots:
+            if not root.startswith("fcs-"):
+                continue
+            first = net.outgoing_by_relation(root, "first")
+            element = first[0].dest
+            for link in net.outgoing_by_relation(element, "is-a"):
+                if not net.node(link.dest).name.startswith("fc-"):
+                    competing += 1
+                    break
+        assert competing > 0
+
+    def test_more_nodes_more_candidate_sequences(self):
+        small = build_domain_kb(total_nodes=1000)
+        large = build_domain_kb(total_nodes=3000)
+        assert len(large.cs_roots) > len(small.cs_roots)
+
+    def test_deterministic(self):
+        a = build_domain_kb(total_nodes=1200, seed=5)
+        b = build_domain_kb(total_nodes=1200, seed=5)
+        assert a.num_nodes == b.num_nodes
+        assert a.num_links == b.num_links
+
+    def test_core_only_build(self):
+        kb = build_domain_kb(total_nodes=0)
+        assert kb.cs_roots == kb.core_roots
+        kb.network.validate()

@@ -1,0 +1,62 @@
+"""Lexicon and tokenizer."""
+
+from repro.apps.nlu import Lexicon, POS, tokenize
+
+
+class TestLexicon:
+    def test_core_word_lookup(self):
+        lexicon = Lexicon()
+        entry = lexicon.lookup("terrorists")
+        assert entry.pos == POS.NOUN
+        assert "terrorist" in entry.classes
+        assert "animate" in entry.classes
+
+    def test_lookup_case_insensitive(self):
+        lexicon = Lexicon()
+        assert lexicon.lookup("Bogota").classes == lexicon.lookup("bogota").classes
+
+    def test_unknown_word_falls_back_to_noun(self):
+        lexicon = Lexicon()
+        entry = lexicon.lookup("zyzzyva")
+        assert entry.pos == POS.NOUN
+        assert entry.classes == ("entity",)
+
+    def test_contains(self):
+        lexicon = Lexicon()
+        assert "attacked" in lexicon
+        assert "zyzzyva" not in lexicon
+
+    def test_add_word(self):
+        lexicon = Lexicon()
+        lexicon.add("jeep", POS.NOUN, ("vehicle",))
+        assert lexicon.lookup("jeep").classes == ("vehicle",)
+
+    def test_syntax_class_mapping(self):
+        lexicon = Lexicon()
+        assert lexicon.lookup("attacked").syntax_class == "verb"
+        assert lexicon.lookup("the").syntax_class == "determiner"
+        assert lexicon.lookup("we").syntax_class == "noun"  # pronoun -> NP head
+
+    def test_function_words_have_no_semantic_classes(self):
+        lexicon = Lexicon()
+        assert lexicon.lookup("the").classes == ()
+        assert lexicon.lookup("in").classes == ()
+
+    def test_words_and_entries_sorted(self):
+        lexicon = Lexicon()
+        words = lexicon.words()
+        assert words == sorted(words)
+        assert len(lexicon.entries()) == len(lexicon)
+
+
+class TestTokenizer:
+    def test_lowercases_and_strips_punctuation(self):
+        assert tokenize("Terrorists attacked, yesterday!") == [
+            "terrorists", "attacked", "yesterday"
+        ]
+
+    def test_numbers_kept(self):
+        assert tokenize("5 soldiers") == ["5", "soldiers"]
+
+    def test_empty(self):
+        assert tokenize("...") == []

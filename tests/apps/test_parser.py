@@ -1,0 +1,157 @@
+"""Memory-based parser: end-to-end parses on three machine models."""
+
+import pytest
+
+from repro.apps.nlu import (
+    MemoryBasedParser,
+    build_domain_kb,
+    sentences,
+)
+from repro.baselines import SerialMachine, SimdMachine
+from repro.machine import MachineConfig, SnapMachine
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return build_domain_kb(total_nodes=1500)
+
+
+@pytest.fixture()
+def parser(kb):
+    machine = SnapMachine(
+        kb.network, MachineConfig(num_clusters=8, mus_per_cluster=2)
+    )
+    return MemoryBasedParser(machine, kb)
+
+
+class TestParses:
+    def test_s1_attack_event(self, parser):
+        result = parser.parse("terrorists attacked the mayor in bogota")
+        assert result.winner == "attack-event"
+        assert result.cost is not None
+        assert result.oov == []
+
+    def test_s3_kidnap_event(self, parser):
+        result = parser.parse(
+            "several armed men kidnapped the ambassador near the "
+            "residence in lima"
+        )
+        assert result.winner == "kidnap-event"
+
+    def test_bombing_event(self, parser):
+        result = parser.parse(
+            "terrorists exploded a powerful bomb"
+        )
+        assert result.winner == "bombing-event"
+
+    def test_seeing_event_from_paper(self, parser):
+        result = parser.parse("we saw the explosion")
+        # Paper's Fig. 1 example sequence competes here; any completed
+        # hypothesis list must include it.
+        names = [name for name, _cost in result.candidates]
+        assert "seeing-event" in names
+
+    def test_winner_is_cheapest_candidate(self, parser):
+        result = parser.parse("guerrillas bombed the embassy")
+        costs = [cost for _name, cost in result.candidates]
+        assert costs == sorted(costs)
+        assert result.cost == costs[0]
+
+    def test_time_case_auxiliary_completes(self, parser):
+        result = parser.parse("terrorists attacked the mayor yesterday")
+        assert "time-case" in result.auxiliaries
+
+    def test_no_parse_for_gibberish(self, parser):
+        result = parser.parse("in of the")
+        assert result.winner is None
+        assert result.candidates == []
+
+    def test_oov_words_reported(self, parser):
+        result = parser.parse("terrorists attacked the mayor zyzzyva")
+        assert "zyzzyva" in result.oov
+        assert result.winner is not None  # parse continues around OOV
+
+    def test_bindings_present_for_winner(self, parser):
+        result = parser.parse("terrorists attacked the mayor")
+        assert result.bindings, "confirmed elements must be bound"
+        assert any("attack-event" in b for b in result.bindings)
+
+
+class TestMeasurements:
+    def test_times_positive_and_split(self, parser):
+        result = parser.parse(sentences()[0])
+        assert result.pp_time_us > 0
+        assert result.mb_time_us > 0
+        assert result.total_time_us == (
+            result.pp_time_us + result.mb_time_us
+        )
+
+    def test_instruction_counts(self, parser):
+        result = parser.parse(sentences()[1])
+        assert result.instruction_count == sum(
+            result.category_counts.values()
+        )
+        assert result.propagate_count == result.category_counts["propagate"]
+        assert result.propagation_events > result.propagate_count
+
+    def test_longer_sentence_costs_more(self, parser):
+        short = parser.parse("terrorists attacked")
+        long = parser.parse(
+            "unidentified terrorists attacked the mayor near the "
+            "residence in bogota yesterday morning"
+        )
+        assert long.mb_time_us > short.mb_time_us
+        assert long.instruction_count > short.instruction_count
+
+    def test_keep_trace_logs_segments(self, kb):
+        machine = SnapMachine(
+            kb.network, MachineConfig(num_clusters=4, mus_per_cluster=2)
+        )
+        parser = MemoryBasedParser(machine, kb, keep_trace=True)
+        parser.parse("terrorists attacked the mayor")
+        assert parser.trace_log
+        programs, reports = zip(*parser.trace_log)
+        assert sum(len(p) for p in programs) == sum(
+            len(r.traces) for r in reports
+        )
+
+    def test_parse_text_bulk(self, parser):
+        results = parser.parse_text(sentences()[:2])
+        assert len(results) == 2
+
+
+class TestCrossMachine:
+    """The same parse on three architectures: identical linguistics,
+    different time — the paper's comparison methodology."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        outcome = {}
+        sentence = "guerrillas bombed the embassy in bogota"
+        for label, factory in {
+            "snap": lambda net: SnapMachine(
+                net, MachineConfig(num_clusters=8, mus_per_cluster=2)
+            ),
+            "serial": SerialMachine,
+            "simd": SimdMachine,
+        }.items():
+            kb = build_domain_kb(total_nodes=1200)
+            machine = factory(kb.network)
+            outcome[label] = MemoryBasedParser(machine, kb).parse(sentence)
+        return outcome
+
+    def test_same_winner_everywhere(self, results):
+        winners = {r.winner for r in results.values()}
+        assert len(winners) == 1
+
+    def test_same_candidates_everywhere(self, results):
+        candidate_sets = {
+            tuple(r.candidates) for r in results.values()
+        }
+        assert len(candidate_sets) == 1
+
+    def test_simd_is_slowest(self, results):
+        assert results["simd"].mb_time_us > results["snap"].mb_time_us
+
+    def test_parallel_beats_serial(self, results):
+        assert results["snap"].mb_time_us < results["serial"].mb_time_us

@@ -1,0 +1,74 @@
+"""Phrasal parser (serial controller chunker)."""
+
+import pytest
+
+from repro.apps.nlu import Lexicon, PhraseKind, PhrasalParser
+
+
+@pytest.fixture
+def parser():
+    return PhrasalParser(Lexicon())
+
+
+class TestChunking:
+    def test_simple_svo(self, parser):
+        result = parser.parse("terrorists attacked the mayor")
+        kinds = [p.kind for p in result.phrases]
+        assert kinds == [PhraseKind.NP, PhraseKind.VP, PhraseKind.NP]
+        assert result.phrases[0].head == "terrorists"
+        assert result.phrases[2].head == "mayor"
+
+    def test_np_with_determiner_and_adjectives(self, parser):
+        result = parser.parse("the powerful bomb")
+        assert len(result.phrases) == 1
+        phrase = result.phrases[0]
+        assert phrase.kind == PhraseKind.NP
+        assert phrase.words == ["the", "powerful", "bomb"]
+        assert phrase.head == "bomb"
+        assert phrase.content == ["powerful", "bomb"]
+
+    def test_prepositional_phrase(self, parser):
+        result = parser.parse("in bogota")
+        phrase = result.phrases[0]
+        assert phrase.kind == PhraseKind.PP
+        assert phrase.head == "bogota"
+        assert "in" in phrase.words
+
+    def test_verb_group_with_adverb(self, parser):
+        result = parser.parse("reportedly attacked")
+        phrase = result.phrases[0]
+        assert phrase.kind == PhraseKind.VP
+        assert phrase.head == "attacked"
+
+    def test_conjunction_is_other(self, parser):
+        result = parser.parse("soldiers and rebels")
+        kinds = [p.kind for p in result.phrases]
+        assert kinds == [PhraseKind.NP, PhraseKind.OTHER, PhraseKind.NP]
+
+    def test_every_token_covered(self, parser):
+        sentence = ("the army reported unidentified terrorists exploded "
+                    "a powerful bomb against the pipeline in medellin")
+        result = parser.parse(sentence)
+        covered = [w for p in result.phrases for w in p.words]
+        assert covered == result.tokens
+
+    def test_trailing_determiner(self, parser):
+        result = parser.parse("attacked the")
+        assert [p.kind for p in result.phrases] == [
+            PhraseKind.VP, PhraseKind.NP
+        ]
+
+
+class TestTiming:
+    def test_pp_time_linear_in_tokens(self, parser):
+        short = parser.parse("terrorists attacked")
+        long = parser.parse("terrorists attacked the mayor in bogota")
+        per_token = parser.t_per_token_us
+        assert long.pp_time_us - short.pp_time_us == pytest.approx(
+            per_token * (long.num_words - short.num_words)
+        )
+
+    def test_pp_time_independent_of_kb(self, parser):
+        """The phrasal parser never touches the KB at all."""
+        result = parser.parse("guerrillas bombed the embassy")
+        assert result.pp_time_us == parser.t_fixed_us + 4 * parser.t_per_token_us

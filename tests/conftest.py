@@ -1,0 +1,62 @@
+"""Shared fixtures: small knowledge bases used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import KnowledgeBaseBuilder, SemanticNetwork
+
+
+@pytest.fixture
+def fig5_kb() -> SemanticNetwork:
+    """The paper's Fig. 1/Fig. 5 mini knowledge base.
+
+    Words *we* and *saw*, syntax classes NP/VP, the *seeing-event*
+    concept sequence with experiencer/see/object elements.
+    """
+    builder = KnowledgeBaseBuilder()
+    builder.add_class("animate", ["thing"])
+    builder.add_syntax_class("noun-phrase")
+    builder.add_syntax_class("verb-phrase")
+    builder.add_word("we", ["animate", "noun-phrase"])
+    builder.add_word("saw", ["verb-phrase"])
+    builder.add_word("terrorists", ["animate", "noun-phrase"])
+    builder.add_concept_sequence(
+        "seeing-event",
+        [
+            ("experiencer", ["animate", "noun-phrase"]),
+            ("see", ["verb-phrase"]),
+            ("object", ["thing"]),
+        ],
+        cost=1.0,
+    )
+    return builder.build(physical=False)
+
+
+@pytest.fixture
+def chain_kb() -> SemanticNetwork:
+    """A simple weighted chain a0 -r-> a1 -r-> ... -r-> a5."""
+    network = SemanticNetwork()
+    previous = network.add_node("a0").node_id
+    for i in range(1, 6):
+        node = network.add_node(f"a{i}")
+        network.add_link(previous, "r", node.node_id, float(i))
+        previous = node.node_id
+    return network
+
+
+@pytest.fixture
+def diamond_kb() -> SemanticNetwork:
+    """Two paths of different cost from src to dst (min-cost tests).
+
+    src -r(1)-> left -r(1)-> dst   (cost 2)
+    src -r(5)-> right -r(5)-> dst  (cost 10)
+    """
+    network = SemanticNetwork()
+    for name in ("src", "left", "right", "dst"):
+        network.add_node(name)
+    network.add_link("src", "r", "left", 1.0)
+    network.add_link("left", "r", "dst", 1.0)
+    network.add_link("src", "r", "right", 5.0)
+    network.add_link("right", "r", "dst", 5.0)
+    return network

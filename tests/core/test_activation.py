@@ -1,0 +1,155 @@
+"""Activation messages: the 64-bit wire format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.activation import (
+    ActivationMessage,
+    FIELD_WIDTHS,
+    MESSAGE_BITS,
+    MESSAGE_BYTES,
+    MessageError,
+    from_bfloat16_bits,
+    from_bytes,
+    to_bfloat16_bits,
+    unpack,
+)
+from repro.isa import spread, chain
+
+
+def make_msg(**overrides):
+    defaults = dict(
+        marker=5,
+        value=1.5,
+        function=2,
+        rule=spread("is-a", "last"),
+        state=1,
+        dest_cluster=13,
+        dest_local=700,
+        origin=12345,
+        level=2,
+        hops=4,
+    )
+    defaults.update(overrides)
+    return ActivationMessage(**defaults)
+
+
+class TestWireFormat:
+    def test_fields_sum_to_64_bits(self):
+        assert sum(FIELD_WIDTHS.values()) == MESSAGE_BITS == 64
+
+    def test_pack_unpack_roundtrip(self):
+        msg = make_msg()
+        table = [msg.rule]
+        raw = msg.pack(table)
+        assert 0 <= raw < (1 << 64)
+        back = unpack(raw, table, level=msg.level, hops=msg.hops)
+        assert back.marker == msg.marker
+        assert back.state == msg.state
+        assert back.dest_cluster == msg.dest_cluster
+        assert back.dest_local == msg.dest_local
+        assert back.origin == msg.origin
+        assert back.rule is msg.rule
+        assert back.value == 1.5  # exactly representable in bfloat16
+
+    def test_bytes_roundtrip(self):
+        msg = make_msg()
+        table = [msg.rule]
+        data = msg.to_bytes(table)
+        assert len(data) == MESSAGE_BYTES == 8
+        back = from_bytes(data, table)
+        assert back.dest_local == msg.dest_local
+
+    def test_value_truncated_to_bfloat16(self):
+        msg = make_msg(value=3.14159265)
+        back = unpack(msg.pack([msg.rule]), [msg.rule])
+        assert back.value != pytest.approx(3.14159265, abs=1e-9)
+        assert back.value == pytest.approx(3.14159265, rel=0.01)
+
+    def test_negative_origin_packs_as_zero(self):
+        msg = make_msg(origin=-1)
+        back = unpack(msg.pack([msg.rule]), [msg.rule])
+        assert back.origin == 0
+
+    def test_rule_travels_as_table_index(self):
+        rule_a = chain("x")
+        rule_b = spread("a", "b")
+        msg = make_msg(rule=rule_b, state=0)
+        table = [rule_a, rule_b]
+        back = unpack(msg.pack(table), table)
+        assert back.rule is rule_b
+
+    def test_rule_not_in_table_rejected(self):
+        msg = make_msg()
+        with pytest.raises(MessageError):
+            msg.pack([chain("other")])
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("marker", 128), ("dest_cluster", 32), ("dest_local", 1024),
+         ("origin", 1 << 15), ("state", 4), ("function", 64)],
+    )
+    def test_field_overflow_rejected(self, field, value):
+        msg = make_msg(**{field: value})
+        with pytest.raises(MessageError):
+            msg.pack([msg.rule])
+
+    def test_bad_byte_length(self):
+        with pytest.raises(MessageError):
+            from_bytes(b"\x00" * 7, [chain("r")])
+
+    def test_bad_rule_index(self):
+        # Craft a raw word whose rule index exceeds the table length.
+        rule = chain("r")
+        raw = make_msg(rule=rule, state=0).pack([rule])
+        offset = 0
+        for name, width in FIELD_WIDTHS.items():
+            if name == "rule":
+                break
+            offset += width
+        raw |= 7 << offset  # force rule index 7 with a 1-entry table
+        with pytest.raises(MessageError):
+            unpack(raw, [rule])
+
+
+class TestBfloat16:
+    def test_roundtrip_powers_of_two(self):
+        for value in (0.0, 1.0, 2.0, 0.5, -4.0):
+            assert from_bfloat16_bits(to_bfloat16_bits(value)) == value
+
+    @given(st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-30, max_value=1e6),
+        st.floats(min_value=-1e6, max_value=-1e-30),
+    ))
+    @settings(max_examples=80, deadline=None)
+    def test_property_relative_error_bounded(self, value):
+        back = from_bfloat16_bits(to_bfloat16_bits(value))
+        if value == 0:
+            assert back == 0
+        else:
+            assert abs(back - value) <= abs(value) * 0.01
+
+
+@given(
+    marker=st.integers(0, 127),
+    dest_cluster=st.integers(0, 31),
+    dest_local=st.integers(0, 1023),
+    origin=st.integers(0, (1 << 15) - 1),
+    state=st.integers(0, 1),
+    hops=st.integers(0, 15),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_pack_unpack_identity_on_integer_fields(
+    marker, dest_cluster, dest_local, origin, state, hops
+):
+    rule = spread("a", "b")
+    msg = make_msg(
+        marker=marker, dest_cluster=dest_cluster, dest_local=dest_local,
+        origin=origin, state=state, hops=hops, rule=rule,
+    )
+    back = unpack(msg.pack([rule]), [rule], hops=hops)
+    assert (back.marker, back.dest_cluster, back.dest_local,
+            back.origin, back.state, back.hops) == (
+        marker, dest_cluster, dest_local, origin, state, hops
+    )

@@ -1,0 +1,143 @@
+"""The golden property: partitioning must not change semantics.
+
+The same program run on 1 cluster and on N clusters (any allocation
+policy) must produce identical final marker state — this is what makes
+the paper's claim *"their physical allocation remains transparent,
+regardless of the number of PE's or the size of semantic network
+used"* (§II-B) true of this implementation.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FunctionalEngine
+from repro.isa import (
+    AndMarker,
+    ClearMarker,
+    NotMarker,
+    OrMarker,
+    Propagate,
+    SearchColor,
+    SearchNode,
+    SetMarker,
+    SnapProgram,
+    chain,
+    comb,
+    seq,
+    spread,
+    step,
+)
+from repro.network import SemanticNetwork
+
+RELATIONS = ("r1", "r2", "r3")
+MARKERS = tuple(range(6)) + tuple(range(64, 67))  # complex + binary
+
+
+def random_network(seed: int, nodes: int, links: int) -> SemanticNetwork:
+    rng = random.Random(seed)
+    net = SemanticNetwork()
+    colors = [0, 1, 2]
+    for i in range(nodes):
+        net.add_node(f"n{i}", color=rng.choice(colors))
+    for _ in range(links):
+        a = rng.randrange(nodes)
+        b = rng.randrange(nodes)
+        net.add_link(a, rng.choice(RELATIONS), b,
+                     round(rng.uniform(0.0, 3.0), 2))
+    return net
+
+
+def random_program(seed: int, nodes: int, length: int) -> SnapProgram:
+    rng = random.Random(seed)
+    rules = [
+        chain(rng.choice(RELATIONS)),
+        spread(rng.choice(RELATIONS), rng.choice(RELATIONS)),
+        seq(rng.choice(RELATIONS), rng.choice(RELATIONS)),
+        comb(rng.choice(RELATIONS), rng.choice(RELATIONS)),
+        step(rng.choice(RELATIONS)),
+    ]
+    program = SnapProgram(name=f"random-{seed}")
+    for _ in range(length):
+        kind = rng.randrange(7)
+        m1, m2, m3 = (rng.choice(MARKERS) for _ in range(3))
+        if kind == 0:
+            program.append(SearchNode(rng.randrange(nodes), m1,
+                                      round(rng.uniform(0, 2), 2)))
+        elif kind == 1:
+            program.append(SearchColor(rng.choice([0, 1, 2]), m1))
+        elif kind == 2:
+            program.append(
+                Propagate(m1, m2, rng.choice(rules), "add-weight")
+            )
+        elif kind == 3:
+            program.append(AndMarker(m1, m2, m3, "min"))
+        elif kind == 4:
+            program.append(OrMarker(m1, m2, m3, "max"))
+        elif kind == 5:
+            program.append(NotMarker(m1, m2))
+        else:
+            program.append(
+                SetMarker(m1, 1.0) if rng.random() < 0.5
+                else ClearMarker(m1)
+            )
+    return program
+
+
+def final_state(network, program, clusters, policy):
+    engine = FunctionalEngine(network, clusters, policy)
+    engine.run(program)
+    state = {}
+    for marker in MARKERS:
+        nodes = engine.state.marker_set_nodes(marker)
+        values = None
+        if marker < 64:
+            values = tuple(
+                round(engine.state.marker_value(marker, n), 4)
+                for n in nodes
+            )
+        state[marker] = (tuple(nodes), values)
+    return state
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_property_cluster_count_transparent(seed):
+    net_seed, prog_seed = seed, seed + 131
+    network = random_network(net_seed, nodes=24, links=60)
+    program = random_program(prog_seed, nodes=24, length=12)
+    reference = final_state(
+        random_network(net_seed, 24, 60), program, 1, "round-robin"
+    )
+    for clusters, policy in ((3, "round-robin"), (5, "semantic"),
+                             (4, "sequential")):
+        state = final_state(
+            random_network(net_seed, 24, 60), program, clusters, policy
+        )
+        assert state == reference, (
+            f"{clusters} clusters/{policy} diverged from 1-cluster run"
+        )
+
+
+@pytest.mark.parametrize("clusters", [2, 4, 8])
+def test_fig5_program_partition_invariant(fig5_kb, clusters):
+    from repro.isa import assemble
+
+    program = assemble("""
+    SEARCH-NODE w:we m1 0.0
+    SEARCH-NODE w:saw m2 0.0
+    PROPAGATE m1 m3 spread(is-a,last) add-weight
+    PROPAGATE m2 m4 chain(is-a) add-weight
+    AND-MARKER m3 m4 m5 min
+    NOT-MARKER m5 b0
+    COLLECT-NODE m3
+    """)
+    ref_engine = FunctionalEngine(fig5_kb, 1)
+    reference = ref_engine.run(program).records[-1].result
+
+    import copy
+
+    engine = FunctionalEngine(copy.deepcopy(fig5_kb), clusters)
+    result = engine.run(program).records[-1].result
+    assert result == reference

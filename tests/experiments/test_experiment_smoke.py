@@ -1,0 +1,104 @@
+"""Fast-mode smoke runs of the experiment modules, asserting that the
+paper's headline claims hold in the regenerated data."""
+
+import pytest
+
+from repro.experiments.common import REGISTRY
+
+# Importing the runner registers every experiment.
+import repro.experiments.runner  # noqa: F401
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run the cheap experiments once; share across assertions."""
+    ids = ("fig06", "fig08", "fig17", "fig19", "fig21", "textstats")
+    return {eid: REGISTRY[eid](fast=True) for eid in ids}
+
+
+class TestFig06Claims:
+    def test_propagate_time_exceeds_frequency_share(self, results):
+        data = results["fig06"].data
+        assert (
+            data["time_share"]["propagate"]
+            > data["frequency_share"]["propagate"]
+        )
+
+    def test_propagate_near_paper_frequency(self, results):
+        freq = results["fig06"].data["frequency_share"]["propagate"]
+        assert 0.10 < freq < 0.30  # paper: 17%
+
+    def test_propagate_dominates_time(self, results):
+        share = results["fig06"].data["time_share"]["propagate"]
+        assert share > 0.40  # paper: 64.5%
+
+
+class TestFig08Claims:
+    def test_traffic_is_bursty(self, results):
+        data = results["fig08"].data
+        assert data["peak"] > 2 * data["mean"]
+
+    def test_bursts_over_30_occur(self, results):
+        assert results["fig08"].data["bursts_over_30"] > 0
+
+
+class TestFig17Claims:
+    def test_speedup_saturates_above_16(self, results):
+        rows = {r["beta"]: r["speedup"] for r in results["fig17"].data["rows"]}
+        gain_low = rows[16] / rows[1]
+        gain_high = rows[32] / rows[16]
+        assert gain_high < gain_low / 2
+
+    def test_speedup_monotone_nondecreasing(self, results):
+        speedups = [r["speedup"] for r in results["fig17"].data["rows"]]
+        assert all(b >= a * 0.95 for a, b in zip(speedups, speedups[1:]))
+
+
+class TestFig19Claims:
+    def test_propagate_share_grows_with_kb(self, results):
+        rows = results["fig19"].data["rows"]
+        shares = [r["propagate_share"] for r in rows]
+        assert shares[-1] > shares[0]
+
+    def test_propagation_dominant_at_largest(self, results):
+        rows = results["fig19"].data["rows"]
+        latency = rows[-1]["latency_us"]
+        assert latency["propagate"] == max(latency.values())
+
+
+class TestFig21Claims:
+    def test_all_four_shape_claims(self, results):
+        rows = results["fig21"].data["rows"]
+        first, last = rows[0], rows[-1]
+        # broadcast constant
+        assert last["broadcast"] <= 2 * max(first["broadcast"], 1e-9)
+        # communication sublinear in clusters
+        cluster_ratio = last["clusters"] / first["clusters"]
+        if first["communication"] > 0:
+            assert (
+                last["communication"] / first["communication"]
+                < cluster_ratio
+            )
+        # collection dominant at the largest machine
+        assert last["collection"] == max(
+            last[k] for k in
+            ("broadcast", "communication", "synchronization", "collection")
+        )
+
+
+class TestTextstatsClaims:
+    def test_alpha_in_paper_range(self, results):
+        alpha = results["textstats"].data["alpha"]
+        assert alpha["alpha_max"] >= 10
+        assert alpha["alpha_max"] <= 4000
+
+    def test_speech_beta_reaches_paper_band(self, results):
+        assert results["textstats"].data["beta_speech_max"] >= 3
+
+
+class TestRendering:
+    def test_every_result_renders(self, results):
+        for result in results.values():
+            text = result.render()
+            assert result.experiment_id in text
+            assert "paper:" in text

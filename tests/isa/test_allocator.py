@@ -1,0 +1,103 @@
+"""Marker register allocator."""
+
+import pytest
+
+from repro.isa import is_complex
+from repro.isa.allocator import AllocationError, MarkerAllocator
+
+
+class TestAllocation:
+    def test_complex_and_binary_distinct(self):
+        alloc = MarkerAllocator()
+        c = alloc.complex("value")
+        b = alloc.binary("flag")
+        assert is_complex(c)
+        assert not is_complex(b)
+
+    def test_named_lookup(self):
+        alloc = MarkerAllocator()
+        marker = alloc.complex("act")
+        assert alloc["act"] == marker
+        assert "act" in alloc
+        assert alloc.name_of(marker) == "act"
+
+    def test_duplicate_name_rejected(self):
+        alloc = MarkerAllocator()
+        alloc.complex("x")
+        with pytest.raises(AllocationError):
+            alloc.binary("x")
+
+    def test_unknown_name(self):
+        with pytest.raises(AllocationError):
+            MarkerAllocator()["ghost"]
+
+    def test_free_and_reuse(self):
+        alloc = MarkerAllocator()
+        first = alloc.complex("a")
+        alloc.free("a")
+        assert alloc.complex("b") == first
+
+    def test_free_unknown(self):
+        with pytest.raises(AllocationError):
+            MarkerAllocator().free("nope")
+
+    def test_exhaustion(self):
+        alloc = MarkerAllocator()
+        for i in range(64):
+            alloc.complex(f"c{i}")
+        with pytest.raises(AllocationError):
+            alloc.complex("one-too-many")
+        # Binary side unaffected.
+        alloc.binary("still-fine")
+
+    def test_reserved_never_allocated(self):
+        from repro.apps.nlu import ALL_PARSE_MARKERS
+
+        alloc = MarkerAllocator(reserved=set(ALL_PARSE_MARKERS))
+        for i in range(alloc.free_complex):
+            marker = alloc.complex(f"c{i}")
+            assert marker not in ALL_PARSE_MARKERS
+
+    def test_free_counts(self):
+        alloc = MarkerAllocator()
+        assert alloc.free_complex == 64
+        alloc.complex("one")
+        assert alloc.free_complex == 63
+        assert alloc.free_binary == 64
+
+
+class TestScope:
+    def test_temporaries_released(self):
+        alloc = MarkerAllocator()
+        with alloc.scope("t1", "t2") as (a, b):
+            assert alloc.live() == ["t1", "t2"]
+            assert is_complex(a) and is_complex(b)
+        assert alloc.live() == []
+
+    def test_binary_scope(self):
+        alloc = MarkerAllocator()
+        with alloc.scope("flag", binary=True) as (marker,):
+            assert not is_complex(marker)
+
+    def test_released_on_exception(self):
+        alloc = MarkerAllocator()
+        with pytest.raises(RuntimeError):
+            with alloc.scope("t"):
+                raise RuntimeError("boom")
+        assert alloc.live() == []
+
+    def test_usable_in_program(self, fig5_kb):
+        from repro.core import run_program
+        from repro.isa import (
+            CollectNode, Propagate, SearchNode, SnapProgram, chain,
+        )
+
+        alloc = MarkerAllocator()
+        with alloc.scope("src", "dst") as (src, dst):
+            program = SnapProgram([
+                SearchNode("w:we", src),
+                Propagate(src, dst, chain("is-a"), "identity"),
+                CollectNode(dst),
+            ])
+            result = run_program(fig5_kb, program)
+            assert result.records[-1].result

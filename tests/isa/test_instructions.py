@@ -1,0 +1,108 @@
+"""The 20-instruction ISA: opcodes, categories, dependency sets."""
+
+import pytest
+
+from repro.isa import (
+    AndMarker,
+    Category,
+    ClearMarker,
+    CollectNode,
+    INSTRUCTION_SET,
+    InstructionError,
+    NotMarker,
+    NUM_MARKERS,
+    OPCODES,
+    Propagate,
+    SearchNode,
+    SetMarker,
+    binary_marker,
+    check_marker,
+    complex_marker,
+    is_complex,
+    spread,
+)
+
+
+class TestMarkerIds:
+    def test_complex_markers_are_low_ids(self):
+        assert complex_marker(0) == 0
+        assert complex_marker(63) == 63
+
+    def test_binary_markers_are_high_ids(self):
+        assert binary_marker(0) == 64
+        assert binary_marker(63) == 127
+
+    def test_is_complex(self):
+        assert is_complex(complex_marker(5))
+        assert not is_complex(binary_marker(5))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InstructionError):
+            complex_marker(64)
+        with pytest.raises(InstructionError):
+            binary_marker(-1)
+        with pytest.raises(InstructionError):
+            check_marker(NUM_MARKERS)
+
+    def test_check_marker_passthrough(self):
+        assert check_marker(100) == 100
+
+
+class TestInstructionSet:
+    def test_exactly_twenty_instructions(self):
+        assert len(INSTRUCTION_SET) == 20
+
+    def test_opcodes_unique(self):
+        assert len(OPCODES) == 20
+
+    def test_every_instruction_categorized(self):
+        for cls in INSTRUCTION_SET:
+            assert cls.category in Category.ALL
+
+    def test_paper_table_ii_opcodes_present(self):
+        expected = {
+            "CREATE", "DELETE", "SET-COLOR",
+            "SEARCH-NODE", "SEARCH-RELATION", "SEARCH-COLOR",
+            "PROPAGATE",
+            "MARKER-CREATE", "MARKER-DELETE", "MARKER-SET-COLOR",
+            "AND-MARKER", "OR-MARKER", "NOT-MARKER",
+            "SET-MARKER", "CLEAR-MARKER", "FUNC-MARKER",
+            "COLLECT-NODE", "COLLECT-MARKER", "COLLECT-RELATION",
+            "COLLECT-COLOR",
+        }
+        assert set(OPCODES) == expected
+
+
+class TestDependencySets:
+    def test_propagate_reads_and_writes(self):
+        instr = Propagate(1, 2, spread("a", "b"), "identity")
+        assert instr.reads() == (1,)
+        assert instr.writes() == (2,)
+
+    def test_and_marker(self):
+        instr = AndMarker(1, 2, 3)
+        assert set(instr.reads()) == {1, 2}
+        assert instr.writes() == (3,)
+
+    def test_not_marker(self):
+        instr = NotMarker(4, 5)
+        assert instr.reads() == (4,)
+        assert instr.writes() == (5,)
+
+    def test_set_clear_write_only(self):
+        assert SetMarker(7).writes() == (7,)
+        assert SetMarker(7).reads() == ()
+        assert ClearMarker(7).writes() == (7,)
+
+    def test_search_writes(self):
+        assert SearchNode("n", 3).writes() == (3,)
+
+    def test_collect_reads(self):
+        assert CollectNode(9).reads() == (9,)
+        assert CollectNode(9).writes() == ()
+
+    def test_instructions_are_hashable_and_frozen(self):
+        instr = SetMarker(1, 2.0)
+        with pytest.raises(AttributeError):
+            instr.marker = 3  # type: ignore[misc]
+        assert hash(instr) == hash(SetMarker(1, 2.0))

@@ -1,0 +1,57 @@
+"""Calibration anchors stay within their paper-derived bands."""
+
+import pytest
+
+from repro.machine.calibration import (
+    Anchor,
+    calibration_report,
+    measure_anchors,
+)
+from repro.machine.config import Timing
+
+
+class TestAnchors:
+    @pytest.fixture(scope="class")
+    def anchors(self):
+        return measure_anchors()
+
+    def test_every_anchor_within_band(self, anchors):
+        drifted = [a for a in anchors if not a.within_band]
+        assert not drifted, "\n".join(a.render() for a in drifted)
+
+    def test_all_published_anchors_measured(self, anchors):
+        names = {a.name for a in anchors}
+        assert any("SET-MARKER" in n for n in names)
+        assert any("PROPAGATE" in n for n in names)
+        assert any("ICN hop" in n for n in names)
+        assert any("diameter" in n for n in names)
+        assert any("144" in str(a.paper_value) or a.paper_value == 144.0
+                   for a in anchors)
+
+    def test_hop_time_exact(self, anchors):
+        hop = next(a for a in anchors if "ICN hop" in a.name)
+        assert hop.measured == pytest.approx(0.64)
+
+    def test_report_renders(self):
+        text = calibration_report()
+        assert "calibration anchors" in text
+        assert "within tolerance" in text
+
+    def test_drift_detected(self):
+        """A grossly wrong timing must be flagged."""
+        slow = Timing(t_status_word=50.0)  # 250x the calibrated value
+        anchors = measure_anchors(slow)
+        clear = next(a for a in anchors if "CLEAR-MARKER" in a.name)
+        assert not clear.within_band
+        assert "DRIFTED" in calibration_report(slow)
+
+
+class TestAnchorMath:
+    def test_ratio_and_band(self):
+        anchor = Anchor("x", 100.0, 150.0, "us", 0.5, 2.0, "src")
+        assert anchor.ratio == 1.5
+        assert anchor.within_band
+
+    def test_zero_paper_value(self):
+        anchor = Anchor("x", 0.0, 5.0, "us", 0.5, 2.0, "src")
+        assert anchor.ratio == 1.0

@@ -1,0 +1,99 @@
+"""Machine configurations: the prototype's published parameters."""
+
+import pytest
+
+from repro.machine import (
+    ConfigError,
+    MachineConfig,
+    Timing,
+    cluster_sweep,
+    processor_sweep,
+    snap1_16cluster,
+    snap1_full,
+    uniprocessor,
+)
+
+
+class TestPrototypeConfigs:
+    def test_full_machine_is_144_pes(self):
+        """Paper abstract: 144 DSPs in 32 clusters."""
+        config = snap1_full()
+        assert config.num_clusters == 32
+        assert config.total_pes == 144
+
+    def test_full_machine_mu_mix(self):
+        """16 five-PE clusters (3 MUs) + 16 four-PE clusters (2 MUs)."""
+        counts = snap1_full().mu_counts()
+        assert counts.count(3) == 16
+        assert counts.count(2) == 16
+
+    def test_experiment_machine_is_72_pes(self):
+        """§IV: experiments used a 16-cluster, 72-processor array."""
+        config = snap1_16cluster()
+        assert config.num_clusters == 16
+        assert config.total_pes == 72
+
+    def test_clock_speeds(self):
+        """§IV: 32 MHz controller, 25 MHz array clock."""
+        config = snap1_full()
+        assert config.controller_mhz == 32.0
+        assert config.array_mhz == 25.0
+
+    def test_machine_capacity_32k_nodes(self):
+        """§II-B: 32K semantic network nodes, 1024 per cluster."""
+        config = snap1_full()
+        assert config.nodes_per_cluster == 1024
+        assert config.node_capacity == 32 * 1024
+
+    def test_instruction_queue_depth_64(self):
+        """§III-A: up to 64 instructions can be overlapped."""
+        assert snap1_full().instruction_queue_depth == 64
+
+    def test_uniprocessor(self):
+        config = uniprocessor()
+        assert config.num_clusters == 1
+        assert config.total_mus == 1
+
+
+class TestValidation:
+    def test_zero_clusters_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(num_clusters=0)
+
+    def test_zero_mus_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(num_clusters=2, mus_per_cluster=(1, 0))
+
+    def test_int_mu_count_expands(self):
+        config = MachineConfig(num_clusters=4, mus_per_cluster=2)
+        assert config.mu_counts() == [2, 2, 2, 2]
+        assert config.total_mus == 8
+
+    def test_short_tuple_cycles(self):
+        config = MachineConfig(num_clusters=4, mus_per_cluster=(3, 2))
+        assert config.mu_counts() == [3, 2, 3, 2]
+
+
+class TestSweeps:
+    def test_cluster_sweep_sizes(self):
+        sizes = [c.num_clusters for c in cluster_sweep()]
+        assert sizes == [1, 2, 4, 8, 16]
+
+    def test_cluster_sweep_cap(self):
+        sizes = [c.num_clusters for c in cluster_sweep(max_clusters=4)]
+        assert sizes == [1, 2, 4]
+
+    def test_processor_sweep_monotone_and_ends_at_72(self):
+        pes = [c.total_pes for c in processor_sweep()]
+        assert pes == sorted(pes)
+        assert pes[-1] == 72
+
+
+class TestTiming:
+    def test_hop_time_is_8_transfers_at_80ns(self):
+        """§III-B: 8-bit ports, 80 ns port-to-port, 64-bit messages."""
+        assert Timing().t_hop == pytest.approx(0.64)
+
+    def test_timing_is_frozen(self):
+        with pytest.raises(AttributeError):
+            Timing().t_hop = 1.0  # type: ignore[misc]

@@ -1,0 +1,175 @@
+"""Discrete-event kernel: ordering, servers, pools."""
+
+import pytest
+
+from repro.machine import Job, Server, ServerPool, SimulationError, Simulator, utilization
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(9.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 9.0
+
+    def test_ties_broken_by_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for tag in ("x", "y", "z"):
+            sim.schedule(2.0, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == ["x", "y", "z"]
+
+    def test_events_may_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(1)
+            sim.schedule(3.0, lambda: log.append(2))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [1, 2]
+        assert sim.now == 4.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(1.0, lambda: log.append("no"))
+        sim.cancel(event)
+        sim.run()
+        assert log == []
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(10.0, lambda: log.append("b"))
+        sim.run(until=5.0)
+        assert log == ["a"]
+        assert sim.now == 5.0
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+
+class TestServer:
+    def test_fifo_serialization(self):
+        sim = Simulator()
+        server = Server(sim)
+        done = []
+        server.submit(Job(3.0, on_done=lambda: done.append(sim.now)))
+        server.submit(Job(2.0, on_done=lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [3.0, 5.0]
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        server = Server(sim)
+        server.submit(Job(3.0))
+        server.submit(Job(2.0))
+        sim.run()
+        assert server.busy_time == 5.0
+        assert server.jobs_done == 2
+        assert server.idle
+
+    def test_on_start_called_at_service_start(self):
+        sim = Simulator()
+        server = Server(sim)
+        starts = []
+        server.submit(Job(3.0))
+        server.submit(Job(1.0, on_start=lambda: starts.append(sim.now)))
+        sim.run()
+        assert starts == [3.0]
+
+    def test_max_queue(self):
+        sim = Simulator()
+        server = Server(sim)
+        for _ in range(3):
+            server.submit(Job(1.0))
+        assert server.max_queue >= 2
+
+
+class TestServerPool:
+    def test_parallel_service(self):
+        sim = Simulator()
+        pool = ServerPool(sim, servers=2)
+        done = []
+        for _ in range(2):
+            pool.submit(Job(4.0, on_done=lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [4.0, 4.0]
+
+    def test_capacity_respected(self):
+        sim = Simulator()
+        pool = ServerPool(sim, servers=2)
+        done = []
+        for _ in range(4):
+            pool.submit(Job(1.0, on_done=lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [1.0, 1.0, 2.0, 2.0]
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(SimulationError):
+            ServerPool(Simulator(), servers=0)
+
+    def test_idle_transitions(self):
+        sim = Simulator()
+        pool = ServerPool(sim, servers=1)
+        assert pool.idle
+        pool.submit(Job(1.0))
+        assert not pool.idle
+        sim.run()
+        assert pool.idle
+
+
+def test_utilization_helper():
+    assert utilization(5.0, servers=2, elapsed=5.0) == 0.5
+    assert utilization(1.0, servers=1, elapsed=0.0) == 0.0
+
+
+class TestStress:
+    def test_large_randomized_job_graph_conserves_jobs(self):
+        """A few thousand jobs across servers and pools all complete,
+        regardless of arrival pattern."""
+        import random
+
+        rng = random.Random(99)
+        sim = Simulator()
+        pool = ServerPool(sim, servers=3)
+        server = Server(sim)
+        done = {"count": 0}
+
+        def make_job(depth):
+            def on_done():
+                done["count"] += 1
+                if depth > 0 and rng.random() < 0.5:
+                    target = pool if rng.random() < 0.5 else server
+                    target.submit(Job(rng.uniform(0.1, 2.0),
+                                      on_done=make_job(depth - 1).on_done))
+
+            return Job(rng.uniform(0.1, 2.0), on_done=on_done)
+
+        submitted = 400
+        for _ in range(submitted):
+            (pool if rng.random() < 0.5 else server).submit(make_job(3))
+        sim.run()
+        assert done["count"] >= submitted
+        assert pool.idle and server.idle
+        # Busy time conservation: jobs_done matches completions.
+        assert pool.jobs_done + server.jobs_done == done["count"]

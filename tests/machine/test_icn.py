@@ -1,0 +1,125 @@
+"""4-ary hypercube: addressing, routing, diameter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import HypercubeTopology, IcnStats, TopologyError
+
+
+class TestAddressing:
+    def test_32_clusters_use_three_digits(self):
+        topo = HypercubeTopology(32)
+        assert topo.num_digits == 3
+
+    def test_digits_little_endian(self):
+        topo = HypercubeTopology(32)
+        # Cluster 23 = 113 base-4 (L=3, X=1, Y=1).
+        assert topo.digits(23) == (3, 1, 1)
+
+    def test_small_machines_fewer_digits(self):
+        assert HypercubeTopology(4).num_digits == 1
+        assert HypercubeTopology(16).num_digits == 2
+
+    def test_out_of_range(self):
+        topo = HypercubeTopology(8)
+        with pytest.raises(TopologyError):
+            topo.digits(8)
+
+
+class TestRouting:
+    def test_same_cluster_empty_route(self):
+        topo = HypercubeTopology(32)
+        assert topo.route(5, 5) == []
+
+    def test_single_digit_difference_is_direct(self):
+        topo = HypercubeTopology(32)
+        # 0 (000) -> 3 (300): only L digit differs.
+        assert topo.route(0, 3) == [3]
+        assert topo.distance(0, 3) == 1
+
+    def test_route_ends_at_destination(self):
+        topo = HypercubeTopology(32)
+        assert topo.route(0, 23)[-1] == 23
+
+    def test_route_corrects_one_digit_per_hop(self):
+        topo = HypercubeTopology(32)
+        path = [0] + topo.route(0, 23)
+        for a, b in zip(path, path[1:]):
+            da, db = topo.digits(a), topo.digits(b)
+            assert sum(1 for x, y in zip(da, db) if x != y) == 1
+
+    def test_diameter_is_three_for_32_clusters(self):
+        """§III-B: at most three intermediate hops for 32 clusters."""
+        topo = HypercubeTopology(32)
+        assert topo.max_distance() == 3
+        worst = max(
+            topo.distance(a, b) for a in range(32) for b in range(32)
+        )
+        assert worst == 3
+
+    def test_dimension_names(self):
+        topo = HypercubeTopology(32)
+        assert topo.dimension_of_hop(0, 1) == "L"
+        assert topo.dimension_of_hop(0, 4) == "X"
+        assert topo.dimension_of_hop(0, 16) == "Y"
+
+    def test_dimension_of_multi_hop_rejected(self):
+        topo = HypercubeTopology(32)
+        with pytest.raises(TopologyError):
+            topo.dimension_of_hop(0, 23)
+
+    def test_neighbors_board_local_first(self):
+        topo = HypercubeTopology(32)
+        neighbors = topo.neighbors(0)
+        # Board-local: 1,2,3; X: 4,8,12; Y: 16.
+        assert set(neighbors) == {1, 2, 3, 4, 8, 12, 16}
+
+    @given(
+        n=st.integers(min_value=1, max_value=32),
+        src=st.integers(0, 31),
+        dst=st.integers(0, 31),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_routing_reaches_destination(self, n, src, dst):
+        src, dst = src % n, dst % n
+        topo = HypercubeTopology(n)
+        path = topo.route(src, dst)
+        assert len(path) == topo.distance(src, dst)
+        # Full machines route in <= num_digits hops; partially
+        # populated machines may need detours, bounded by 2x.
+        assert len(path) <= 2 * topo.num_digits
+        if src != dst:
+            assert path[-1] == dst
+        else:
+            assert path == []
+        for hop in path:
+            assert 0 <= hop < n
+        # Every hop changes exactly one digit (a real memory port).
+        previous = src
+        for hop in path:
+            da, db = topo.digits(previous), topo.digits(hop)
+            assert sum(1 for x, y in zip(da, db) if x != y) == 1
+            previous = hop
+
+
+class TestStats:
+    def test_record_and_means(self):
+        stats = IcnStats()
+        stats.record(1, 2.0)
+        stats.record(3, 4.0)
+        assert stats.messages == 2
+        assert stats.mean_hops == 2.0
+        assert stats.mean_latency == 3.0
+        assert stats.hop_histogram == {1: 1, 3: 1}
+
+    def test_dimension_counting(self):
+        stats = IcnStats()
+        stats.record_dimension("L")
+        stats.record_dimension("L")
+        stats.record_dimension("X")
+        assert stats.dimension_counts == {"L": 2, "X": 1}
+
+    def test_empty_stats(self):
+        stats = IcnStats()
+        assert stats.mean_hops == 0.0
+        assert stats.mean_latency == 0.0

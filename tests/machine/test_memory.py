@@ -1,0 +1,167 @@
+"""Multiport memories, cluster arbiter, semaphore table."""
+
+import pytest
+
+from repro.machine import (
+    BoundedQueue,
+    ClusterArbiter,
+    MemoryError_,
+    MultiportMemory,
+    SemaphoreTable,
+)
+
+
+class TestMultiportMemory:
+    def test_concurrent_reads_allowed(self):
+        mem = MultiportMemory(words=16, ports=4)
+        mem.write(0, 5, 42)
+        mem.begin_cycle()
+        assert mem.read(0, 5) == 42
+        assert mem.read(1, 5) == 42
+        assert mem.read(2, 5) == 42
+        mem.end_cycle()
+
+    def test_exclusive_write_violation_detected(self):
+        mem = MultiportMemory(words=16, ports=4)
+        mem.begin_cycle()
+        mem.write(0, 7, 1)
+        with pytest.raises(MemoryError_):
+            mem.write(1, 7, 2)
+        assert mem.conflicts == 1
+
+    def test_same_port_may_rewrite(self):
+        mem = MultiportMemory(words=16, ports=4)
+        mem.begin_cycle()
+        mem.write(0, 7, 1)
+        mem.write(0, 7, 2)
+        mem.end_cycle()
+        assert mem.read(0, 7) == 2
+
+    def test_different_words_parallel_writes_ok(self):
+        mem = MultiportMemory(words=16, ports=4)
+        mem.begin_cycle()
+        mem.write(0, 1, 10)
+        mem.write(1, 2, 20)
+        mem.end_cycle()
+        assert mem.read(3, 1) == 10
+        assert mem.read(3, 2) == 20
+
+    def test_bad_port_rejected(self):
+        mem = MultiportMemory(words=4, ports=4)
+        with pytest.raises(MemoryError_):
+            mem.read(4, 0)
+
+    def test_access_counters(self):
+        mem = MultiportMemory(words=4)
+        mem.write(0, 0, 1)
+        mem.read(1, 0)
+        assert mem.writes == 1 and mem.reads == 1
+
+
+class TestClusterArbiter:
+    def test_one_grant_at_a_time(self):
+        arbiter = ClusterArbiter()
+        arbiter.request(0)
+        arbiter.request(1)
+        first = arbiter.grant()
+        assert first in (0, 1)
+        assert arbiter.grant() is None  # held
+        arbiter.release(first)
+        second = arbiter.grant()
+        assert second in (0, 1) and second != first
+
+    def test_fcfs_between_batches(self):
+        arbiter = ClusterArbiter()
+        arbiter.request(2)
+        granted = arbiter.grant()
+        assert granted == 2
+        arbiter.request(1)  # arrives while 2 holds
+        arbiter.release(2)
+        arbiter.request(3)  # later batch
+        assert arbiter.grant() == 1
+
+    def test_simultaneous_requests_random_but_complete(self):
+        arbiter = ClusterArbiter(seed=42)
+        for port in range(4):
+            arbiter.request(port)
+        order = []
+        for _ in range(4):
+            port = arbiter.grant()
+            order.append(port)
+            arbiter.release(port)
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_release_without_grant_rejected(self):
+        arbiter = ClusterArbiter()
+        with pytest.raises(MemoryError_):
+            arbiter.release(0)
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(MemoryError_):
+            ClusterArbiter(ports=4).request(9)
+
+
+class TestSemaphoreTable:
+    def test_test_and_set_race_free_under_grant(self):
+        arbiter = ClusterArbiter()
+        table = SemaphoreTable(arbiter)
+        arbiter.request(0)
+        holder = arbiter.grant()
+        assert table.acquire(holder, section=3) is True
+        assert table.owner(3) == holder
+        arbiter.release(holder)
+        # Second contender sees the section busy.
+        arbiter.request(1)
+        second = arbiter.grant()
+        assert table.acquire(second, section=3) is False
+        arbiter.release(second)
+
+    def test_access_without_grant_rejected(self):
+        table = SemaphoreTable(ClusterArbiter())
+        with pytest.raises(MemoryError_):
+            table.acquire(0, section=0)
+
+    def test_release_section(self):
+        arbiter = ClusterArbiter()
+        table = SemaphoreTable(arbiter)
+        arbiter.request(0)
+        holder = arbiter.grant()
+        table.acquire(holder, 1)
+        table.release_section(holder, 1)
+        assert table.owner(1) is None
+
+    def test_release_foreign_section_rejected(self):
+        arbiter = ClusterArbiter()
+        table = SemaphoreTable(arbiter)
+        with pytest.raises(MemoryError_):
+            table.release_section(2, 0)
+
+
+class TestBoundedQueue:
+    def test_fifo(self):
+        queue = BoundedQueue(capacity=4)
+        queue.push("a")
+        queue.push("b")
+        assert queue.pop() == "a"
+        assert queue.pop() == "b"
+
+    def test_soft_capacity_counts_overflow(self):
+        queue = BoundedQueue(capacity=2)
+        assert queue.push(1) is True
+        assert queue.push(2) is True
+        assert queue.push(3) is False   # over capacity, still queued
+        assert queue.overflows == 1
+        assert len(queue) == 3
+        assert queue.pop() == 1
+
+    def test_peak_tracking(self):
+        queue = BoundedQueue(capacity=10)
+        for i in range(5):
+            queue.push(i)
+        for _ in range(5):
+            queue.pop()
+        assert queue.peak == 5
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(MemoryError_):
+            BoundedQueue(capacity=1).pop()

@@ -1,0 +1,66 @@
+"""Wire-format fidelity: running with real 64-bit packed messages.
+
+With ``pack_messages=True`` every cross-cluster activation round-trips
+through the hardware wire format, truncating values to bfloat16.  Set
+membership must be identical to the exact run; values may differ only
+within bfloat16 relative error accumulated over the path.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import MachineConfig, SnapMachine
+
+from tests.core.test_equivalence import (
+    MARKERS,
+    random_network,
+    random_program,
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=4000))
+@settings(max_examples=15, deadline=None)
+def test_property_packed_run_preserves_set_membership(seed):
+    program = random_program(seed + 11, nodes=18, length=10)
+
+    def run(packed):
+        machine = SnapMachine(
+            random_network(seed, 18, 45),
+            MachineConfig(num_clusters=5, mus_per_cluster=2,
+                          pack_messages=packed),
+        )
+        machine.run(program)
+        return machine.state
+
+    exact = run(False)
+    packed = run(True)
+    for marker in MARKERS:
+        assert (
+            packed.marker_set_nodes(marker) == exact.marker_set_nodes(marker)
+        ), f"marker {marker} set-membership diverged under packing"
+
+
+@given(seed=st.integers(min_value=0, max_value=4000))
+@settings(max_examples=10, deadline=None)
+def test_property_packed_values_within_bfloat16_error(seed):
+    program = random_program(seed + 23, nodes=18, length=8)
+
+    def run(packed):
+        machine = SnapMachine(
+            random_network(seed, 18, 45),
+            MachineConfig(num_clusters=4, mus_per_cluster=2,
+                          pack_messages=packed),
+        )
+        machine.run(program)
+        return machine.state
+
+    exact = run(False)
+    packed = run(True)
+    for marker in range(6):  # complex markers used by the generator
+        for node in exact.marker_set_nodes(marker):
+            v_exact = exact.marker_value(marker, node)
+            v_packed = packed.marker_value(marker, node)
+            tolerance = max(abs(v_exact) * 0.05, 0.05)
+            assert abs(v_packed - v_exact) <= tolerance, (
+                f"marker {marker} at node {node}: "
+                f"{v_packed} vs {v_exact}"
+            )

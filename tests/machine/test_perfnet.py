@@ -1,0 +1,61 @@
+"""Performance-collection network."""
+
+from repro.machine import (
+    EventCode,
+    PerformanceCollector,
+    RECORD_TRANSFER_US,
+)
+
+
+class TestCollector:
+    def test_records_timestamped(self):
+        collector = PerformanceCollector()
+        collector.record(1.5, source=3, code=EventCode.TASK_START, status=7)
+        record = collector.records[0]
+        assert record.time == 1.5
+        assert record.source == 3
+        assert record.name == "task-start"
+        assert record.status == 7
+
+    def test_disabled_collector_is_silent(self):
+        collector = PerformanceCollector(enabled=False)
+        collector.record(1.0, 0, EventCode.BARRIER)
+        assert collector.records == []
+
+    def test_status_masked_to_24_bits(self):
+        collector = PerformanceCollector()
+        collector.record(0.0, 0, EventCode.MSG_SEND, status=1 << 30)
+        assert collector.records[0].status < (1 << 24)
+
+    def test_histogram(self):
+        collector = PerformanceCollector()
+        collector.record(0.0, 0, EventCode.MSG_SEND)
+        collector.record(1.0, 1, EventCode.MSG_SEND)
+        collector.record(2.0, 0, EventCode.BARRIER)
+        assert collector.histogram() == {"msg-send": 2, "barrier": 1}
+
+    def test_timeline_filter(self):
+        collector = PerformanceCollector()
+        collector.record(0.0, 5, EventCode.MSG_SEND)
+        collector.record(1.0, 6, EventCode.BARRIER)
+        assert collector.timeline(EventCode.MSG_SEND) == [(0.0, 5)]
+        assert len(collector.timeline()) == 2
+
+    def test_serial_transfer_time(self):
+        """2 Mb/s link, 32-bit records -> 16 µs per record."""
+        assert RECORD_TRANSFER_US == 16.0
+        collector = PerformanceCollector()
+        for i in range(3):
+            collector.record(float(i), 0, EventCode.TASK_END)
+        assert collector.serial_backlog_us() == 48.0
+
+    def test_clear(self):
+        collector = PerformanceCollector()
+        collector.record(0.0, 0, EventCode.COLLECT)
+        collector.clear()
+        assert collector.records == []
+
+    def test_unknown_code_named_generically(self):
+        collector = PerformanceCollector()
+        collector.record(0.0, 0, 0xEE)
+        assert collector.records[0].name == "event-0xee"

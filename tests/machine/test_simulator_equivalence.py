@@ -1,0 +1,73 @@
+"""Property: the timed machine computes exactly what the golden model
+computes, for random knowledge bases, programs, and machine shapes."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FunctionalEngine
+from repro.machine import MachineConfig, SnapMachine
+
+from tests.core.test_equivalence import (
+    MARKERS,
+    random_network,
+    random_program,
+)
+
+
+def collect_state(state):
+    out = {}
+    for marker in MARKERS:
+        nodes = state.marker_set_nodes(marker)
+        values = None
+        if marker < 64:
+            values = tuple(
+                round(state.marker_value(marker, n), 4) for n in nodes
+            )
+        out[marker] = (tuple(nodes), values)
+    return out
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    clusters=st.sampled_from([1, 2, 4, 7]),
+    mus=st.sampled_from([1, 2, 3]),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_timed_machine_matches_golden_model(seed, clusters, mus):
+    network_args = (seed, 20, 50)
+    program = random_program(seed + 7, nodes=20, length=10)
+
+    golden = FunctionalEngine(random_network(*network_args), 1)
+    golden.run(program)
+
+    machine = SnapMachine(
+        random_network(*network_args),
+        MachineConfig(num_clusters=clusters, mus_per_cluster=mus),
+    )
+    machine.run(program)
+
+    assert collect_state(machine.state) == collect_state(golden.state)
+
+
+@given(seed=st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=10, deadline=None)
+def test_property_collect_results_match(seed):
+    from repro.isa import CollectMarker, CollectNode
+
+    program = random_program(seed + 3, nodes=20, length=8)
+    program.append(CollectNode(MARKERS[2]))
+    program.append(CollectMarker(MARKERS[0]))
+
+    golden = FunctionalEngine(random_network(seed, 20, 50), 1)
+    golden_results = [
+        r.result for r in golden.run(program).records if r.result is not None
+    ]
+    machine = SnapMachine(
+        random_network(seed, 20, 50),
+        MachineConfig(num_clusters=5, mus_per_cluster=2),
+    )
+    machine_results = machine.run(program).results()
+    assert len(machine_results) == len(golden_results)
+    for got, expected in zip(machine_results, golden_results):
+        assert got == expected

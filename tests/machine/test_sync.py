@@ -1,0 +1,129 @@
+"""Tiered barrier synchronization protocol."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import (
+    SyncError,
+    SyncStats,
+    TieredSynchronizer,
+    barrier_cost,
+)
+
+
+class TestTieredCounters:
+    def test_balanced_level_completes_when_idle(self):
+        sync = TieredSynchronizer(num_pes=4)
+        sync.produce(0, level=0)
+        sync.produce(1, level=0)
+        assert not sync.level_complete(0)
+        sync.consume(2, level=0)
+        sync.consume(3, level=0)
+        assert sync.level_complete(0)
+
+    def test_idle_required(self):
+        sync = TieredSynchronizer(num_pes=2)
+        sync.produce(0, 0)
+        sync.consume(1, 0)
+        sync.set_idle(0, False)
+        assert sync.level_balance(0) == 0
+        assert not sync.level_complete(0)  # SIGI low
+        sync.set_idle(0, True)
+        assert sync.level_complete(0)
+
+    def test_tiers_are_independent(self):
+        """The point of tiering: level 0 completing is detected even
+        while level 1 markers are in transit (no false waiting)."""
+        sync = TieredSynchronizer(num_pes=2)
+        sync.produce(0, level=0)
+        sync.produce(0, level=1)
+        sync.consume(1, level=0)
+        assert sync.level_complete(0)
+        assert not sync.level_complete(1)
+        assert sync.active_levels() == [1]
+
+    def test_global_overconsumption_rejected(self):
+        sync = TieredSynchronizer(num_pes=2)
+        sync.produce(0, 0)
+        sync.consume(1, 0)
+        with pytest.raises(SyncError):
+            sync.consume(1, 0)
+
+    def test_cross_pe_balance(self):
+        """Production on one PE may be consumed on another (markers
+        migrate): only the global sum matters."""
+        sync = TieredSynchronizer(num_pes=3)
+        sync.produce(0, 0, count=5)
+        sync.consume(2, 0, count=5)
+        assert sync.level_complete(0)
+
+    def test_all_complete(self):
+        sync = TieredSynchronizer(num_pes=2)
+        sync.produce(0, 0)
+        assert not sync.all_complete()
+        sync.consume(0, 0)
+        assert sync.all_complete()
+
+    def test_reset_level(self):
+        sync = TieredSynchronizer(num_pes=2)
+        sync.produce(0, 3)
+        sync.consume(0, 3)
+        sync.reset_level(3)
+        assert 3 not in sync.active_levels()
+
+    def test_reset_unbalanced_level_rejected(self):
+        sync = TieredSynchronizer(num_pes=2)
+        sync.produce(0, 3)
+        with pytest.raises(SyncError):
+            sync.reset_level(3)
+
+    @given(events=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 2)), max_size=60,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_property_produce_then_consume_always_balances(self, events):
+        """Any schedule of produce/consume pairs returns all counters
+        to zero — the protocol's termination guarantee."""
+        sync = TieredSynchronizer(num_pes=4)
+        for pe, level in events:
+            sync.produce(pe, level)
+        for pe, level in events:
+            sync.consume((pe + 1) % 4, level)
+        assert sync.all_complete()
+
+
+class TestBarrierCost:
+    def test_proportional_to_pes_with_small_slope(self):
+        cost_small = barrier_cost(8, 2.0, 0.1)
+        cost_large = barrier_cost(144, 2.0, 0.1)
+        assert cost_large > cost_small
+        # "the dependency is small": 18x PEs < 10x cost
+        assert cost_large / cost_small < 10
+
+
+class TestSyncStats:
+    def test_messages_per_sync_series(self):
+        stats = SyncStats()
+        stats.count_message(3)
+        stats.barrier(time=10.0, level=0)
+        stats.count_message(1)
+        stats.count_message(1)
+        stats.barrier(time=20.0, level=1)
+        stats.barrier(time=30.0, level=2)
+        assert stats.messages_per_sync() == [3, 2, 0]
+        assert stats.mean_messages == pytest.approx(5 / 3)
+
+    def test_burst_counting(self):
+        stats = SyncStats()
+        stats.count_message(35)
+        stats.barrier(1.0, 0)
+        stats.count_message(5)
+        stats.barrier(2.0, 1)
+        assert stats.bursts(threshold=30) == 1
+
+    def test_points_carry_metadata(self):
+        stats = SyncStats()
+        point = stats.barrier(time=7.5, level=4)
+        assert point.index == 0
+        assert point.time == 7.5
+        assert point.level == 4

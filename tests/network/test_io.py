@@ -1,0 +1,130 @@
+"""Knowledge-base serialization round-trips."""
+
+import pytest
+
+from repro.network import generate_kb, GeneratorSpec, preprocess_fanout
+from repro.network.io import FormatError, load_network, loads, save_network, saves
+
+
+class TestRoundTrip:
+    def test_fig5_roundtrip(self, fig5_kb):
+        text = saves(fig5_kb)
+        back = loads(text)
+        assert back.num_nodes == fig5_kb.num_nodes
+        assert back.num_links == fig5_kb.num_links
+        for node in fig5_kb.nodes():
+            other = back.node(node.name)
+            assert other.node_id == node.node_id
+            assert other.color == node.color
+        original_links = sorted(
+            (l.source, l.relation, l.dest, l.weight)
+            for l in fig5_kb.links()
+        )
+        # Relation ids may renumber; compare by name.
+        def key(net):
+            return sorted(
+                (net.node(l.source).name,
+                 net.relations.name_of(l.relation),
+                 net.node(l.dest).name,
+                 round(l.weight, 6))
+                for l in net.links()
+            )
+
+        assert key(back) == key(fig5_kb)
+
+    def test_generated_kb_roundtrip(self):
+        net = generate_kb(GeneratorSpec(total_nodes=300))
+        back = loads(saves(net))
+        assert back.num_nodes == net.num_nodes
+        assert back.num_links == net.num_links
+
+    def test_physical_network_with_subnodes(self):
+        from repro.network import SemanticNetwork
+
+        net = SemanticNetwork()
+        net.add_node("hub")
+        for i in range(30):
+            net.add_node(f"d{i}")
+            net.add_link("hub", "r", f"d{i}")
+        physical = preprocess_fanout(net)
+        back = loads(saves(physical))
+        subnodes = [n for n in back.nodes() if n.is_subnode]
+        assert subnodes
+        assert subnodes[0].parent_id == back.resolve("hub")
+
+    def test_file_roundtrip(self, fig5_kb, tmp_path):
+        path = tmp_path / "kb.snapkb"
+        save_network(fig5_kb, path)
+        back = load_network(path)
+        assert back.num_nodes == fig5_kb.num_nodes
+
+    def test_weights_exact(self, tmp_path):
+        from repro.network import SemanticNetwork
+
+        net = SemanticNetwork()
+        net.add_node("a")
+        net.add_node("b")
+        net.add_link("a", "r", "b", 0.1234567)
+        back = loads(saves(net))
+        assert list(back.links())[0].weight == 0.1234567
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(FormatError, match="header"):
+            loads("node\ta\t0\t0\t-\n")
+
+    def test_empty_input(self):
+        with pytest.raises(FormatError):
+            loads("")
+
+    def test_bad_version(self):
+        with pytest.raises(FormatError, match="version"):
+            loads("snapkb 99\n")
+
+    def test_unknown_record(self):
+        with pytest.raises(FormatError, match="unknown record"):
+            loads("snapkb 1\nfrobnicate\tx\n")
+
+    def test_truncated_record(self):
+        with pytest.raises(FormatError, match="line 2"):
+            loads("snapkb 1\nnode\tonly-name\n")
+
+    def test_tab_in_name_rejected_on_save(self):
+        from repro.network import SemanticNetwork
+
+        net = SemanticNetwork()
+        net.add_node("bad\tname")
+        with pytest.raises(FormatError):
+            saves(net)
+
+    def test_comments_and_blanks_ignored(self, fig5_kb):
+        text = saves(fig5_kb)
+        padded = "# leading comment\n\n" + text + "\n# trailing\n"
+        assert loads(padded).num_nodes == fig5_kb.num_nodes
+
+
+from hypothesis import given, settings, strategies as st
+
+from tests.core.test_equivalence import random_network
+
+
+@given(seed=st.integers(0, 5000))
+@settings(max_examples=25, deadline=None)
+def test_property_roundtrip_random_networks(seed):
+    """saves/loads is the identity on structure for arbitrary graphs."""
+    net = random_network(seed, nodes=20, links=50)
+    back = loads(saves(net))
+    assert back.num_nodes == net.num_nodes
+    assert back.num_links == net.num_links
+
+    def shape(network):
+        return sorted(
+            (network.node(l.source).name,
+             network.relations.name_of(l.relation),
+             network.node(l.dest).name,
+             l.weight)
+            for l in network.links()
+        )
+
+    assert shape(back) == shape(net)

@@ -1,0 +1,68 @@
+"""Layered KB organization: histograms, proportions, discipline."""
+
+from repro.network import (
+    Color,
+    KnowledgeBaseBuilder,
+    LAYERS,
+    LEXICAL_LAYER,
+    PAPER_NONLEXICAL_PROPORTIONS,
+    SemanticNetwork,
+    layer_histogram,
+    layer_of_color,
+    layering_violations,
+    nonlexical_proportions,
+)
+
+
+class TestLayerMapping:
+    def test_three_layers_bottom_to_top(self):
+        assert [l.level for l in LAYERS] == [0, 1, 2]
+
+    def test_lexical_color_maps_to_lexical_layer(self):
+        assert layer_of_color(Color.LEXICAL) is LEXICAL_LAYER
+
+    def test_cs_colors_map_to_top_layer(self):
+        for color in (Color.CS_ROOT, Color.CS_ELEMENT, Color.CS_AUX):
+            assert layer_of_color(color).name == "concept-sequences"
+
+    def test_unknown_color_defaults_to_constraints(self):
+        assert layer_of_color(200).name == "constraints"
+
+    def test_paper_proportions_sum_to_one(self):
+        assert abs(sum(PAPER_NONLEXICAL_PROPORTIONS.values()) - 1.0) < 1e-9
+
+
+class TestHistograms:
+    def test_histogram_counts(self, fig5_kb):
+        hist = layer_histogram(fig5_kb)
+        assert hist["lexical"] == 3
+        assert hist["concept-sequences"] == 4  # root + 3 elements
+        assert sum(hist.values()) == fig5_kb.num_nodes
+
+    def test_nonlexical_proportions_empty_graph(self):
+        assert set(nonlexical_proportions(SemanticNetwork()).values()) == {0.0}
+
+    def test_proportions_exclude_lexical(self, fig5_kb):
+        mix = nonlexical_proportions(fig5_kb)
+        assert abs(sum(mix.values()) - 1.0) < 1e-9
+
+
+class TestDiscipline:
+    def test_clean_kb_has_no_violations(self, fig5_kb):
+        assert layering_violations(fig5_kb) == []
+
+    def test_is_a_into_lexical_flagged(self):
+        builder = KnowledgeBaseBuilder()
+        builder.add_word("we", ["animate"])
+        builder.add_class("animate", [])
+        builder.network.add_link("animate", "is-a", "w:we")
+        violations = layering_violations(builder.network)
+        assert len(violations) == 1
+        assert "w:we" in violations[0]
+
+    def test_no_is_a_relation_is_fine(self):
+        net = SemanticNetwork()
+        net.add_node("a")
+        net.add_node("b")
+        net.add_link("a", "other", "b")
+        assert layering_violations(net) == []

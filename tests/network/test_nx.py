@@ -1,0 +1,84 @@
+"""NetworkX bridge."""
+
+import networkx as nx
+import pytest
+
+from repro.network import Color, generate_kb, GeneratorSpec
+from repro.network.nx import from_networkx, kb_graph_metrics, to_networkx
+
+
+class TestToNetworkx:
+    def test_counts(self, fig5_kb):
+        graph = to_networkx(fig5_kb)
+        assert graph.number_of_nodes() == fig5_kb.num_nodes
+        assert graph.number_of_edges() == fig5_kb.num_links
+
+    def test_attributes(self, fig5_kb):
+        graph = to_networkx(fig5_kb)
+        nid = fig5_kb.resolve("w:we")
+        assert graph.nodes[nid]["name"] == "w:we"
+        assert graph.nodes[nid]["color"] == Color.LEXICAL
+        relations = {
+            a["relation"] for _u, _v, a in graph.edges(data=True)
+        }
+        assert "is-a" in relations and "first" in relations
+
+    def test_roundtrip(self, fig5_kb):
+        back = from_networkx(to_networkx(fig5_kb))
+        assert back.num_nodes == fig5_kb.num_nodes
+        assert back.num_links == fig5_kb.num_links
+        # Structure preserved: same outgoing relation multiset per node.
+        for node in fig5_kb.nodes():
+            original = sorted(
+                (fig5_kb.relations.name_of(l.relation),
+                 fig5_kb.node(l.dest).name)
+                for l in fig5_kb.outgoing(node.node_id)
+            )
+            mirrored = sorted(
+                (back.relations.name_of(l.relation),
+                 back.node(l.dest).name)
+                for l in back.outgoing(node.name)
+            )
+            assert original == mirrored
+
+
+class TestFromNetworkx:
+    def test_plain_digraph(self):
+        graph = nx.DiGraph()
+        graph.add_edge("a", "b", relation="is-a", weight=2.0)
+        net = from_networkx(graph)
+        links = net.outgoing_by_relation("a", "is-a")
+        assert len(links) == 1
+        assert links[0].weight == 2.0
+
+    def test_undirected_becomes_bidirectional(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        net = from_networkx(graph)
+        assert net.outgoing_by_relation("a", "related-to")
+        assert net.outgoing_by_relation("b", "related-to")
+
+    def test_usable_by_machine(self):
+        from repro.baselines import SerialMachine
+        from repro.isa import assemble
+
+        graph = nx.path_graph(6, create_using=nx.DiGraph)
+        net = from_networkx(graph)
+        machine = SerialMachine(net)
+        report = machine.run(assemble(
+            "SEARCH-NODE 0 m1\n"
+            "PROPAGATE m1 m2 chain(related-to) count-hops\n"
+            "COLLECT-MARKER m2"
+        ))
+        collected = report.results()[-1]
+        assert len(collected) == 5
+        assert max(v for _g, v, _o in collected) == 5.0
+
+
+class TestMetrics:
+    def test_generated_kb_metrics(self):
+        net = generate_kb(GeneratorSpec(total_nodes=400))
+        metrics = kb_graph_metrics(net)
+        assert metrics["nodes"] == net.num_nodes
+        assert metrics["largest_component_fraction"] > 0.9
+        assert metrics.get("is_a_depth", 0) >= 2

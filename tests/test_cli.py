@@ -1,0 +1,45 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_parse_command(self, capsys):
+        code = main(["parse", "terrorists attacked the mayor",
+                     "--kb-nodes", "1200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "attack-event" in out
+        assert "M.B." in out
+
+    def test_parse_failure_exit_code(self, capsys):
+        code = main(["parse", "in of the", "--kb-nodes", "1200"])
+        assert code == 1
+        assert "no completed hypothesis" in capsys.readouterr().out
+
+    def test_speech_command(self, capsys):
+        code = main(["speech", "guerrillas bombed the embassy",
+                     "--kb-nodes", "1200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lattice:" in out
+        assert "meaning:" in out
+
+    def test_info_command(self, capsys):
+        code = main(["info", "--kb-nodes", "1200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "144" in out  # full prototype PE count
+        assert "concept sequences" in out
+
+    def test_experiments_command(self, capsys):
+        code = main(["experiments", "fig21"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig21" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
