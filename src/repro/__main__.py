@@ -8,9 +8,10 @@ Commands
 ``speech "SENTENCE"``
     Synthesize a noisy word lattice from the sentence and run the
     speech parser over it.
-``experiments [IDS...] [--full]``
-    Regenerate the paper's tables/figures (same as
-    ``python -m repro.experiments.runner``).
+``experiments [IDS...] [--full] [--list]``
+    Regenerate the paper's tables/figures and extension studies
+    (including ``faultdeg``, the fault-injection degradation sweep);
+    same as ``python -m repro.experiments.runner``.
 ``info``
     Print the machine configuration and knowledge-base statistics.
 """
@@ -83,6 +84,8 @@ def cmd_experiments(args) -> int:
         argv.append("--full")
     if args.out:
         argv.extend(["--out", args.out])
+    if args.list:
+        argv.append("--list")
     return runner_main(argv)
 
 
@@ -131,6 +134,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("ids", nargs="*")
     p.add_argument("--full", action="store_true")
     p.add_argument("--out")
+    p.add_argument("--list", action="store_true",
+                   help="list experiment ids and exit")
     p.set_defaults(fn=cmd_experiments)
 
     p = sub.add_parser("info", help="machine + knowledge base statistics")

@@ -151,14 +151,23 @@ class MachineState:
         partitioning: Optional[Partitioning] = None,
         functions: Optional[FunctionRegistry] = None,
         node_capacity_per_cluster: Optional[int] = None,
+        excluded_clusters: Optional[Iterable[int]] = None,
     ) -> None:
         """``node_capacity_per_cluster``: pass 1024 to enforce the
         prototype's physical cluster memory limit; ``None`` (default)
         places no bound, which baselines and sweep configurations
-        rely on (a 1-cluster reference run holds the whole KB)."""
+        rely on (a 1-cluster reference run holds the whole KB).
+
+        ``excluded_clusters``: failed clusters that must host no nodes
+        (fault injection); the partition is remapped so their region
+        of the network is evicted onto survivors, and runtime node
+        creation never places nodes there."""
         self.network = preprocess_fanout(network)
         self.num_clusters = num_clusters
         self.functions = functions or FunctionRegistry()
+        self.excluded_clusters = frozenset(excluded_clusters or ())
+        #: Nodes evicted off excluded clusters (graceful degradation).
+        self.nodes_remapped = 0
         if partitioning is None:
             capacity = (
                 node_capacity_per_cluster
@@ -167,6 +176,12 @@ class MachineState:
             )
             partitioning = make_partition(
                 self.network, num_clusters, partition_policy, capacity
+            )
+        if self.excluded_clusters:
+            from ..network.partition import evict_clusters
+
+            partitioning, self.nodes_remapped = evict_clusters(
+                partitioning, self.excluded_clusters
             )
         self.partitioning = partitioning
         self.clusters: List[ClusterTables] = build_tables(
@@ -228,6 +243,13 @@ class MachineState:
 
     def _least_loaded_cluster(self) -> int:
         sizes = [t.num_nodes for t in self.clusters]
+        if self.excluded_clusters:
+            eligible = [
+                c for c in range(len(sizes))
+                if c not in self.excluded_clusters
+            ]
+            best = min(eligible, key=lambda c: sizes[c])
+            return best
         return sizes.index(min(sizes))
 
     def _create_node(self, name: str, color: int) -> int:

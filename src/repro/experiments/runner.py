@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 
 # Importing the modules populates the registry.
 from . import (  # noqa: F401
+    fault_degradation,
     fig06_instruction_profile,
     fig08_marker_traffic,
     fig15_inheritance,
@@ -36,7 +37,7 @@ from .common import REGISTRY, ExperimentResult
 DEFAULT_ORDER = (
     "fig06", "fig08", "table04", "fig15", "fig16", "fig17",
     "fig18", "fig19", "fig20", "fig21", "textstats", "scaling",
-    "speech",
+    "speech", "faultdeg",
 )
 
 
@@ -68,7 +69,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="paper-scale knowledge bases (slower)",
     )
     parser.add_argument("--out", help="also write results to this file")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list registered experiment ids and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in DEFAULT_ORDER:
+            print(experiment_id)
+        for experiment_id in sorted(set(REGISTRY) - set(DEFAULT_ORDER)):
+            print(experiment_id)
+        return 0
 
     results = run_experiments(args.experiments or None, fast=not args.full)
     text = "\n\n".join(r.render() for r in results)

@@ -96,6 +96,21 @@ class MarkerAllocator:
         """Currently allocated names."""
         return sorted(self._by_name)
 
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """Checkpoint the current name→marker assignment.
+
+        Program builders that retry after a fault (e.g. re-assembling a
+        degraded-machine variant) can roll the register file back with
+        :meth:`restore` instead of leaking temporaries.
+        """
+        return dict(self._by_name)
+
+    def restore(self, snapshot: Dict[str, int]) -> None:
+        """Reset the allocation state to a :meth:`snapshot`."""
+        self._by_name = dict(snapshot)
+        self._owner = {m: n for n, m in self._by_name.items()}
+
     @property
     def free_complex(self) -> int:
         """Unallocated complex registers remaining."""

@@ -16,8 +16,24 @@ from .config import (
     snap1_full,
     uniprocessor,
 )
-from .des import Job, Server, ServerPool, SimulationError, Simulator, utilization
-from .icn import HypercubeTopology, IcnStats, TopologyError
+from .des import (
+    Job,
+    Server,
+    ServerPool,
+    SimulationError,
+    Simulator,
+    Timeout,
+    utilization,
+)
+from .faults import (
+    FaultConfig,
+    FaultConfigError,
+    FaultInjector,
+    FaultStats,
+    RetryPolicy,
+    failed_clusters_for,
+)
+from .icn import HypercubeTopology, IcnStats, TopologyError, link_key
 from .memory import (
     BoundedQueue,
     ClusterArbiter,
@@ -53,8 +69,10 @@ __all__ = [
     "ConfigError", "MachineConfig", "Timing", "cluster_sweep",
     "processor_sweep", "snap1_16cluster", "snap1_full", "uniprocessor",
     "Job", "Server", "ServerPool", "SimulationError", "Simulator",
-    "utilization",
-    "HypercubeTopology", "IcnStats", "TopologyError",
+    "Timeout", "utilization",
+    "FaultConfig", "FaultConfigError", "FaultInjector", "FaultStats",
+    "RetryPolicy", "failed_clusters_for",
+    "HypercubeTopology", "IcnStats", "TopologyError", "link_key",
     "BoundedQueue", "ClusterArbiter", "MemoryError_", "MultiportMemory",
     "SemaphoreTable",
     "SyncError", "SyncPoint", "SyncStats", "TieredSynchronizer",

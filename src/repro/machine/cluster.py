@@ -53,9 +53,13 @@ class ClusterSim:
         cluster_id: int,
         num_mus: int,
         config: MachineConfig,
+        failed: bool = False,
     ) -> None:
         self.cluster_id = cluster_id
         self.num_mus = num_mus
+        #: PU/CU stuck: the cluster is offline (fault injection).  Its
+        #: units exist but are never dispatched to.
+        self.failed = failed
         self.pu = Server(sim, name=f"pu{cluster_id}")
         self.mus = ServerPool(sim, num_mus, name=f"mu{cluster_id}")
         self.cu = Server(sim, name=f"cu{cluster_id}")
@@ -78,7 +82,7 @@ class ClusterSim:
 
     def busy_summary(self) -> dict:
         """Busy-time accounting for utilization reports."""
-        return {
+        summary = {
             "pu_busy": self.pu.busy_time,
             "mu_busy": self.mus.busy_time,
             "cu_busy": self.cu.busy_time,
@@ -87,15 +91,30 @@ class ClusterSim:
             "activation_peak": self.activation_queue.peak,
             "activation_overflows": self.activation_queue.overflows,
         }
+        # Only faulty machines carry the extra key, so fault-free
+        # reports stay byte-identical to the pre-fault-layer output.
+        if self.failed:
+            summary["failed"] = True
+        return summary
 
 
 def build_clusters(
-    sim: Simulator, config: MachineConfig
+    sim: Simulator, config: MachineConfig, faults=None
 ) -> List[ClusterSim]:
-    """Instantiate every cluster of a machine configuration."""
+    """Instantiate every cluster of a machine configuration.
+
+    ``faults`` is an optional :class:`repro.machine.faults.FaultInjector`
+    whose realized pattern shrinks MU pools (server loss) and marks
+    whole clusters offline (PU/CU stuck).
+    """
+    counts = config.mu_counts()
+    failed = frozenset()
+    if faults is not None:
+        counts = list(faults.effective_mu_counts)
+        failed = faults.failed_clusters
     return [
-        ClusterSim(sim, cid, mus, config)
-        for cid, mus in enumerate(config.mu_counts())
+        ClusterSim(sim, cid, mus, config, failed=cid in failed)
+        for cid, mus in enumerate(counts)
     ]
 
 

@@ -19,7 +19,9 @@ PROPAGATE several hundred µs at path lengths 10–15 (§IV).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .faults import FaultConfig
 
 
 class ConfigError(ValueError):
@@ -102,6 +104,9 @@ class MachineConfig:
     array_mhz: float = 25.0
     #: Model per-message wire packing (bfloat16 value truncation).
     pack_messages: bool = False
+    #: Fault-injection pattern; ``None`` (or a disabled config) runs
+    #: the fault-free simulator with zero overhead.
+    faults: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_clusters < 1:

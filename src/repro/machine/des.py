@@ -56,6 +56,19 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> float:
         """Process events until the heap empties (or ``until`` passes).
 
+        Boundary semantics (inclusive): events scheduled *exactly* at
+        ``until`` fire — including events an earlier handler schedules
+        with ``schedule(0, fn)`` while the clock sits at ``until``.
+        Only events strictly later than ``until`` stay queued.  The
+        clock always lands on exactly ``until`` when one is given,
+        even if the heap empties earlier, so back-to-back
+        ``run(until=...)`` calls advance time deterministically.
+
+        ``schedule(0, fn)`` during event processing is deterministic:
+        the new event carries the current time and the next sequence
+        number, so it fires after every already-queued event of the
+        same timestamp, in submission order (FIFO tie-breaking).
+
         Returns the final simulated time.
         """
         while self._heap:
@@ -64,17 +77,54 @@ class Simulator:
                 continue
             if until is not None and event.time > until:
                 heapq.heappush(self._heap, event)
-                self.now = until
-                return self.now
+                break
             self.now = event.time
             self.events_processed += 1
             event.fn()
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     @property
     def pending(self) -> int:
         """Events still scheduled (uncancelled)."""
         return sum(1 for e in self._heap if not e.cancelled)
+
+
+class Timeout:
+    """A cancellable watchdog over a guarded operation.
+
+    Schedules ``on_timeout`` after ``delay`` microseconds; if the
+    guarded operation completes first, :meth:`cancel` disarms the
+    watchdog.  Used by the fault layer to enforce per-transfer
+    recovery budgets (a transfer that cannot be repaired within its
+    budget of simulated time is declared failed).
+    """
+
+    def __init__(
+        self, sim: Simulator, delay: float, on_timeout: Callable[[], None]
+    ) -> None:
+        self._sim = sim
+        self._on_timeout = on_timeout
+        self._cancelled = False
+        self.expired = False
+        self._event = sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.expired = True
+        self._on_timeout()
+
+    def cancel(self) -> None:
+        """Disarm the watchdog (the guarded operation completed)."""
+        self._cancelled = True
+        self._sim.cancel(self._event)
+
+    @property
+    def armed(self) -> bool:
+        """Whether the watchdog can still fire."""
+        return not self._cancelled and not self.expired
 
 
 @dataclass
@@ -92,6 +142,12 @@ class Server:
 
     Tracks busy time and queue-length statistics so component
     utilization can be reported.
+
+    ``penalty_hook`` is the fault-injection hook: when set, it is
+    consulted as each job enters service and may return extra service
+    microseconds (e.g. a transient SCP/bus timeout penalty).  Left at
+    ``None`` — the default — the server's behavior is bit-identical to
+    a hook-free build.
     """
 
     def __init__(self, sim: Simulator, name: str = "server") -> None:
@@ -102,6 +158,7 @@ class Server:
         self.busy_time = 0.0
         self.jobs_done = 0
         self.max_queue = 0
+        self.penalty_hook: Optional[Callable[[Job], float]] = None
 
     @property
     def busy(self) -> bool:
@@ -133,8 +190,11 @@ class Server:
         job = self._queue.popleft()
         if job.on_start:
             job.on_start()
-        self.busy_time += job.service_time
-        self.sim.schedule(job.service_time, lambda: self._finish(job))
+        service = job.service_time
+        if self.penalty_hook is not None:
+            service += self.penalty_hook(job)
+        self.busy_time += service
+        self.sim.schedule(service, lambda: self._finish(job))
 
     def _finish(self, job: Job) -> None:
         self.jobs_done += 1
@@ -157,6 +217,8 @@ class ServerPool:
         self.busy_time = 0.0
         self.jobs_done = 0
         self.max_queue = 0
+        #: Fault-injection hook; see :class:`Server`.
+        self.penalty_hook: Optional[Callable[[Job], float]] = None
 
     @property
     def busy_servers(self) -> int:
@@ -187,8 +249,11 @@ class ServerPool:
         self._busy += 1
         if job.on_start:
             job.on_start()
-        self.busy_time += job.service_time
-        self.sim.schedule(job.service_time, lambda: self._finish(job))
+        service = job.service_time
+        if self.penalty_hook is not None:
+            service += self.penalty_hook(job)
+        self.busy_time += service
+        self.sim.schedule(service, lambda: self._finish(job))
 
     def _finish(self, job: Job) -> None:
         self._busy -= 1

@@ -1,0 +1,289 @@
+"""Deterministic fault injection and recovery policies.
+
+SNAP-1's published evaluation assumed a perfectly healthy 144-PE
+array; a deployed array machine degrades — DSPs hang, multiport
+memories drop transfers, ICN links fail.  This module models partial
+failure as a first-class, *seed-driven* subsystem:
+
+* **PU/CU stuck** — whole clusters offline from t=0 (the cluster's
+  units never decode, execute, or forward);
+* **MU server loss** — individual marker units dead, shrinking a
+  cluster's marker bandwidth;
+* **ICN link failure** — hypercube port-to-port links dead; routing
+  must detour via an alternate digit order (or BFS) or declare the
+  pair unreachable;
+* **transfer corruption** — a memory-port transfer is corrupted in
+  flight; detected (parity) and retried with capped exponential
+  backoff under a timeout budget charged in simulated microseconds;
+* **transient SCP/bus timeouts** — broadcast occupancy stretched by a
+  recovery penalty.
+
+Recovery lives in three layers: per-transfer retry
+(:class:`RetryPolicy`), propagation-level checkpoint replay (the
+simulator re-issues only the lost activation messages of a PROPAGATE),
+and allocator-level remap (semantic-network nodes are evicted off
+failed clusters onto survivors before tables are built — see
+:func:`repro.network.partition.evict_clusters`).
+
+Everything is derived from :class:`FaultConfig` through named
+``random.Random`` streams, so the same seed yields a bit-identical
+fault pattern and event trace, and a disabled config never draws from
+any stream (the fault layer is provably zero-cost when off).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .icn import HypercubeTopology, link_key
+
+
+class FaultConfigError(ValueError):
+    """Raised for inconsistent fault configurations."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for detected-corruption retries.
+
+    A corrupted transfer is re-attempted after ``base_backoff_us``,
+    doubling (``backoff_factor``) per attempt up to ``max_backoff_us``.
+    Recovery stops when ``max_retries`` attempts are spent or the
+    per-transfer ``timeout_budget_us`` of simulated recovery time
+    elapses, whichever comes first; the transfer is then declared
+    failed and handed to the next recovery layer (checkpoint replay).
+    """
+
+    max_retries: int = 4
+    base_backoff_us: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff_us: float = 8.0
+    timeout_budget_us: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise FaultConfigError("max_retries must be >= 0")
+        if self.base_backoff_us < 0 or self.max_backoff_us < 0:
+            raise FaultConfigError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise FaultConfigError("backoff_factor must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based), in µs."""
+        return min(
+            self.base_backoff_us * self.backoff_factor ** attempt,
+            self.max_backoff_us,
+        )
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Seed-driven description of the injected fault pattern.
+
+    All probabilities are in [0, 1].  The default instance (and
+    :meth:`disabled`) injects nothing, and the simulator bypasses the
+    fault layer entirely for it.
+    """
+
+    #: Root seed; every fault decision derives from it deterministically.
+    seed: int = 0
+    #: Fraction of clusters whose PU/CU are stuck (cluster offline).
+    failed_cluster_fraction: float = 0.0
+    #: Explicit failed-cluster ids (overrides the fraction when set).
+    failed_clusters: Optional[Tuple[int, ...]] = None
+    #: Per-MU probability of server loss (first MU of a cluster is spared
+    #: so surviving clusters keep at least one marker unit).
+    mu_loss_prob: float = 0.0
+    #: Per-link probability of an ICN port/link failure.
+    link_fail_prob: float = 0.0
+    #: Per-hop probability of a detected memory-port transfer corruption.
+    transfer_corrupt_prob: float = 0.0
+    #: Per-broadcast probability of a transient SCP/global-bus timeout.
+    scp_timeout_prob: float = 0.0
+    #: Recovery penalty of one SCP/bus timeout, in µs.
+    scp_timeout_penalty_us: float = 25.0
+    #: Per-transfer retry policy.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Re-issue the lost work of a PROPAGATE from its marker checkpoint.
+    checkpoint_recovery: bool = True
+    #: Maximum checkpoint replay rounds per PROPAGATE.
+    max_replay_rounds: int = 2
+    #: Evict semantic-network nodes off failed clusters onto survivors.
+    remap_nodes: bool = True
+
+    def __post_init__(self) -> None:
+        for name in (
+            "failed_cluster_fraction", "mu_loss_prob", "link_fail_prob",
+            "transfer_corrupt_prob", "scp_timeout_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultConfigError(f"{name} must be in [0, 1]: {value}")
+        if self.max_replay_rounds < 0:
+            raise FaultConfigError("max_replay_rounds must be >= 0")
+
+    @classmethod
+    def disabled(cls) -> "FaultConfig":
+        """A configuration that injects nothing at all."""
+        return cls()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault can actually occur under this config."""
+        return bool(
+            self.failed_clusters
+            or self.failed_cluster_fraction > 0
+            or self.mu_loss_prob > 0
+            or self.link_fail_prob > 0
+            or self.transfer_corrupt_prob > 0
+            or self.scp_timeout_prob > 0
+        )
+
+
+def _stream(config: FaultConfig, name: str) -> random.Random:
+    """A named, seed-derived RNG stream (independent per fault type)."""
+    return random.Random(f"{config.seed}/{name}")
+
+
+def failed_clusters_for(
+    config: FaultConfig, num_clusters: int
+) -> FrozenSet[int]:
+    """The deterministic set of offline clusters for a machine size.
+
+    Shared by the allocator-level remap (at machine construction) and
+    the simulator (at run time) so both agree on which clusters are
+    dead.  At least one cluster always survives.
+    """
+    if config.failed_clusters is not None:
+        bad = {c for c in config.failed_clusters if 0 <= c < num_clusters}
+    else:
+        count = int(round(config.failed_cluster_fraction * num_clusters))
+        if count <= 0:
+            return frozenset()
+        bad = set(
+            _stream(config, "clusters").sample(range(num_clusters), count)
+        )
+    if len(bad) >= num_clusters:
+        bad = set(sorted(bad)[: num_clusters - 1])
+    return frozenset(bad)
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected faults and recovery work for run reports."""
+
+    clusters_failed: int = 0
+    mus_lost: int = 0
+    links_failed: int = 0
+    nodes_remapped: int = 0
+    scp_timeouts: int = 0
+    transfer_retries: int = 0
+    transfer_failures: int = 0
+    retry_time_us: float = 0.0
+    messages_rerouted: int = 0
+    messages_unreachable: int = 0
+    replays: int = 0
+    replayed_messages: int = 0
+    messages_lost: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (JSON-friendly)."""
+        return {
+            "clusters_failed": self.clusters_failed,
+            "mus_lost": self.mus_lost,
+            "links_failed": self.links_failed,
+            "nodes_remapped": self.nodes_remapped,
+            "scp_timeouts": self.scp_timeouts,
+            "transfer_retries": self.transfer_retries,
+            "transfer_failures": self.transfer_failures,
+            "retry_time_us": self.retry_time_us,
+            "messages_rerouted": self.messages_rerouted,
+            "messages_unreachable": self.messages_unreachable,
+            "replays": self.replays,
+            "replayed_messages": self.replayed_messages,
+            "messages_lost": self.messages_lost,
+        }
+
+    def total_injected(self) -> int:
+        """Aggregate count of fault events that actually occurred."""
+        return (
+            self.clusters_failed + self.mus_lost + self.links_failed
+            + self.scp_timeouts + self.transfer_retries
+        )
+
+
+class FaultInjector:
+    """Realized fault pattern for one machine + runtime sampling.
+
+    Construction fixes the *static* pattern (failed clusters, lost MUs,
+    dead links) from the config seed; :meth:`transfer_corrupted` and
+    :meth:`scp_timeout` sample the *transient* faults from independent
+    streams.  Because the DES is deterministic, the sampling order —
+    and therefore the full event trace — is bit-reproducible for a
+    given seed.
+    """
+
+    def __init__(
+        self,
+        config: FaultConfig,
+        num_clusters: int,
+        mu_counts: Sequence[int],
+    ) -> None:
+        if len(mu_counts) != num_clusters:
+            raise FaultConfigError(
+                "mu_counts must provide one entry per cluster"
+            )
+        self.cfg = config
+        self.stats = FaultStats()
+        self.failed_clusters: FrozenSet[int] = failed_clusters_for(
+            config, num_clusters
+        )
+        self.stats.clusters_failed = len(self.failed_clusters)
+
+        # MU server loss on surviving clusters (first MU spared).
+        mu_rng = _stream(config, "mus")
+        effective: List[int] = []
+        for cid, count in enumerate(mu_counts):
+            if cid in self.failed_clusters or config.mu_loss_prob <= 0:
+                effective.append(count)
+                continue
+            lost = sum(
+                1 for _ in range(count - 1)
+                if mu_rng.random() < config.mu_loss_prob
+            )
+            self.stats.mus_lost += lost
+            effective.append(count - lost)
+        self.effective_mu_counts: Tuple[int, ...] = tuple(effective)
+
+        # ICN link failures over the topology's undirected adjacency.
+        self.dead_links: FrozenSet[Tuple[int, int]] = frozenset()
+        if config.link_fail_prob > 0:
+            link_rng = _stream(config, "links")
+            topology = HypercubeTopology(num_clusters)
+            dead: Set[Tuple[int, int]] = set()
+            for a in range(num_clusters):
+                for b in topology.neighbors(a):
+                    if b <= a:
+                        continue
+                    if link_rng.random() < config.link_fail_prob:
+                        dead.add(link_key(a, b))
+            self.dead_links = frozenset(dead)
+            self.stats.links_failed = len(self.dead_links)
+
+        self._transfer_rng = _stream(config, "transfer")
+        self._scp_rng = _stream(config, "scp")
+
+    # -- runtime sampling -------------------------------------------------
+    def transfer_corrupted(self) -> bool:
+        """Sample one memory-port transfer: corrupted in flight?"""
+        if self.cfg.transfer_corrupt_prob <= 0:
+            return False
+        return self._transfer_rng.random() < self.cfg.transfer_corrupt_prob
+
+    def scp_timeout(self) -> bool:
+        """Sample one broadcast: transient SCP/bus timeout?"""
+        if self.cfg.scp_timeout_prob <= 0:
+            return False
+        return self._scp_rng.random() < self.cfg.scp_timeout_prob

@@ -14,8 +14,10 @@ The topology generalizes to any cluster count by using
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from itertools import permutations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 #: Digit names in routing order (board-local first, then x, then y).
 DIMENSION_NAMES = ("L", "X", "Y")
@@ -26,6 +28,11 @@ RADIX = 4
 
 class TopologyError(ValueError):
     """Raised for invalid cluster addresses."""
+
+
+def link_key(a: int, b: int) -> Tuple[int, int]:
+    """Canonical (undirected) key for the link between two clusters."""
+    return (a, b) if a < b else (b, a)
 
 
 class HypercubeTopology:
@@ -70,13 +77,18 @@ class HypercubeTopology:
             value = value * RADIX + digit
         return value
 
-    def route(self, src: int, dst: int) -> List[int]:
+    def route(
+        self, src: int, dst: int, order: Optional[Sequence[int]] = None
+    ) -> List[int]:
         """Dimension-ordered path from ``src`` to ``dst``.
 
         Returns the sequence of clusters *after* ``src`` (ending at
         ``dst``); empty when ``src == dst``.  Each step corrects one
         address digit — preferring the lowest (messages use the
-        board-local L-memory first, then cross boards in X, then Y).
+        board-local L-memory first, then cross boards in X, then Y),
+        or following ``order`` (a permutation of digit indices) when
+        one is given; alternate digit orders are how fault-aware
+        routing detours around a dead link or cluster.
         On partially populated machines (cluster count not a power of
         4) a correction whose intermediate cluster does not exist is
         skipped in favor of another digit; zeroing a digit is always a
@@ -84,6 +96,9 @@ class HypercubeTopology:
         """
         self._check(src)
         self._check(dst)
+        dims: Sequence[int] = (
+            range(self.num_digits) if order is None else order
+        )
         path: List[int] = []
         current = list(self.digits(src))
         target = list(self.digits(dst))
@@ -95,7 +110,7 @@ class HypercubeTopology:
                     f"routing {src}->{dst} failed to converge"
                 )
             hop = None
-            for dim in range(self.num_digits):
+            for dim in dims:
                 if current[dim] == target[dim]:
                     continue
                 candidate = list(current)
@@ -119,6 +134,79 @@ class HypercubeTopology:
                 raise TopologyError(f"no valid hop from {current}")
             path.append(hop)
         return path
+
+    def _path_clear(
+        self,
+        src: int,
+        path: List[int],
+        blocked_clusters: FrozenSet[int],
+        blocked_links: FrozenSet[Tuple[int, int]],
+    ) -> bool:
+        """Whether a path avoids every blocked cluster and link."""
+        previous = src
+        for hop in path:
+            if hop in blocked_clusters:
+                return False
+            if link_key(previous, hop) in blocked_links:
+                return False
+            previous = hop
+        return True
+
+    def route_avoiding(
+        self,
+        src: int,
+        dst: int,
+        blocked_clusters: FrozenSet[int] = frozenset(),
+        blocked_links: FrozenSet[Tuple[int, int]] = frozenset(),
+    ) -> Optional[List[int]]:
+        """Fault-aware route around dead clusters and links.
+
+        Tries the canonical dimension order first, then every
+        alternate digit order (a detour through a different memory
+        dimension), and finally a breadth-first search over the
+        surviving adjacency.  Returns ``None`` when the pair is
+        unreachable — the caller must treat the message as lost.
+        Deterministic: digit orders are tried in lexicographic order
+        and the BFS expands neighbors in sorted order.
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return []
+        if src in blocked_clusters or dst in blocked_clusters:
+            return None
+        orders = (
+            permutations(range(self.num_digits))
+            if self.num_digits <= 4
+            else (tuple(range(self.num_digits)),)
+        )
+        for order in orders:
+            try:
+                path = self.route(src, dst, order=order)
+            except TopologyError:
+                continue
+            if self._path_clear(src, path, blocked_clusters, blocked_links):
+                return path
+        # All digit orders blocked: BFS detour over surviving links.
+        previous = {src: -1}
+        frontier = deque([src])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in self.neighbors(current):
+                if neighbor in previous or neighbor in blocked_clusters:
+                    continue
+                if link_key(current, neighbor) in blocked_links:
+                    continue
+                previous[neighbor] = current
+                if neighbor == dst:
+                    path = [dst]
+                    node = current
+                    while node != src:
+                        path.append(node)
+                        node = previous[node]
+                    return list(reversed(path))
+                frontier.append(neighbor)
+        return None
 
     def neighbors(self, cluster: int) -> List[int]:
         """All clusters directly reachable (one digit differs)."""

@@ -48,6 +48,17 @@ class SnapMachine:
         config: Optional[MachineConfig] = None,
     ) -> None:
         self.config = config or snap1_full()
+        # Graceful degradation: nodes are evicted off failed clusters
+        # before the tables are built, so their region of the KB stays
+        # reachable on survivors.
+        excluded = None
+        fault_cfg = self.config.faults
+        if fault_cfg is not None and fault_cfg.enabled and fault_cfg.remap_nodes:
+            from .faults import failed_clusters_for
+
+            excluded = failed_clusters_for(
+                fault_cfg, self.config.num_clusters
+            )
         self.state = MachineState(
             network,
             num_clusters=self.config.num_clusters,
@@ -57,6 +68,7 @@ class SnapMachine:
                 if self.config.enforce_capacity
                 else None
             ),
+            excluded_clusters=excluded,
         )
         self.last_report: Optional[MachineRunReport] = None
 

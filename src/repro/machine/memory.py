@@ -51,11 +51,13 @@ class MultiportMemory:
         self.words = words
         self.ports = ports
         self._data: List[int] = [0] * words
+        self._parity: List[int] = [0] * words
         self._cycle_writes: Dict[int, int] = {}
         self._in_cycle = False
         self.reads = 0
         self.writes = 0
         self.conflicts = 0
+        self.parity_errors = 0
 
     def begin_cycle(self) -> None:
         """Start a simultaneous-access cycle (resets write set)."""
@@ -92,6 +94,34 @@ class MultiportMemory:
             self._cycle_writes[address] = port
         self.writes += 1
         self._data[address] = value
+        self._parity[address] = _parity_of(value)
+
+    # -- fault detection (parity) ----------------------------------------
+    def corrupt(self, address: int, bit: int = 0) -> None:
+        """Flip one data bit without updating parity (fault injection).
+
+        Models a transfer corrupted between the writing and reading
+        port; the stale parity lets :meth:`read_checked` detect it.
+        """
+        self._data[address] ^= 1 << bit
+
+    def read_checked(self, port: int, address: int) -> Tuple[int, bool]:
+        """Read with parity verification: (value, parity_ok).
+
+        A ``False`` flag is a *detected* corruption; the reading unit
+        is expected to retry the transfer (the DES charges that retry
+        through :class:`repro.machine.faults.RetryPolicy`).
+        """
+        value = self.read(port, address)
+        ok = _parity_of(value) == self._parity[address]
+        if not ok:
+            self.parity_errors += 1
+        return value, ok
+
+
+def _parity_of(value: int) -> int:
+    """Single-bit parity of a stored word."""
+    return bin(value & 0xFFFF_FFFF_FFFF_FFFF).count("1") & 1
 
 
 class ClusterArbiter:
@@ -110,13 +140,39 @@ class ClusterArbiter:
         self._waiting: List[int] = []
         self._queue: Deque[int] = deque()
         self._holder: Optional[int] = None
+        self._failed: set = set()
         self.grants = 0
+        self.forced_releases = 0
 
     def request(self, port: int) -> None:
         """Queue an arbitration request from a port."""
         if not 0 <= port < self.ports:
             raise MemoryError_(f"arbiter: bad port {port}")
+        if port in self._failed:
+            raise MemoryError_(f"arbiter: port {port} is marked failed")
         self._waiting.append(port)
+
+    def fail_port(self, port: int) -> None:
+        """Mark a port's processor as stuck; recover its arbiter state.
+
+        A hung PU/MU must not wedge the whole cluster: its pending
+        requests are purged and, if it holds the grant, the grant is
+        force-released so surviving units keep making progress.
+        Subsequent requests from the failed port are rejected.
+        """
+        if not 0 <= port < self.ports:
+            raise MemoryError_(f"arbiter: bad port {port}")
+        self._failed.add(port)
+        self._waiting = [p for p in self._waiting if p != port]
+        self._queue = deque(p for p in self._queue if p != port)
+        if self._holder == port:
+            self._holder = None
+            self.forced_releases += 1
+
+    @property
+    def failed_ports(self) -> frozenset:
+        """Ports marked failed via :meth:`fail_port`."""
+        return frozenset(self._failed)
 
     def _commit_waiting(self) -> None:
         """Randomly order the batch of simultaneous requests."""

@@ -84,6 +84,11 @@ class MachineRunReport:
     events_processed: int = 0
     num_clusters: int = 0
     total_pes: int = 0
+    #: Set only when the run had an enabled fault layer; fault-free
+    #: reports (and their JSON dumps) are byte-identical to pre-fault
+    #: builds.
+    faults_enabled: bool = False
+    fault_stats: Optional[Any] = None
 
     # ------------------------------------------------------------------
     @property
@@ -158,7 +163,7 @@ class MachineRunReport:
         (Collected results and raw perf records are omitted — export
         those separately if needed.)
         """
-        return {
+        dump: Dict[str, Any] = {
             "total_time_us": self.total_time_us,
             "num_clusters": self.num_clusters,
             "total_pes": self.total_pes,
@@ -189,10 +194,13 @@ class MachineRunReport:
             },
             "cluster_busy": [dict(c) for c in self.cluster_busy],
         }
+        if self.faults_enabled and self.fault_stats is not None:
+            dump["faults"] = self.fault_stats.as_dict()
+        return dump
 
     def summary(self) -> Dict[str, Any]:
         """Headline numbers for experiment tables."""
-        return {
+        summary = {
             "time_ms": round(self.total_time_ms, 3),
             "instructions": len(self.traces),
             "propagates": self.propagate_count(),
@@ -204,3 +212,6 @@ class MachineRunReport:
                 k: round(v, 1) for k, v in self.overheads.as_dict().items()
             },
         }
+        if self.faults_enabled and self.fault_stats is not None:
+            summary["faults_injected"] = self.fault_stats.total_injected()
+        return summary

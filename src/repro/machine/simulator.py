@@ -45,7 +45,8 @@ from ..isa.instructions import (
 from ..isa.program import SnapProgram
 from .cluster import ClusterSim, build_clusters, pe_index_of_cluster, work_service_time
 from .config import MachineConfig
-from .des import Job, Simulator
+from .des import Job, Simulator, Timeout
+from .faults import FaultInjector
 from .icn import HypercubeTopology
 from .perfnet import EventCode, PerformanceCollector
 from .report import InstructionTrace, MachineRunReport, OverheadBreakdown
@@ -67,6 +68,9 @@ class _InstrState:
     work_ops: int = 0
     messages: int = 0
     completed: bool = False
+    #: Activation messages lost to faults, awaiting checkpoint replay.
+    lost: List[Any] = field(default_factory=list)
+    replay_rounds: int = 0
 
 
 class SnapSimulation:
@@ -81,8 +85,23 @@ class SnapSimulation:
         self.cfg = config
         self.timing = config.timing
         self.sim = Simulator()
-        self.clusters: List[ClusterSim] = build_clusters(self.sim, config)
         self.topology = HypercubeTopology(config.num_clusters)
+        # Fault layer: constructed only for an *enabled* config, so the
+        # fault-free path never draws an RNG stream or takes a branch
+        # that could perturb the event trace.
+        fault_cfg = config.faults
+        self.faults: Optional[FaultInjector] = None
+        if fault_cfg is not None and fault_cfg.enabled:
+            self.faults = FaultInjector(
+                fault_cfg, config.num_clusters, config.mu_counts()
+            )
+        self.clusters: List[ClusterSim] = build_clusters(
+            self.sim, config, self.faults
+        )
+        #: Clusters whose PU/CU still respond (all of them, fault-free).
+        self.alive_clusters: List[ClusterSim] = [
+            c for c in self.clusters if not c.failed
+        ]
         self.syncer = TieredSynchronizer(config.total_pes)
         self.perf = PerformanceCollector()
         self.report = MachineRunReport(
@@ -93,6 +112,8 @@ class SnapSimulation:
         from .des import Server
 
         self.controller = Server(self.sim, name="controller")
+        if self.faults is not None and self.faults.cfg.scp_timeout_prob > 0:
+            self.controller.penalty_hook = self._scp_penalty
         self._program: Optional[SnapProgram] = None
         self._pc = 0
         self._in_flight: Dict[int, _InstrState] = {}
@@ -126,7 +147,24 @@ class SnapSimulation:
             summary = cluster.busy_summary()
             summary["mu_servers"] = cluster.num_mus
             self.report.cluster_busy.append(summary)
+        if self.faults is not None:
+            self.faults.stats.nodes_remapped = getattr(
+                self.state, "nodes_remapped", 0
+            )
+            self.report.faults_enabled = True
+            self.report.fault_stats = self.faults.stats
         return self.report
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+    # ------------------------------------------------------------------
+    def _scp_penalty(self, job: Job) -> float:
+        """Transient SCP/bus timeout: stretch this broadcast's service."""
+        assert self.faults is not None
+        if self.faults.scp_timeout():
+            self.faults.stats.scp_timeouts += 1
+            return self.faults.cfg.scp_timeout_penalty_us
+        return 0.0
 
     # ------------------------------------------------------------------
     # Controller
@@ -181,8 +219,11 @@ class SnapSimulation:
             return
         if isinstance(instr, Propagate):
             st.ctx = self.state.make_context(instr, level=st.index)
-        st.clusters_remaining = len(self.clusters)
-        for cluster in self.clusters:
+        # Failed clusters never decode: their PU is stuck.  Any node
+        # remapping happened at machine construction, so surviving
+        # clusters hold the evicted table regions.
+        st.clusters_remaining = len(self.alive_clusters)
+        for cluster in self.alive_clusters:
             cluster.instructions_queued += 1
             cluster.pu.submit(
                 Job(
@@ -212,6 +253,10 @@ class SnapSimulation:
             )
         except Exception:
             home = 0
+        if self.faults is not None and home in self.faults.failed_clusters:
+            # Without node remap a table update may target an offline
+            # cluster; the controller falls back to a survivor.
+            home = self.alive_clusters[0].cluster_id
         st.clusters_remaining = 1
         service = work_service_time(work, self.timing)
         self._attribute(instr.category, service)
@@ -376,12 +421,27 @@ class SnapSimulation:
 
             raw = msg.pack([msg.rule])
             msg = unpack(raw, [msg.rule], level=msg.level, hops=msg.hops)
+        if self.faults is None:
+            path = self.topology.route(src, msg.dest_cluster)
+        else:
+            path = self.topology.route_avoiding(
+                src,
+                msg.dest_cluster,
+                blocked_clusters=self.faults.failed_clusters,
+                blocked_links=self.faults.dead_links,
+            )
+            if path is None:
+                # No surviving route: the marker simply never arrives
+                # (graceful degradation — accuracy, not correctness).
+                self.faults.stats.messages_unreachable += 1
+                return
+            if path != self.topology.route(src, msg.dest_cluster):
+                self.faults.stats.messages_rerouted += 1
         st.pending += 1
         st.messages += 1
         pe = self._pe_of_cluster[src]
         self.syncer.produce(pe, st.index)
         self.report.sync_stats.count_message()
-        path = self.topology.route(src, msg.dest_cluster)
         hops = len(path)
         latency = (
             self.timing.t_cu_dma
@@ -401,10 +461,16 @@ class SnapSimulation:
 
         source_cluster = self.clusters[src]
         source_cluster.activation_queue.push(msg)
+        # Per-transfer recovery record, carried hop to hop.  Created
+        # only when corruption is possible, so the fault-free (and the
+        # corruption-free faulty) transport path is untouched.
+        rec: Optional[Dict[str, Any]] = None
+        if self.faults is not None and self.faults.cfg.transfer_corrupt_prob > 0:
+            rec = {"attempts": 0, "alive": True, "watchdog": None, "src": src}
 
         def launch() -> None:
             source_cluster.activation_queue.pop()
-            self._advance_message(st, pe, msg, path, 0)
+            self._advance_message(st, pe, msg, path, 0, rec)
 
         source_cluster.cu.submit(Job(self.timing.t_cu_dma, on_done=launch))
 
@@ -415,6 +481,7 @@ class SnapSimulation:
         msg: ActivationMessage,
         path: List[int],
         hop_index: int,
+        rec: Optional[Dict[str, Any]] = None,
     ) -> None:
         """One wire hop; store-and-forward at intermediate CUs."""
         if not path:
@@ -425,7 +492,22 @@ class SnapSimulation:
         target = path[hop_index]
 
         def after_wire() -> None:
+            if rec is not None:
+                if not rec["alive"]:
+                    # The recovery watchdog already declared this
+                    # transfer lost; drop the stale wire event.
+                    return
+                if self.faults is not None and self.faults.transfer_corrupted():
+                    # Parity caught a corrupted transfer on this hop:
+                    # retry the hop after a backoff instead of
+                    # delivering poisoned data.
+                    self._retry_hop(st, producer_pe, msg, path, hop_index, rec)
+                    return
             if hop_index == len(path) - 1:
+                if rec is not None and rec["watchdog"] is not None:
+                    watchdog = rec["watchdog"]
+                    if watchdog.armed:
+                        watchdog.cancel()
                 self._deliver_message(st, producer_pe, msg)
             else:
                 forwarder = self.clusters[target]
@@ -436,12 +518,78 @@ class SnapSimulation:
                     Job(
                         self.timing.t_forward,
                         on_done=lambda: self._advance_message(
-                            st, producer_pe, msg, path, hop_index + 1
+                            st, producer_pe, msg, path, hop_index + 1, rec
                         ),
                     )
                 )
 
         self.sim.schedule(self.timing.t_hop, after_wire)
+
+    def _retry_hop(
+        self,
+        st: _InstrState,
+        producer_pe: int,
+        msg: ActivationMessage,
+        path: List[int],
+        hop_index: int,
+        rec: Dict[str, Any],
+    ) -> None:
+        """Detected corruption: capped-backoff retry under a watchdog."""
+        assert self.faults is not None
+        policy = self.faults.cfg.retry
+        rec["attempts"] += 1
+        if rec["attempts"] > policy.max_retries:
+            watchdog = rec["watchdog"]
+            if watchdog is not None and watchdog.armed:
+                watchdog.cancel()
+            rec["alive"] = False
+            self.faults.stats.transfer_failures += 1
+            self._message_lost(st, producer_pe, msg, rec["src"])
+            return
+        self.faults.stats.transfer_retries += 1
+        if rec["watchdog"] is None:
+            # First corruption of this transfer arms the timeout
+            # budget: total recovery (simulated µs) is bounded even if
+            # every retry keeps getting corrupted.
+            def on_timeout() -> None:
+                rec["alive"] = False
+                self.faults.stats.transfer_failures += 1
+                self._message_lost(st, producer_pe, msg, rec["src"])
+
+            rec["watchdog"] = Timeout(
+                self.sim, policy.timeout_budget_us, on_timeout
+            )
+        backoff = policy.backoff(rec["attempts"] - 1)
+        self.faults.stats.retry_time_us += backoff
+        # The retry costs the backoff wait plus the re-sent wire hop
+        # (the wait is scheduled here; _advance_message re-schedules
+        # the hop itself).
+        self.report.overheads.communication += backoff + self.timing.t_hop
+        self._attribute(Category.PROPAGATE, backoff + self.timing.t_hop)
+        self.sim.schedule(
+            backoff,
+            lambda: self._advance_message(
+                st, producer_pe, msg, path, hop_index, rec
+            ),
+        )
+
+    def _message_lost(
+        self,
+        st: _InstrState,
+        producer_pe: int,
+        msg: ActivationMessage,
+        src: int,
+    ) -> None:
+        """Give up on a transfer; queue it for checkpoint replay.
+
+        The synchronizer still sees a consume — the transfer is
+        *accounted for*, just unsuccessful — so the propagation barrier
+        can fire and decide whether to replay from the checkpoint.
+        """
+        st.lost.append((src, msg))
+        self.syncer.consume(producer_pe, st.index)
+        st.pending -= 1
+        self._check_propagate_done(st)
 
     def _deliver_message(
         self, st: _InstrState, producer_pe: int, msg: ActivationMessage
@@ -458,6 +606,26 @@ class SnapSimulation:
     def _check_propagate_done(self, st: _InstrState) -> None:
         if st.completed or not st.scan_done or st.pending > 0:
             return
+        if st.lost:
+            # Checkpoint recovery: the marker state up to this barrier
+            # *is* the checkpoint (delivered markers are already
+            # folded in), so only the lost activation messages need
+            # re-issuing — not the whole propagation.
+            assert self.faults is not None
+            fc = self.faults.cfg
+            if fc.checkpoint_recovery and st.replay_rounds < fc.max_replay_rounds:
+                st.replay_rounds += 1
+                lost, st.lost = st.lost, []
+                self.faults.stats.replays += 1
+                self.faults.stats.replayed_messages += len(lost)
+                for src, msg in lost:
+                    self._send_message(st, src, msg)
+                if st.pending > 0:
+                    return
+                # Every replayed message was unreachable; fall through.
+            if st.lost:
+                self.faults.stats.messages_lost += len(st.lost)
+                st.lost.clear()
         st.completed = True
         # Tiered protocol check: this level's counters must balance.
         if self.syncer.level_balance(st.index) != 0:
@@ -506,7 +674,7 @@ class SnapSimulation:
         clusters (per-cluster setup) plus per-item transfer.
         """
         service = (
-            self.cfg.num_clusters * self.timing.t_collect_cluster
+            len(self.alive_clusters) * self.timing.t_collect_cluster
             + len(st.collected) * self.timing.t_collect_item
         )
         self.report.overheads.collection += service

@@ -14,8 +14,9 @@ pairs — the two fields of the relation table's destination-node entry.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from .graph import SemanticNetwork
 
@@ -179,6 +180,45 @@ def semantic_partition(
                 if assignment[nb] == -1:
                     queue.append(nb)
     return Partitioning(assignment, num_clusters)
+
+
+def evict_clusters(
+    partitioning: Partitioning, excluded: Iterable[int]
+) -> Tuple[Partitioning, int]:
+    """Remap every node off the ``excluded`` clusters onto survivors.
+
+    The graceful-degradation allocator: when clusters fail, their
+    region of the semantic network is evicted onto the surviving
+    clusters, least-loaded first (ties broken by lowest cluster id),
+    instead of crashing the machine.  Nodes are visited in global-id
+    order, so the remap is deterministic.
+
+    Returns ``(new_partitioning, nodes_moved)``.  Capacity is *not*
+    re-enforced — a heavily degraded machine may pack survivors past
+    the prototype's per-cluster limit, which the simulator surfaces as
+    slowdown rather than failure.
+    """
+    excluded_set = set(excluded)
+    survivors = [
+        c for c in range(partitioning.num_clusters) if c not in excluded_set
+    ]
+    if not survivors:
+        raise PartitionError("cannot evict every cluster")
+    sizes = partitioning.sizes()
+    assignment = [
+        partitioning.cluster_of(nid) for nid in range(partitioning.num_nodes)
+    ]
+    heap = [(sizes[c], c) for c in survivors]
+    heapq.heapify(heap)
+    moved = 0
+    for nid in range(len(assignment)):
+        if assignment[nid] not in excluded_set:
+            continue
+        size, cid = heapq.heappop(heap)
+        assignment[nid] = cid
+        heapq.heappush(heap, (size + 1, cid))
+        moved += 1
+    return Partitioning(assignment, partitioning.num_clusters), moved
 
 
 #: Registry of allocation policies by name (paper §II-A).

@@ -1,0 +1,84 @@
+"""The faultdeg experiment: monotone graceful degradation, counters."""
+
+import pytest
+
+from repro.experiments.common import REGISTRY
+
+# Importing the runner registers every experiment.
+import repro.experiments.runner  # noqa: F401
+
+
+@pytest.fixture(scope="module")
+def result():
+    """Run the degradation sweep once in fast mode."""
+    return REGISTRY["faultdeg"](fast=True)
+
+
+def _curve(result, rate):
+    rows = [r for r in result.data["rows"] if r["fault_rate"] == rate]
+    return sorted(rows, key=lambda r: r["failed_fraction"])
+
+
+class TestRegistration:
+    def test_registered_in_default_order(self):
+        from repro.experiments.runner import DEFAULT_ORDER
+
+        assert "faultdeg" in REGISTRY
+        assert "faultdeg" in DEFAULT_ORDER
+
+
+class TestDegradationCurve:
+    def test_sweep_covers_zero_to_quarter_failed(self, result):
+        fractions = {r["failed_fraction"] for r in result.data["rows"]}
+        assert min(fractions) == 0.0
+        assert max(fractions) == 0.25
+
+    def test_accuracy_declines_monotonically(self, result):
+        """Detect-only accuracy falls smoothly with the failed-cluster
+        fraction — graceful degradation, not a crash."""
+        rates = sorted({r["fault_rate"] for r in result.data["rows"]})
+        for rate in rates:
+            curve = [
+                r["accuracy_detect_only"] for r in _curve(result, rate)
+            ]
+            assert all(
+                later <= earlier + 0.02
+                for earlier, later in zip(curve, curve[1:])
+            )
+            assert curve[0] > 0.9
+            assert curve[-1] < curve[0]
+            # Declines but never collapses to zero (no crash).
+            assert curve[-1] > 0.0
+
+    def test_recovery_stack_restores_accuracy(self, result):
+        for row in result.data["rows"]:
+            assert (
+                row["accuracy_recovered"]
+                >= row["accuracy_detect_only"] - 1e-9
+            )
+        worst = min(
+            r["accuracy_recovered"] for r in result.data["rows"]
+        )
+        assert worst > 0.9
+
+    def test_no_fault_cell_is_perfect(self, result):
+        for row in result.data["rows"]:
+            if row["failed_fraction"] == 0.0:
+                assert row["accuracy_recovered"] == 1.0
+
+
+class TestCountersSurfaced:
+    def test_retry_and_backoff_counters_present(self, result):
+        rows = result.data["rows"]
+        assert sum(r["transfer_retries"] for r in rows) > 0
+        assert sum(r["retry_time_us"] for r in rows) > 0
+
+    def test_rerouting_grows_with_failures(self, result):
+        rates = sorted({r["fault_rate"] for r in result.data["rows"]})
+        curve = _curve(result, rates[0])
+        assert curve[-1]["messages_rerouted"] > curve[0]["messages_rerouted"]
+
+    def test_renders(self, result):
+        text = result.render()
+        assert "faultdeg" in text
+        assert "retries" in text

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.machine import Job, Server, ServerPool, SimulationError, Simulator, utilization
+from repro.machine import (
+    Job,
+    Server,
+    ServerPool,
+    SimulationError,
+    Simulator,
+    Timeout,
+    utilization,
+)
 
 
 class TestSimulator:
@@ -59,6 +67,50 @@ class TestSimulator:
         assert sim.now == 5.0
         sim.run()
         assert log == ["a", "b"]
+
+    def test_run_until_is_inclusive(self):
+        """Events scheduled exactly at ``until`` fire."""
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append("at"))
+        sim.schedule(5.0 + 1e-9, lambda: log.append("after"))
+        sim.run(until=5.0)
+        assert log == ["at"]
+        assert sim.now == 5.0
+
+    def test_run_until_advances_clock_on_empty_heap(self):
+        """Back-to-back run(until=...) calls advance time even when no
+        events exist in the window."""
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_schedule_zero_during_processing_is_fifo(self):
+        """schedule(0, fn) inside a handler fires after already-queued
+        events of the same timestamp, in submission order."""
+        sim = Simulator()
+        log = []
+
+        def handler():
+            log.append("first")
+            sim.schedule(0.0, lambda: log.append("chained-1"))
+            sim.schedule(0.0, lambda: log.append("chained-2"))
+
+        sim.schedule(2.0, handler)
+        sim.schedule(2.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second", "chained-1", "chained-2"]
+        assert sim.now == 2.0
+
+    def test_schedule_zero_at_until_boundary_fires(self):
+        """Zero-delay chains at the until boundary still complete."""
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: sim.schedule(0.0, lambda: log.append("z")))
+        sim.run(until=5.0)
+        assert log == ["z"]
 
     def test_events_processed_counter(self):
         sim = Simulator()
@@ -136,6 +188,58 @@ class TestServerPool:
         assert not pool.idle
         sim.run()
         assert pool.idle
+
+
+class TestTimeout:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        watchdog = Timeout(sim, 5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+        assert watchdog.expired
+        assert not watchdog.armed
+
+    def test_cancel_disarms(self):
+        sim = Simulator()
+        fired = []
+        watchdog = Timeout(sim, 5.0, lambda: fired.append(sim.now))
+        sim.schedule(1.0, watchdog.cancel)
+        sim.run()
+        assert fired == []
+        assert not watchdog.expired
+        assert not watchdog.armed
+
+
+class TestPenaltyHook:
+    def test_hook_extends_service_time(self):
+        sim = Simulator()
+        server = Server(sim)
+        server.penalty_hook = lambda job: 2.0
+        done = []
+        server.submit(Job(3.0, on_done=lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [5.0]
+        assert server.busy_time == 5.0
+
+    def test_no_hook_is_identical(self):
+        sim = Simulator()
+        server = Server(sim)
+        done = []
+        server.submit(Job(3.0, on_done=lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [3.0]
+        assert server.busy_time == 3.0
+
+    def test_pool_hook(self):
+        sim = Simulator()
+        pool = ServerPool(sim, servers=2)
+        pool.penalty_hook = lambda job: 1.0
+        done = []
+        for _ in range(2):
+            pool.submit(Job(1.0, on_done=lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [2.0, 2.0]
 
 
 def test_utilization_helper():

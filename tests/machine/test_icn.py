@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.machine import HypercubeTopology, IcnStats, TopologyError
+from repro.machine import HypercubeTopology, IcnStats, TopologyError, link_key
 
 
 class TestAddressing:
@@ -100,6 +100,129 @@ class TestRouting:
             da, db = topo.digits(previous), topo.digits(hop)
             assert sum(1 for x, y in zip(da, db) if x != y) == 1
             previous = hop
+
+
+class TestNonPowerOfFour:
+    """Partially populated machines (cluster count not a power of 4)."""
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 7, 9, 11, 13, 15, 17, 31])
+    def test_all_pairs_route(self, n):
+        topo = HypercubeTopology(n)
+        for src in range(n):
+            for dst in range(n):
+                path = topo.route(src, dst)
+                if src == dst:
+                    assert path == []
+                else:
+                    assert path[-1] == dst
+                for hop in path:
+                    assert 0 <= hop < n
+
+    @pytest.mark.parametrize("n", [5, 11, 31])
+    def test_hops_stay_within_machine(self, n):
+        """No route passes through an unpopulated cluster id."""
+        topo = HypercubeTopology(n)
+        for src in range(n):
+            for dst in range(n):
+                assert all(hop < n for hop in topo.route(src, dst))
+
+
+class TestMaxHopClaim:
+    """§III-B: any pair "accommodated with at most three intermediate
+    hops" — i.e. path length <= num_digits on fully populated machines."""
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_full_machine_distance_bounded_by_digits(self, n):
+        topo = HypercubeTopology(n)
+        worst = max(
+            topo.distance(a, b) for a in range(n) for b in range(n)
+        )
+        assert worst == topo.num_digits
+        assert worst <= 3
+
+    def test_full_machine_distance_equals_hamming(self):
+        topo = HypercubeTopology(16)
+        for a in range(16):
+            for b in range(16):
+                assert topo.distance(a, b) == topo.hamming(a, b)
+
+
+class TestRouteSymmetry:
+    @pytest.mark.parametrize("n", [4, 16, 32])
+    def test_distance_symmetric_on_full_machines(self, n):
+        """On fully populated machines the hop count is symmetric
+        (it equals the Hamming distance of the addresses)."""
+        topo = HypercubeTopology(n)
+        for a in range(n):
+            for b in range(n):
+                assert topo.distance(a, b) == topo.distance(b, a)
+
+    def test_reverse_route_visits_same_dimensions(self):
+        topo = HypercubeTopology(32)
+        forward = [0] + topo.route(0, 23)
+        backward = [23] + topo.route(23, 0)
+        dims_fwd = sorted(
+            topo.dimension_of_hop(a, b)
+            for a, b in zip(forward, forward[1:])
+        )
+        dims_bwd = sorted(
+            topo.dimension_of_hop(a, b)
+            for a, b in zip(backward, backward[1:])
+        )
+        assert dims_fwd == dims_bwd
+
+
+class TestRouteAvoiding:
+    def test_no_blocks_matches_default_route(self):
+        topo = HypercubeTopology(16)
+        for src in range(16):
+            for dst in range(16):
+                assert topo.route_avoiding(src, dst) == topo.route(src, dst)
+
+    def test_detours_around_blocked_cluster(self):
+        topo = HypercubeTopology(16)
+        default = topo.route(0, 5)
+        blocked = frozenset([default[0]])
+        detour = topo.route_avoiding(0, 5, blocked_clusters=blocked)
+        assert detour is not None
+        assert detour[-1] == 5
+        assert not blocked & set(detour)
+
+    def test_detours_around_dead_link(self):
+        topo = HypercubeTopology(16)
+        default = topo.route(0, 1)
+        assert default == [1]
+        dead = frozenset([link_key(0, 1)])
+        detour = topo.route_avoiding(0, 1, blocked_links=dead)
+        assert detour is not None
+        assert detour[-1] == 1
+        previous = 0
+        for hop in detour:
+            assert link_key(previous, hop) not in dead
+            previous = hop
+
+    def test_blocked_destination_unreachable(self):
+        topo = HypercubeTopology(16)
+        assert topo.route_avoiding(
+            0, 5, blocked_clusters=frozenset([5])
+        ) is None
+
+    def test_isolated_source_unreachable(self):
+        topo = HypercubeTopology(16)
+        dead = frozenset(link_key(0, nb) for nb in topo.neighbors(0))
+        assert topo.route_avoiding(0, 5, blocked_links=dead) is None
+
+    def test_deterministic(self):
+        topo = HypercubeTopology(16)
+        blocked = frozenset([1, 4])
+        dead = frozenset([link_key(0, 5)])
+        first = topo.route_avoiding(
+            0, 5, blocked_clusters=blocked, blocked_links=dead
+        )
+        second = topo.route_avoiding(
+            0, 5, blocked_clusters=blocked, blocked_links=dead
+        )
+        assert first == second
 
 
 class TestStats:
