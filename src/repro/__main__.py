@@ -10,8 +10,13 @@ Commands
     speech parser over it.
 ``experiments [IDS...] [--full] [--list]``
     Regenerate the paper's tables/figures and extension studies
-    (including ``faultdeg``, the fault-injection degradation sweep);
+    (including ``faultdeg``, the fault-injection degradation sweep,
+    and ``overload``, the serving-under-overload sweep);
     same as ``python -m repro.experiments.runner``.
+``serve [--queries N] [--load X] [--fault-fraction F]``
+    Drive the concurrent query-serving host layer with a synthetic
+    arrival stream of inheritance queries and print the serving
+    report (admission, shedding, deadlines, hedges, breakers).
 ``info``
     Print the machine configuration and knowledge-base statistics.
 """
@@ -89,6 +94,39 @@ def cmd_experiments(args) -> int:
     return runner_main(argv)
 
 
+def cmd_serve(args) -> int:
+    """Handle the `serve` subcommand."""
+    from repro.experiments.overload import (
+        build_queries, uncontended_profile,
+    )
+    from repro.host import HostConfig, ServingHost
+    from repro.network.generator import generate_hierarchy_kb
+
+    network = generate_hierarchy_kb(args.kb_nodes, branching=3)
+    config = HostConfig(
+        num_replicas=args.replicas,
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.shed_policy,
+        faulty_replica_fraction=args.fault_fraction,
+        fault_seed=args.seed,
+    )
+    mean_service, p99 = uncontended_profile(network, config)
+    sustainable = config.num_replicas / mean_service
+    deadline_us = args.deadline_us or 2.5 * p99
+    queries = build_queries(
+        args.queries, args.load * sustainable, deadline_us, seed=args.seed
+    )
+    report = ServingHost(network, config).serve(queries)
+    print(
+        f"offered {args.load:.1f}x sustainable "
+        f"({args.load * sustainable * 1e6:.0f} q/s), "
+        f"deadline {deadline_us:.0f} us"
+    )
+    for key, value in report.summary().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
 def cmd_info(args) -> int:
     """Handle the `info` subcommand."""
     from repro.machine import snap1_16cluster, snap1_full
@@ -137,6 +175,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("--list", action="store_true",
                    help="list experiment ids and exit")
     p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser(
+        "serve", help="run the concurrent query-serving host layer"
+    )
+    p.add_argument("--queries", type=int, default=100,
+                   help="number of queries in the arrival stream")
+    p.add_argument("--load", type=float, default=1.0,
+                   help="offered load as a multiple of sustainable")
+    p.add_argument("--fault-fraction", type=float, default=0.0,
+                   help="fraction of replicas built degraded")
+    p.add_argument("--replicas", type=int, default=4)
+    p.add_argument("--queue-capacity", type=int, default=16)
+    p.add_argument("--shed-policy", default="reject-newest",
+                   choices=["reject-newest", "reject-over-deadline"])
+    p.add_argument("--deadline-us", type=float, default=None,
+                   help="per-query deadline (default: 2.5x p99)")
+    p.add_argument("--kb-nodes", type=int, default=240)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("info", help="machine + knowledge base statistics")
     p.add_argument("--kb-nodes", type=int, default=3000)

@@ -304,6 +304,20 @@ class MachineState:
         """Reclaimed slots currently awaiting reuse."""
         return len(self._free_nodes)
 
+    def reset_markers(self) -> None:
+        """Clear all marker state machine-wide (status bits + complex
+        value/origin registers) without touching the knowledge base.
+
+        This is the host's between-queries wipe: serving treats each
+        query as independent, so the array is handed over clean.  Nodes
+        created at runtime and runtime link bindings are *not* undone —
+        those are knowledge-base maintenance, owned by the controller's
+        housekeeping (:meth:`garbage_collect`), not per-query state.
+        """
+        for tables in self.clusters:
+            tables.status.reset()
+            tables.node_table.reset_registers()
+
     def ensure_node(self, ref, color: int = Color.RESULT) -> int:
         """Resolve a node operand, creating it (by name) if missing."""
         if isinstance(ref, str) and ref not in self.network:

@@ -98,6 +98,10 @@ class MarkerStatusTable:
         """Clear the marker at every node (word-wise)."""
         self._bits[marker, :] = 0
 
+    def reset(self) -> None:
+        """Clear every marker at every node (between serving queries)."""
+        self._bits[:, :] = 0
+
     def and_rows(self, m1: int, m2: int, m3: int) -> int:
         """m3 := m1 & m2; returns words processed (timing unit)."""
         np.bitwise_and(self._bits[m1], self._bits[m2], out=self._bits[m3])
@@ -202,6 +206,11 @@ class NodeTable:
         if is_complex(marker):
             self.value[local, marker] = 0.0
             self.origin[local, marker] = -1
+
+    def reset_registers(self) -> None:
+        """Reset every complex-marker value/origin register."""
+        self.value[:, :] = 0.0
+        self.origin[:, :] = -1
 
     def grow(self, count: int = 1) -> None:
         """Extend capacity for ``count`` more nodes (runtime CREATE)."""

@@ -26,6 +26,7 @@ from . import (  # noqa: F401
     fig19_kb_sweep,
     fig20_propagation_counts,
     fig21_overheads,
+    overload,
     scaling_projection,
     speech_robustness,
     table04_parse_times,
@@ -37,7 +38,7 @@ from .common import REGISTRY, ExperimentResult
 DEFAULT_ORDER = (
     "fig06", "fig08", "table04", "fig15", "fig16", "fig17",
     "fig18", "fig19", "fig20", "fig21", "textstats", "scaling",
-    "speech", "faultdeg",
+    "speech", "faultdeg", "overload",
 )
 
 
@@ -81,6 +82,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for experiment_id in sorted(set(REGISTRY) - set(DEFAULT_ORDER)):
             print(experiment_id)
         return 0
+
+    unknown = [e for e in args.experiments if e not in REGISTRY]
+    if unknown:
+        known = ", ".join(
+            list(DEFAULT_ORDER)
+            + sorted(set(REGISTRY) - set(DEFAULT_ORDER))
+        )
+        print(
+            f"error: unknown experiment(s): {', '.join(unknown)}\n"
+            f"usage: python -m repro experiments [IDS...] [--full]\n"
+            f"known experiments: {known}",
+            file=sys.stderr,
+        )
+        return 2
 
     results = run_experiments(args.experiments or None, fast=not args.full)
     text = "\n\n".join(r.render() for r in results)

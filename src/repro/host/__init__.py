@@ -1,0 +1,43 @@
+"""Resilient concurrent query-serving layer over the SNAP-1 array.
+
+The paper drove the SCP from a single Sun host, one query at a time.
+This package adds the *serving* dimension of the ROADMAP north star:
+many concurrent marker-propagation queries with per-query deadlines,
+scheduled onto replica cluster groups, with bounded admission,
+load shedding, hedged retries, per-replica circuit breakers fed by
+the fault layer, and a structured outcome record per query.
+
+See ``docs/HOST.md`` for the queueing model, the breaker state
+machine, and the shed policies; ``repro.experiments.overload`` sweeps
+arrival rate × fault rate and demonstrates graceful degradation.
+"""
+
+from .admission import (
+    AdmissionError,
+    AdmissionQueue,
+    REJECT_NEWEST,
+    REJECT_OVER_DEADLINE,
+    SHED_POLICIES,
+)
+from .breaker import (
+    BreakerError,
+    BreakerState,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from .config import HostConfig, HostConfigError, default_replica_faults
+from .executor import AttemptResult, Replica, ReplicaArray
+from .host import ServingHost, run_serial
+from .query import HostError, Query, QueryOutcome, QueryStatus
+from .report import ReplicaSummary, ServingReport, percentile
+
+__all__ = [
+    "AdmissionError", "AdmissionQueue",
+    "REJECT_NEWEST", "REJECT_OVER_DEADLINE", "SHED_POLICIES",
+    "BreakerError", "BreakerState", "BreakerTransition", "CircuitBreaker",
+    "HostConfig", "HostConfigError", "default_replica_faults",
+    "AttemptResult", "Replica", "ReplicaArray",
+    "ServingHost", "run_serial",
+    "HostError", "Query", "QueryOutcome", "QueryStatus",
+    "ReplicaSummary", "ServingReport", "percentile",
+]

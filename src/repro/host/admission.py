@@ -1,0 +1,117 @@
+"""Bounded admission queue with backpressure and load shedding.
+
+The host buffers admitted-but-undispatched queries in one FIFO queue
+of bounded depth.  When an arrival finds the queue full, the shed
+policy decides who pays:
+
+``reject-newest``
+    The arriving query is shed (classic tail-drop): queries already
+    holding a slot keep their FIFO position, so latency of admitted
+    work stays predictable.
+
+``reject-over-deadline``
+    Queued queries that can no longer meet their deadline (remaining
+    budget below their expected service time) are evicted first — they
+    would only time out after consuming a slot — and the arrival takes
+    a freed slot if any; otherwise it is shed like ``reject-newest``.
+
+A ``capacity`` of ``None`` removes the bound entirely (no query is
+ever shed), and ``capacity=0`` disables buffering: queries are served
+only if a replica is free at arrival.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+#: Recognized shedding policies.
+REJECT_NEWEST = "reject-newest"
+REJECT_OVER_DEADLINE = "reject-over-deadline"
+SHED_POLICIES = (REJECT_NEWEST, REJECT_OVER_DEADLINE)
+
+
+class AdmissionError(ValueError):
+    """Raised for invalid admission-queue parameters."""
+
+
+class AdmissionQueue:
+    """One bounded FIFO of pending queries + shedding counters."""
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        policy: str = REJECT_NEWEST,
+    ) -> None:
+        if capacity is not None and capacity < 0:
+            raise AdmissionError(f"capacity must be >= 0: {capacity}")
+        if policy not in SHED_POLICIES:
+            raise AdmissionError(
+                f"unknown shed policy {policy!r}; known: {SHED_POLICIES}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self._queue: Deque[Any] = deque()
+        self.max_depth = 0
+        self.admitted = 0
+        self.shed_newest = 0
+        self.shed_over_deadline = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def depth(self) -> int:
+        """Queries currently buffered."""
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        """Whether the queue is at capacity (backpressure asserted)."""
+        return self.capacity is not None and len(self._queue) >= self.capacity
+
+    # ------------------------------------------------------------------
+    def offer(
+        self,
+        item: Any,
+        hopeless: Optional[Callable[[Any], bool]] = None,
+    ) -> Tuple[bool, List[Any], Optional[str]]:
+        """Admit ``item`` or shed according to policy.
+
+        ``hopeless`` is the over-deadline predicate supplied by the
+        host (does this queued query's remaining budget still cover its
+        expected service time?).  Returns ``(admitted, evicted,
+        reason)``: ``evicted`` lists queued items shed to make room;
+        ``reason`` is set when the arrival itself was rejected.
+        """
+        evicted: List[Any] = []
+        if self.full and self.policy == REJECT_OVER_DEADLINE and hopeless:
+            evicted = [q for q in self._queue if hopeless(q)]
+            for item_out in evicted:
+                self._queue.remove(item_out)
+            self.shed_over_deadline += len(evicted)
+        if not self.full:
+            self._queue.append(item)
+            self.admitted += 1
+            self.max_depth = max(self.max_depth, len(self._queue))
+            return True, evicted, None
+        self.shed_newest += 1
+        return False, evicted, "queue-full"
+
+    def pop(self) -> Any:
+        """Dequeue the oldest pending query."""
+        return self._queue.popleft()
+
+    def requeue_front(self, item: Any) -> None:
+        """Put a query back at the head (retry keeps FIFO position)."""
+        self._queue.appendleft(item)
+        self.max_depth = max(self.max_depth, len(self._queue))
+
+    def remove(self, item: Any) -> bool:
+        """Drop a specific queued query (deadline watchdog fired)."""
+        try:
+            self._queue.remove(item)
+            return True
+        except ValueError:
+            return False

@@ -1,0 +1,154 @@
+"""Per-replica circuit breakers (closed → open → half-open).
+
+Each replica of the array carries one breaker fed by the fault reports
+of completed attempts (:class:`repro.machine.faults.FaultStats`): an
+attempt whose run report shows query-visible damage counts as a
+failure.  ``failure_threshold`` consecutive failures *trip* the
+breaker — the dispatcher stops routing queries to the replica for
+``cooldown_us`` of simulated time.  After the cooldown the breaker
+goes **half-open**: up to ``probe_quota`` probe queries may be
+dispatched; one success closes the breaker, one failure re-opens it
+for another cooldown.
+
+All timestamps are simulated microseconds supplied by the caller (the
+host's DES clock), so breaker behaviour is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+
+class BreakerError(ValueError):
+    """Raised for invalid breaker parameters."""
+
+
+class BreakerState(str, Enum):
+    """The three states of the breaker state machine."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One state change, for the serving report's audit trail."""
+
+    time_us: float
+    from_state: BreakerState
+    to_state: BreakerState
+
+
+class CircuitBreaker:
+    """Failure-counting breaker over one replica.
+
+    A disabled breaker (``enabled=False``) admits everything and never
+    changes state — the zero-overhead pass-through used by the serial
+    equivalence mode.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_us: float = 20_000.0,
+        probe_quota: int = 1,
+        enabled: bool = True,
+    ) -> None:
+        if failure_threshold < 1:
+            raise BreakerError(
+                f"failure_threshold must be >= 1: {failure_threshold}"
+            )
+        if cooldown_us < 0:
+            raise BreakerError(f"cooldown_us must be >= 0: {cooldown_us}")
+        if probe_quota < 1:
+            raise BreakerError(f"probe_quota must be >= 1: {probe_quota}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_us = cooldown_us
+        self.probe_quota = probe_quota
+        self.enabled = enabled
+        self.state = BreakerState.CLOSED
+        self.open_until_us = 0.0
+        self.consecutive_failures = 0
+        self.successes = 0
+        self.failures = 0
+        self.transitions: List[BreakerTransition] = []
+        self._probes_in_flight = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def times_opened(self) -> int:
+        """How often the breaker tripped."""
+        return sum(
+            1 for t in self.transitions if t.to_state is BreakerState.OPEN
+        )
+
+    def _transition(self, now: float, to_state: BreakerState) -> None:
+        self.transitions.append(
+            BreakerTransition(now, self.state, to_state)
+        )
+        self.state = to_state
+
+    def _trip(self, now: float) -> None:
+        self._transition(now, BreakerState.OPEN)
+        self.open_until_us = now + self.cooldown_us
+        self.consecutive_failures = 0
+        self._probes_in_flight = 0
+
+    # ------------------------------------------------------------------
+    def allow(self, now: float) -> bool:
+        """Whether the dispatcher may route an attempt here at ``now``.
+
+        Observing an expired cooldown lazily moves OPEN → HALF-OPEN.
+        """
+        if not self.enabled:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now < self.open_until_us:
+                return False
+            self._transition(now, BreakerState.HALF_OPEN)
+            self._probes_in_flight = 0
+        if self.state is BreakerState.HALF_OPEN:
+            return self._probes_in_flight < self.probe_quota
+        return True
+
+    def acquire(self, now: float) -> None:
+        """Reserve the dispatch slot :meth:`allow` granted.
+
+        In half-open state this consumes one probe slot; in closed
+        state it is a no-op.  Callers must pair it with exactly one of
+        :meth:`record_success`, :meth:`record_failure`, or
+        :meth:`release`.
+        """
+        if self.enabled and self.state is BreakerState.HALF_OPEN:
+            self._probes_in_flight += 1
+
+    def release(self) -> None:
+        """Return a reserved slot without a verdict (attempt cancelled)."""
+        if self.enabled and self.state is BreakerState.HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+
+    def record_success(self, now: float) -> None:
+        """An attempt on this replica completed undamaged."""
+        self.successes += 1
+        if not self.enabled:
+            return
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._transition(now, BreakerState.CLOSED)
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        """An attempt completed with query-visible fault damage."""
+        self.failures += 1
+        if not self.enabled:
+            return
+        if self.state is BreakerState.HALF_OPEN:
+            self._trip(now)
+            return
+        if self.state is BreakerState.CLOSED:
+            self.consecutive_failures += 1
+            if self.consecutive_failures >= self.failure_threshold:
+                self._trip(now)

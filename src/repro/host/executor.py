@@ -1,0 +1,168 @@
+"""Replica array: cluster groups executing queries on the nested DES.
+
+Each replica is a full :class:`repro.machine.SnapMachine` over its
+slice of the array.  Executing an attempt runs the query's program
+through the nested discrete-event simulator (so service times carry
+the complete PU/MU/CU + ICN + synchronization cost model, faults
+included) after wiping marker state — serving treats queries as
+independent.
+
+Because the nested simulator is deterministic and a replica's fault
+pattern is fixed at construction, the result of ``(program, replica)``
+never changes: attempts for queries sharing a ``template`` are
+simulated once per replica and cached, which keeps host-level sweeps
+(thousands of queries) tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..machine.config import MachineConfig, Timing
+from ..machine.machine import SnapMachine
+from ..network.graph import SemanticNetwork
+from .breaker import CircuitBreaker
+from .config import HostConfig
+from .query import HostError, Query
+
+
+@dataclass
+class AttemptResult:
+    """What one nested execution produced."""
+
+    #: Simulated array busy time of the run, in µs.
+    service_us: float
+    #: True when the answer is undamaged (no query-visible failures).
+    ok: bool
+    #: Query-visible damage count from the fault report.
+    damage: int = 0
+    #: Collected retrieval results, in program order.
+    results: List[Any] = field(default_factory=list)
+    #: True when the nested run was cut off by a deadline budget.
+    aborted: bool = False
+
+
+@dataclass
+class Replica:
+    """Serving-side state of one cluster group."""
+
+    replica_id: int
+    machine: SnapMachine
+    breaker: CircuitBreaker
+    faulty: bool = False
+    busy: bool = False
+    #: Query id currently in service (bookkeeping only).
+    serving: Optional[int] = None
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    #: Attempts cancelled mid-service (deadline or lost hedge race).
+    cancelled: int = 0
+    busy_us: float = 0.0
+
+
+class ReplicaArray:
+    """All replicas plus the nested-execution cache."""
+
+    def __init__(
+        self,
+        network: SemanticNetwork,
+        config: HostConfig,
+        timing: Optional[Timing] = None,
+    ) -> None:
+        self.config = config
+        faulty = config.faulty_replicas()
+        self.replicas: List[Replica] = []
+        for rid in range(config.num_replicas):
+            machine_cfg = MachineConfig(
+                num_clusters=config.clusters_per_replica,
+                mus_per_cluster=config.mus_per_cluster,
+                partition_policy=config.partition_policy,
+                timing=timing or Timing(),
+                faults=config.fault_config_for(rid),
+            )
+            self.replicas.append(
+                Replica(
+                    replica_id=rid,
+                    machine=SnapMachine(network, machine_cfg),
+                    breaker=CircuitBreaker(
+                        failure_threshold=config.breaker_failure_threshold,
+                        cooldown_us=config.breaker_cooldown_us,
+                        probe_quota=config.breaker_probe_quota,
+                        enabled=config.breakers_enabled,
+                    ),
+                    faulty=rid in faulty,
+                )
+            )
+        self._cache: Dict[Tuple[str, int], AttemptResult] = {}
+        self._healthy_cache: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def healthy_replicas(self) -> List[Replica]:
+        """Replicas built without a fault pattern."""
+        return [r for r in self.replicas if not r.faulty]
+
+    def execute(
+        self,
+        replica: Replica,
+        query: Query,
+        budget_us: Optional[float] = None,
+    ) -> AttemptResult:
+        """Run the query on a replica; cached per (template, replica).
+
+        Cached results are always full runs; ``budget_us`` (a deadline
+        cut-off for the nested simulation) applies only to uncacheable
+        queries, where simulating past the deadline would be wasted
+        work.
+        """
+        key = None
+        if query.template is not None:
+            key = (query.template, replica.replica_id)
+            hit = self._cache.get(key)
+            if hit is not None:
+                return hit
+            budget_us = None  # cache entries must be run-to-completion
+        machine = replica.machine
+        machine.reset_markers()
+        report = machine.run(query.program, budget_us=budget_us)
+        damage = 0
+        if report.faults_enabled and report.fault_stats is not None:
+            damage = report.fault_stats.query_visible_failures()
+        result = AttemptResult(
+            service_us=report.total_time_us,
+            ok=damage == 0 and not report.aborted,
+            damage=damage,
+            results=report.results(),
+            aborted=report.aborted,
+        )
+        if key is not None:
+            self._cache[key] = result
+        return result
+
+    def healthy_service_us(self, query: Query) -> float:
+        """Expected service time on an undamaged replica (cached).
+
+        The admission controller's ``reject-over-deadline`` policy and
+        the hedging logic both need a service estimate; the healthy
+        replicas are identical, so one nested run per template answers
+        for all of them.
+        """
+        if query.template is not None:
+            hit = self._healthy_cache.get(query.template)
+            if hit is not None:
+                return hit
+        healthy = self.healthy_replicas
+        if healthy:
+            estimate = self.execute(healthy[0], query).service_us
+        elif self.replicas:
+            # Fully degraded array: estimate from the fastest replica.
+            estimate = min(
+                self.execute(r, query).service_us for r in self.replicas
+            )
+        else:
+            raise HostError("no replica to estimate service time")
+        if query.template is not None:
+            self._healthy_cache[query.template] = estimate
+        return estimate

@@ -1,0 +1,504 @@
+"""The resilient query-serving host.
+
+``ServingHost`` runs a simulated-time serving loop on top of the same
+DES kernel as the machine model (:mod:`repro.machine.des`): queries
+arrive on the host clock, pass admission control, wait in the bounded
+queue, and execute on replica cluster groups whose service times come
+from the *nested* machine simulator — so every serving latency is
+backed by the full PU/MU/CU + ICN + synchronization cost model,
+including PR 1 fault injection on degraded replicas.
+
+Resilience mechanisms, in the order a query meets them:
+
+1. **Admission control** — a bounded FIFO with ``reject-newest`` or
+   ``reject-over-deadline`` shedding (:mod:`repro.host.admission`).
+2. **Deadline watchdogs** — one cancellable
+   :class:`repro.machine.des.Timeout` per admitted query; expiry
+   cancels queued or in-flight work and frees the replica immediately.
+3. **Hedged retries** — an attempt in flight longer than
+   ``hedge_after_us`` is re-issued on another (healthiest-available)
+   replica; the first undamaged completion wins and the loser is
+   cancelled, releasing its replica.
+4. **Sequential retries** — a completed-but-damaged attempt is retried
+   on a different replica up to ``max_attempts`` times.
+5. **Circuit breakers** — per replica, fed by the fault reports of
+   completed attempts (:mod:`repro.host.breaker`); open breakers take
+   a replica out of dispatch until its cooldown and probe succeed.
+
+Determinism: the host draws no randomness of its own — arrivals are
+given, nested executions are deterministic, and the DES breaks ties
+FIFO — so a serving run is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Optional, Sequence, Set
+
+from ..machine.config import Timing
+from ..machine.des import Simulator, Timeout
+from ..network.graph import SemanticNetwork
+from .admission import AdmissionQueue
+from .breaker import BreakerState
+from .config import HostConfig
+from .executor import AttemptResult, Replica, ReplicaArray
+from .query import HostError, Query, QueryOutcome, QueryStatus
+from .report import ReplicaSummary, ServingReport
+
+
+@dataclass
+class _Attempt:
+    """One dispatch of a query onto a replica."""
+
+    state: "_QueryState"
+    replica: Replica
+    start_us: float
+    result: AttemptResult
+    hedged: bool = False
+    live: bool = True
+    completion_event: Any = None
+    hedge_event: Any = None
+
+
+@dataclass
+class _QueryState:
+    """Mutable serving-side bookkeeping for one query."""
+
+    query: Query
+    #: Effective deadline budget (query's own, or the host default).
+    deadline_us: Optional[float]
+    terminal: bool = False
+    queued: bool = False
+    watchdog: Optional[Timeout] = None
+    in_flight: List[_Attempt] = field(default_factory=list)
+    primary_attempts: int = 0
+    hedges: int = 0
+    tried: Set[int] = field(default_factory=set)
+
+    @property
+    def absolute_deadline_us(self) -> Optional[float]:
+        if self.deadline_us is None:
+            return None
+        return self.query.arrival_us + self.deadline_us
+
+    def remaining_us(self, now: float) -> Optional[float]:
+        """Deadline budget left at ``now`` (None = unbounded)."""
+        deadline = self.absolute_deadline_us
+        if deadline is None:
+            return None
+        return deadline - now
+
+
+class ServingHost:
+    """A one-shot serving run over a stream of queries."""
+
+    def __init__(
+        self,
+        network: SemanticNetwork,
+        config: Optional[HostConfig] = None,
+        timing: Optional[Timing] = None,
+    ) -> None:
+        self.config = config or HostConfig()
+        self.sim = Simulator()
+        self.array = ReplicaArray(network, self.config, timing)
+        self.queue = AdmissionQueue(
+            self.config.queue_capacity, self.config.shed_policy
+        )
+        self.outcomes: List[QueryOutcome] = []
+        self._states: List[_QueryState] = []
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Public entry
+    # ------------------------------------------------------------------
+    def serve(self, queries: Sequence[Query]) -> ServingReport:
+        """Serve the whole stream to quiescence; return the report."""
+        if self._ran:
+            raise HostError("a ServingHost serves exactly one stream")
+        self._ran = True
+        seen: Set[int] = set()
+        for query in queries:
+            if query.query_id in seen:
+                raise HostError(f"duplicate query_id {query.query_id}")
+            seen.add(query.query_id)
+        for query in sorted(
+            queries, key=lambda q: (q.arrival_us, q.query_id)
+        ):
+            state = _QueryState(
+                query=query,
+                deadline_us=(
+                    query.deadline_us
+                    if query.deadline_us is not None
+                    else self.config.default_deadline_us
+                ),
+            )
+            self._states.append(state)
+            self.sim.schedule(
+                query.arrival_us, lambda s=state: self._on_arrival(s)
+            )
+        self.sim.run()
+        stuck = [s.query.query_id for s in self._states if not s.terminal]
+        if stuck:
+            raise RuntimeError(f"serving deadlock: queries {stuck}")
+        return self._build_report()
+
+    # ------------------------------------------------------------------
+    # Arrival and admission
+    # ------------------------------------------------------------------
+    def _on_arrival(self, state: _QueryState) -> None:
+        # Fast path: nothing waiting ahead and a replica free now —
+        # dispatch directly, bypassing the (possibly zero-capacity)
+        # buffer.  FIFO order is preserved because the queue is empty.
+        if len(self.queue) == 0:
+            replica = self._pick_replica(state)
+            if replica is not None:
+                self._arm_watchdog(state)
+                self._start_attempt(state, replica)
+                return
+        admitted, evicted, reason = self.queue.offer(
+            state, hopeless=self._hopeless
+        )
+        for victim in evicted:
+            self._release_watchdog(victim)
+            self._finalize(
+                victim, QueryStatus.SHED, shed_reason="over-deadline"
+            )
+        if not admitted:
+            self._finalize(state, QueryStatus.SHED, shed_reason=reason)
+            return
+        state.queued = True
+        self._arm_watchdog(state)
+
+    def _hopeless(self, state: _QueryState) -> bool:
+        """Queued query that cannot meet its deadline even if started
+        immediately on a healthy replica (shed-over-deadline test)."""
+        remaining = state.remaining_us(self.sim.now)
+        if remaining is None:
+            return False
+        return remaining < self.array.healthy_service_us(state.query)
+
+    def _arm_watchdog(self, state: _QueryState) -> None:
+        remaining = state.remaining_us(self.sim.now)
+        if remaining is None:
+            return
+        state.watchdog = Timeout(
+            self.sim, max(0.0, remaining), lambda: self._on_deadline(state)
+        )
+
+    def _release_watchdog(self, state: _QueryState) -> None:
+        if state.watchdog is not None and state.watchdog.armed:
+            state.watchdog.cancel()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _pick_replica(self, state: _QueryState) -> Optional[Replica]:
+        """The healthiest idle replica the breakers will admit.
+
+        Preference order: replicas this query has not tried yet, then
+        closed breakers before half-open probes, then lowest id (the
+        deterministic tie-break).
+        """
+        now = self.sim.now
+        allowed = [
+            r for r in self.array.replicas
+            if not r.busy and r.breaker.allow(now)
+        ]
+        if not allowed:
+            return None
+        untried = [r for r in allowed if r.replica_id not in state.tried]
+        pool = untried or allowed
+        pool.sort(
+            key=lambda r: (
+                0 if r.breaker.state is BreakerState.CLOSED else 1,
+                r.replica_id,
+            )
+        )
+        return pool[0]
+
+    def _dispatch_loop(self) -> None:
+        """Drain the queue head-first onto free replicas."""
+        while len(self.queue):
+            state = self.queue.pop()
+            if state.terminal:
+                continue
+            replica = self._pick_replica(state)
+            if replica is None:
+                self.queue.requeue_front(state)
+                return
+            state.queued = False
+            self._start_attempt(state, replica)
+
+    def _start_attempt(
+        self, state: _QueryState, replica: Replica, hedged: bool = False
+    ) -> None:
+        now = self.sim.now
+        replica.breaker.acquire(now)
+        replica.busy = True
+        replica.serving = state.query.query_id
+        replica.attempts += 1
+        state.tried.add(replica.replica_id)
+        if hedged:
+            state.hedges += 1
+        else:
+            state.primary_attempts += 1
+        remaining = state.remaining_us(now)
+        budget = remaining if state.query.template is None else None
+        result = self.array.execute(replica, state.query, budget_us=budget)
+        attempt = _Attempt(
+            state=state,
+            replica=replica,
+            start_us=now,
+            result=result,
+            hedged=hedged,
+        )
+        attempt.completion_event = self.sim.schedule(
+            result.service_us, lambda: self._attempt_done(attempt)
+        )
+        state.in_flight.append(attempt)
+        hedge_after = self.config.hedge_after_us
+        if (
+            not hedged
+            and hedge_after is not None
+            and state.hedges < self.config.hedge_max
+            and result.service_us > hedge_after
+        ):
+            attempt.hedge_event = self.sim.schedule(
+                hedge_after, lambda: self._maybe_hedge(attempt)
+            )
+
+    def _maybe_hedge(self, attempt: _Attempt) -> None:
+        """The straggler timer fired: re-issue onto a healthy replica."""
+        state = attempt.state
+        if (
+            state.terminal
+            or not attempt.live
+            or state.hedges >= self.config.hedge_max
+        ):
+            return
+        replica = self._pick_replica(state)
+        if replica is None:
+            return  # no spare capacity; the primary keeps running
+        self._start_attempt(state, replica, hedged=True)
+
+    # ------------------------------------------------------------------
+    # Completion, failure, cancellation
+    # ------------------------------------------------------------------
+    def _attempt_done(self, attempt: _Attempt) -> None:
+        state, replica = attempt.state, attempt.replica
+        now = self.sim.now
+        attempt.live = False
+        if attempt.hedge_event is not None:
+            self.sim.cancel(attempt.hedge_event)
+        if attempt in state.in_flight:
+            state.in_flight.remove(attempt)
+        replica.busy = False
+        replica.serving = None
+        replica.busy_us += now - attempt.start_us
+        if attempt.result.ok:
+            replica.successes += 1
+            replica.breaker.record_success(now)
+        else:
+            replica.failures += 1
+            replica.breaker.record_failure(now)
+            if replica.breaker.state is BreakerState.OPEN:
+                # Wake the dispatcher when the cooldown expires so an
+                # all-open array cannot strand the queue.
+                self.sim.schedule(
+                    max(0.0, replica.breaker.open_until_us - now),
+                    self._dispatch_loop,
+                )
+        if not state.terminal:
+            if attempt.result.ok:
+                self._cancel_in_flight(state)
+                self._finalize(
+                    state,
+                    QueryStatus.SERVED,
+                    replica=replica,
+                    service_us=attempt.result.service_us,
+                    results=attempt.result.results,
+                )
+            else:
+                self._after_failed_attempt(state, replica)
+        self._dispatch_loop()
+
+    def _after_failed_attempt(
+        self, state: _QueryState, replica: Replica
+    ) -> None:
+        now = self.sim.now
+        if state.in_flight:
+            return  # a hedge is still racing; let it decide
+        remaining = state.remaining_us(now)
+        out_of_time = remaining is not None and remaining <= 0
+        if state.primary_attempts < self.config.max_attempts and not out_of_time:
+            retry_replica = self._pick_replica(state)
+            if retry_replica is not None:
+                self._start_attempt(state, retry_replica)
+            else:
+                # Head-of-line requeue: the retry keeps its position.
+                state.queued = True
+                self.queue.requeue_front(state)
+            return
+        self._finalize(state, QueryStatus.FAILED, replica=replica)
+
+    def _on_deadline(self, state: _QueryState) -> None:
+        if state.terminal:
+            return
+        if state.queued:
+            self.queue.remove(state)
+            state.queued = False
+        self._cancel_in_flight(state)
+        self._finalize(state, QueryStatus.TIMED_OUT)
+        self._dispatch_loop()
+
+    def _cancel_in_flight(self, state: _QueryState) -> None:
+        """Abort every running attempt, freeing its replica *now*."""
+        now = self.sim.now
+        for attempt in list(state.in_flight):
+            attempt.live = False
+            self.sim.cancel(attempt.completion_event)
+            if attempt.hedge_event is not None:
+                self.sim.cancel(attempt.hedge_event)
+            replica = attempt.replica
+            replica.busy = False
+            replica.serving = None
+            replica.cancelled += 1
+            replica.busy_us += now - attempt.start_us
+            # A cancelled attempt renders no verdict for the breaker.
+            replica.breaker.release()
+        state.in_flight.clear()
+
+    # ------------------------------------------------------------------
+    # Outcomes
+    # ------------------------------------------------------------------
+    def _finalize(
+        self,
+        state: _QueryState,
+        status: QueryStatus,
+        replica: Optional[Replica] = None,
+        service_us: float = 0.0,
+        results: Optional[List[Any]] = None,
+        shed_reason: Optional[str] = None,
+    ) -> None:
+        state.terminal = True
+        self._release_watchdog(state)
+        now = self.sim.now
+        self.outcomes.append(
+            QueryOutcome(
+                query_id=state.query.query_id,
+                status=status,
+                arrival_us=state.query.arrival_us,
+                finish_us=now,
+                latency_us=now - state.query.arrival_us,
+                service_us=service_us,
+                attempts=state.primary_attempts + state.hedges,
+                hedges=state.hedges,
+                retries=max(0, state.primary_attempts - 1),
+                replica=replica.replica_id if replica else None,
+                breaker_state=(
+                    replica.breaker.state.value if replica else None
+                ),
+                shed_reason=shed_reason,
+                results=results,
+            )
+        )
+
+    def _build_report(self) -> ServingReport:
+        report = ServingReport(
+            outcomes=list(self.outcomes),
+            total_time_us=max(
+                (o.finish_us for o in self.outcomes), default=self.sim.now
+            ),
+            replicas=[
+                ReplicaSummary(
+                    replica_id=r.replica_id,
+                    faulty=r.faulty,
+                    attempts=r.attempts,
+                    successes=r.successes,
+                    failures=r.failures,
+                    cancelled=r.cancelled,
+                    busy_us=r.busy_us,
+                    breaker_state=r.breaker.state.value,
+                    breaker_opens=r.breaker.times_opened,
+                )
+                for r in self.array.replicas
+            ],
+            queue_max_depth=self.queue.max_depth,
+            queue_admitted=self.queue.admitted,
+        )
+        if not report.accounted():
+            raise RuntimeError(
+                "outcome accounting violated: "
+                f"{report.submitted} submitted, buckets "
+                f"{report.served}/{report.shed}/"
+                f"{report.timed_out}/{report.failed}"
+            )
+        return report
+
+
+def run_serial(
+    network: SemanticNetwork,
+    queries: Sequence[Query],
+    config: Optional[HostConfig] = None,
+    timing: Optional[Timing] = None,
+) -> ServingReport:
+    """Reference semantics: one healthy replica, one query at a time.
+
+    The paper's original operating mode (a single Sun host issuing one
+    query to the SCP at a time).  No admission control, deadlines,
+    hedging, or breakers — every query is served in arrival order.
+    ``ServingHost`` with an unbounded queue, no faults, and breakers
+    disabled must produce identical per-query results and service
+    times (the no-behaviour-change guarantee).
+    """
+    cfg = replace(
+        config or HostConfig(),
+        num_replicas=1,
+        faulty_replica_fraction=0.0,
+        breakers_enabled=False,
+        queue_capacity=None,
+        hedge_after_us=None,
+    )
+    array = ReplicaArray(network, cfg, timing)
+    replica = array.replicas[0]
+    outcomes: List[QueryOutcome] = []
+    clock = 0.0
+    for query in sorted(queries, key=lambda q: (q.arrival_us, q.query_id)):
+        start = max(clock, query.arrival_us)
+        result = array.execute(replica, query)
+        finish = start + result.service_us
+        clock = finish
+        replica.attempts += 1
+        replica.successes += 1
+        replica.busy_us += result.service_us
+        outcomes.append(
+            QueryOutcome(
+                query_id=query.query_id,
+                status=QueryStatus.SERVED,
+                arrival_us=query.arrival_us,
+                finish_us=finish,
+                latency_us=finish - query.arrival_us,
+                service_us=result.service_us,
+                attempts=1,
+                replica=0,
+                breaker_state=replica.breaker.state.value,
+                results=result.results,
+            )
+        )
+    return ServingReport(
+        outcomes=outcomes,
+        total_time_us=clock,
+        replicas=[
+            ReplicaSummary(
+                replica_id=0,
+                faulty=False,
+                attempts=replica.attempts,
+                successes=replica.successes,
+                failures=0,
+                cancelled=0,
+                busy_us=replica.busy_us,
+                breaker_state=replica.breaker.state.value,
+                breaker_opens=0,
+            )
+        ],
+    )

@@ -1,0 +1,121 @@
+"""Queries and per-query outcome records.
+
+A *query* is one marker-propagation program submitted to the serving
+host at a simulated arrival time, optionally carrying a deadline (a
+latency budget relative to arrival).  Every submitted query terminates
+in **exactly one** of four outcome buckets:
+
+``served``
+    An attempt completed with an undamaged answer before the deadline.
+``shed``
+    Admission control rejected the query (queue full, or evicted as
+    hopeless under the ``reject-over-deadline`` policy) — it never
+    occupied array resources.
+``timed-out``
+    The deadline watchdog fired while the query was queued or in
+    service; in-flight attempts were cancelled and their replicas
+    freed.
+``failed``
+    Every permitted attempt completed with query-visible fault damage
+    (lost/unreachable activation messages — see
+    :meth:`repro.machine.faults.FaultStats.query_visible_failures`).
+
+The invariant "every query lands in exactly one bucket" is checked by
+:meth:`repro.host.report.ServingReport.accounted`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from ..isa.program import SnapProgram
+
+
+class HostError(ValueError):
+    """Raised for invalid queries or serving-host misuse."""
+
+
+class QueryStatus(str, Enum):
+    """Terminal disposition of one query."""
+
+    SERVED = "served"
+    SHED = "shed"
+    TIMED_OUT = "timed-out"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class Query:
+    """One marker-propagation request in the arrival stream."""
+
+    query_id: int
+    program: SnapProgram
+    #: Simulated arrival time at the host, in µs.
+    arrival_us: float = 0.0
+    #: Latency budget relative to arrival (``None`` = no deadline).
+    deadline_us: Optional[float] = None
+    #: Cache key for repeated programs: queries sharing a template run
+    #: the identical program, so one nested simulation per (template,
+    #: replica) pair serves every repetition.  ``None`` disables
+    #: caching for this query.
+    template: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_us < 0:
+            raise HostError(f"arrival_us must be >= 0: {self.arrival_us}")
+        if self.deadline_us is not None and self.deadline_us <= 0:
+            raise HostError(f"deadline_us must be > 0: {self.deadline_us}")
+
+    @property
+    def absolute_deadline_us(self) -> Optional[float]:
+        """Wall-clock (simulated) instant the deadline expires."""
+        if self.deadline_us is None:
+            return None
+        return self.arrival_us + self.deadline_us
+
+
+@dataclass
+class QueryOutcome:
+    """Structured record of one query's terminal disposition."""
+
+    query_id: int
+    status: QueryStatus
+    arrival_us: float
+    finish_us: float
+    #: Arrival-to-terminal elapsed time (queueing + service), in µs.
+    latency_us: float
+    #: Array busy time of the winning attempt (0 when never served).
+    service_us: float = 0.0
+    #: Attempts dispatched to the array, hedges included.
+    attempts: int = 0
+    #: Hedge attempts among ``attempts``.
+    hedges: int = 0
+    #: Sequential retries after failed attempts (non-hedge re-issues).
+    retries: int = 0
+    #: Replica that produced the terminal attempt, if any.
+    replica: Optional[int] = None
+    #: Breaker state of that replica when the outcome was recorded.
+    breaker_state: Optional[str] = None
+    #: Why admission rejected the query (shed outcomes only).
+    shed_reason: Optional[str] = None
+    #: Collected retrieval results of the served run (program order).
+    results: Optional[List[Any]] = field(default=None, repr=False)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (JSON-friendly; results omitted)."""
+        return {
+            "query_id": self.query_id,
+            "status": self.status.value,
+            "arrival_us": self.arrival_us,
+            "finish_us": self.finish_us,
+            "latency_us": self.latency_us,
+            "service_us": self.service_us,
+            "attempts": self.attempts,
+            "hedges": self.hedges,
+            "retries": self.retries,
+            "replica": self.replica,
+            "breaker_state": self.breaker_state,
+            "shed_reason": self.shed_reason,
+        }

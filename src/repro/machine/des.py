@@ -39,6 +39,9 @@ class Simulator:
         self._heap: List[_Event] = []
         self._seq = 0
         self.events_processed = 0
+        #: Timestamp of the last event actually processed (unlike
+        #: ``now``, never advanced by an empty ``run(until=...)``).
+        self.last_event_us = 0.0
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> _Event:
         """Run ``fn`` after ``delay`` microseconds of simulated time."""
@@ -79,6 +82,7 @@ class Simulator:
                 heapq.heappush(self._heap, event)
                 break
             self.now = event.time
+            self.last_event_us = event.time
             self.events_processed += 1
             event.fn()
         if until is not None and until > self.now:

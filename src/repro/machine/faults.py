@@ -64,11 +64,17 @@ class RetryPolicy:
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
-            raise FaultConfigError("max_retries must be >= 0")
-        if self.base_backoff_us < 0 or self.max_backoff_us < 0:
-            raise FaultConfigError("backoff times must be >= 0")
+            raise FaultConfigError(
+                f"max_retries must be >= 0: {self.max_retries}"
+            )
+        for name in ("base_backoff_us", "max_backoff_us", "timeout_budget_us"):
+            value = getattr(self, name)
+            if value < 0:
+                raise FaultConfigError(f"{name} must be >= 0: {value}")
         if self.backoff_factor < 1.0:
-            raise FaultConfigError("backoff_factor must be >= 1")
+            raise FaultConfigError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}"
+            )
 
     def backoff(self, attempt: int) -> float:
         """Delay before retry number ``attempt`` (0-based), in µs."""
@@ -121,8 +127,21 @@ class FaultConfig:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise FaultConfigError(f"{name} must be in [0, 1]: {value}")
+        if self.scp_timeout_penalty_us < 0:
+            raise FaultConfigError(
+                "scp_timeout_penalty_us must be >= 0: "
+                f"{self.scp_timeout_penalty_us}"
+            )
         if self.max_replay_rounds < 0:
-            raise FaultConfigError("max_replay_rounds must be >= 0")
+            raise FaultConfigError(
+                f"max_replay_rounds must be >= 0: {self.max_replay_rounds}"
+            )
+        if self.failed_clusters is not None and any(
+            c < 0 for c in self.failed_clusters
+        ):
+            raise FaultConfigError(
+                f"failed_clusters ids must be >= 0: {self.failed_clusters}"
+            )
 
     @classmethod
     def disabled(cls) -> "FaultConfig":
@@ -211,6 +230,22 @@ class FaultStats:
         return (
             self.clusters_failed + self.mus_lost + self.links_failed
             + self.scp_timeouts + self.transfer_retries
+        )
+
+    def query_visible_failures(self) -> int:
+        """Damage a *query* can observe in its answer.
+
+        Retries, reroutes, and replays are recovered transparently —
+        the result set is intact, only slower.  Lost or unreachable
+        messages (and transfers that exhausted their retry budget) mean
+        markers never arrived: the answer is silently incomplete.  The
+        serving host's circuit breakers treat any nonzero value as a
+        failed attempt on that replica.
+        """
+        return (
+            self.messages_lost
+            + self.messages_unreachable
+            + self.transfer_failures
         )
 
 

@@ -74,14 +74,27 @@ class SnapMachine:
 
     # ------------------------------------------------------------------
     def run(
-        self, program: Union[SnapProgram, Iterable[Instruction]]
+        self,
+        program: Union[SnapProgram, Iterable[Instruction]],
+        budget_us: Optional[float] = None,
     ) -> MachineRunReport:
-        """Execute a program with full timing; returns the run report."""
+        """Execute a program with full timing; returns the run report.
+
+        ``budget_us`` caps the simulated execution time: a run that has
+        not completed by the budget is abandoned (``report.aborted`` is
+        set) with the clock parked exactly on the budget.  The serving
+        host uses this to bound nested executions by a query deadline;
+        the default (``None``) is the unchanged run-to-completion path.
+        """
         if not isinstance(program, SnapProgram):
             program = SnapProgram(list(program))
         simulation = SnapSimulation(self.state, self.config)
-        self.last_report = simulation.run(program)
+        self.last_report = simulation.run(program, budget_us=budget_us)
         return self.last_report
+
+    def reset_markers(self) -> None:
+        """Wipe all marker state (host hand-over between queries)."""
+        self.state.reset_markers()
 
     def run_and_collect(
         self, program: Union[SnapProgram, Iterable[Instruction]]

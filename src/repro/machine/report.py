@@ -89,6 +89,9 @@ class MachineRunReport:
     #: builds.
     faults_enabled: bool = False
     fault_stats: Optional[Any] = None
+    #: True when the run was cut off by a ``budget_us`` watchdog before
+    #: completing (traces cover only the instructions that finished).
+    aborted: bool = False
 
     # ------------------------------------------------------------------
     @property
@@ -196,6 +199,8 @@ class MachineRunReport:
         }
         if self.faults_enabled and self.fault_stats is not None:
             dump["faults"] = self.fault_stats.as_dict()
+        if self.aborted:
+            dump["aborted"] = True
         return dump
 
     def summary(self) -> Dict[str, Any]:

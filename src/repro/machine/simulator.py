@@ -126,18 +126,36 @@ class SnapSimulation:
     # ------------------------------------------------------------------
     # Public entry
     # ------------------------------------------------------------------
-    def run(self, program: SnapProgram) -> MachineRunReport:
-        """Execute the program to completion; return the run report."""
+    def run(
+        self, program: SnapProgram, budget_us: Optional[float] = None
+    ) -> MachineRunReport:
+        """Execute the program to completion; return the run report.
+
+        With a ``budget_us``, execution stops once the simulated clock
+        reaches the budget: the report is marked ``aborted``, partial
+        traces are kept, and no deadlock check is made (in-flight work
+        was cancelled by the watchdog, not stuck).  The serving host
+        uses this to cut off queries that overrun their deadline
+        without simulating the remainder of the run.
+        """
         self._program = program
         self._pc = 0
         self._try_issue()
-        self.sim.run()
-        if self._in_flight or self._pc < len(program):
+        self.sim.run(until=budget_us)
+        incomplete = self._in_flight or self._pc < len(program)
+        if incomplete and budget_us is not None:
+            self.report.aborted = True
+        elif incomplete:
             raise RuntimeError(
                 f"simulation deadlock: pc={self._pc}, "
                 f"in flight={sorted(self._in_flight)}"
             )
-        self.report.total_time_us = self.sim.now
+        if budget_us is not None and not incomplete:
+            # The run finished inside its budget: report the true end
+            # time, not the budget the clock was clamped to.
+            self.report.total_time_us = self.sim.last_event_us
+        else:
+            self.report.total_time_us = self.sim.now
         self.report.traces = [
             self._traces[i] for i in sorted(self._traces)
         ]

@@ -36,20 +36,30 @@ class TieredSynchronizer:
         self.max_level_seen = -1
 
     # -- PE-side reporting ------------------------------------------------
+    def _check_pe(self, pe: int, level: int) -> None:
+        if not 0 <= pe < self.num_pes:
+            raise SyncError(
+                f"pe {pe} out of range [0, {self.num_pes}) at level {level}"
+            )
+
     def produce(self, pe: int, level: int, count: int = 1) -> None:
         """PE reports ``count`` process creations at a level."""
+        self._check_pe(pe, level)
         counters = self._counters.setdefault(level, [0] * self.num_pes)
         counters[pe] += count
         self.max_level_seen = max(self.max_level_seen, level)
 
     def consume(self, pe: int, level: int, count: int = 1) -> None:
         """PE reports ``count`` process terminations at a level."""
+        self._check_pe(pe, level)
         counters = self._counters.setdefault(level, [0] * self.num_pes)
-        counters[pe] -= count
-        if sum(counters) < 0:
+        # Validate before mutating: a rejected over-consumption must
+        # not leave the level balance negative.
+        if sum(counters) - count < 0:
             raise SyncError(
-                f"level {level}: more terminations than creations"
+                f"pe {pe}, level {level}: more terminations than creations"
             )
+        counters[pe] -= count
 
     def set_idle(self, pe: int, idle: bool) -> None:
         """Drive one input of the AND-tree (GP I/O idle line)."""

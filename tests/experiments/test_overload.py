@@ -1,0 +1,85 @@
+"""Overload experiment: the graceful-degradation acceptance criteria."""
+
+import pytest
+
+from repro.experiments.overload import (
+    ARRIVAL_SEED,
+    FAULT_ARMS,
+    LOAD_FACTORS,
+    build_queries,
+    run,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(fast=True)
+
+
+class TestArrivalStream:
+    def test_deterministic_for_fixed_seed(self):
+        a = build_queries(50, rate_per_us=0.01, deadline_us=1000.0)
+        b = build_queries(50, rate_per_us=0.01, deadline_us=1000.0)
+        assert [(q.arrival_us, q.template) for q in a] == [
+            (q.arrival_us, q.template) for q in b
+        ]
+
+    def test_rate_compresses_same_pattern(self):
+        """Doubling the rate halves every gap but keeps the template
+        mix — the monotone-load comparison is apples-to-apples."""
+        slow = build_queries(50, rate_per_us=0.01, deadline_us=1000.0)
+        fast = build_queries(50, rate_per_us=0.02, deadline_us=1000.0)
+        for s, f in zip(slow, fast):
+            assert f.arrival_us == pytest.approx(s.arrival_us / 2)
+            assert f.template == s.template
+
+    def test_different_seed_different_stream(self):
+        a = build_queries(50, 0.01, 1000.0, seed=ARRIVAL_SEED)
+        b = build_queries(50, 0.01, 1000.0, seed=ARRIVAL_SEED + 1)
+        assert [q.arrival_us for q in a] != [q.arrival_us for q in b]
+
+
+class TestAcceptanceCriteria:
+    def test_sweep_covers_both_arms(self, result):
+        rows = result.data["rows"]
+        assert len(rows) == len(FAULT_ARMS) * len(LOAD_FACTORS)
+
+    def test_every_query_accounted(self, result):
+        """Exactly one outcome bucket per query, in every cell."""
+        for row in result.data["rows"]:
+            assert row["accounted"]
+            buckets = (row["served"] + row["shed"]
+                       + row["timed_out"] + row["failed"])
+            assert buckets == row["submitted"]
+
+    def test_p99_bounded_at_double_load_with_faults(self, result):
+        """At 2x sustainable throughput with degraded replicas, served
+        p99 stays within 3x the uncontended p99 (no collapse)."""
+        p99_0 = result.data["uncontended_p99_us"]
+        for row in result.data["rows"]:
+            if row["load_factor"] >= 2.0 and row["served"]:
+                assert row["p99_us"] <= 3.0 * p99_0
+
+    def test_shed_fraction_monotone_in_load(self, result):
+        """Shedding grows smoothly with offered load in each arm."""
+        rows = result.data["rows"]
+        for arm in FAULT_ARMS:
+            fractions = [
+                r["shed_fraction"] for r in rows
+                if r["fault_fraction"] == arm
+            ]
+            assert fractions == sorted(fractions)
+            assert fractions[-1] > fractions[0]  # overload actually sheds
+
+    def test_no_crash_under_overload(self, result):
+        """The highest-load, faulty cell still serves some queries."""
+        worst = [
+            r for r in result.data["rows"]
+            if r["load_factor"] == max(LOAD_FACTORS)
+            and r["fault_fraction"] == max(FAULT_ARMS)
+        ][0]
+        assert worst["served"] > 0
+
+    def test_run_deterministic(self, result):
+        again = run(fast=True)
+        assert again.data["rows"] == result.data["rows"]

@@ -1,0 +1,113 @@
+"""Bounded admission queue: backpressure and shed policies."""
+
+import pytest
+
+from repro.host import (
+    REJECT_NEWEST,
+    REJECT_OVER_DEADLINE,
+    AdmissionError,
+    AdmissionQueue,
+)
+
+
+class TestConstruction:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(AdmissionError):
+            AdmissionQueue(capacity=-1)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(AdmissionError, match="unknown shed policy"):
+            AdmissionQueue(policy="drop-oldest")
+
+
+class TestRejectNewest:
+    def test_fifo_up_to_capacity(self):
+        queue = AdmissionQueue(capacity=2)
+        assert queue.offer("a")[0]
+        assert queue.offer("b")[0]
+        assert queue.full
+        admitted, evicted, reason = queue.offer("c")
+        assert not admitted
+        assert evicted == []
+        assert reason == "queue-full"
+        assert queue.pop() == "a"
+        assert queue.pop() == "b"
+        assert queue.shed_newest == 1
+
+    def test_unbounded_never_sheds(self):
+        queue = AdmissionQueue(capacity=None)
+        for i in range(1000):
+            assert queue.offer(i)[0]
+        assert not queue.full
+        assert queue.shed_newest == 0
+        assert queue.max_depth == 1000
+
+    def test_zero_capacity_disables_buffering(self):
+        queue = AdmissionQueue(capacity=0)
+        assert queue.full
+        admitted, _, reason = queue.offer("a")
+        assert not admitted
+        assert reason == "queue-full"
+
+    def test_requeue_front_keeps_position(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.offer("a")
+        queue.offer("b")
+        head = queue.pop()
+        queue.requeue_front(head)
+        assert queue.pop() == "a"
+
+    def test_remove_specific_item(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.offer("a")
+        queue.offer("b")
+        assert queue.remove("a")
+        assert not queue.remove("a")  # already gone
+        assert queue.pop() == "b"
+
+
+class TestRejectOverDeadline:
+    def test_evicts_hopeless_before_shedding_arrival(self):
+        queue = AdmissionQueue(capacity=2, policy=REJECT_OVER_DEADLINE)
+        queue.offer("hopeless")
+        queue.offer("fine")
+        admitted, evicted, reason = queue.offer(
+            "new", hopeless=lambda q: q == "hopeless"
+        )
+        assert admitted
+        assert evicted == ["hopeless"]
+        assert reason is None
+        assert queue.shed_over_deadline == 1
+        assert queue.pop() == "fine"
+        assert queue.pop() == "new"
+
+    def test_falls_back_to_tail_drop_when_none_hopeless(self):
+        queue = AdmissionQueue(capacity=1, policy=REJECT_OVER_DEADLINE)
+        queue.offer("fine")
+        admitted, evicted, reason = queue.offer(
+            "new", hopeless=lambda q: False
+        )
+        assert not admitted
+        assert evicted == []
+        assert reason == "queue-full"
+
+    def test_policy_inert_below_capacity(self):
+        queue = AdmissionQueue(capacity=4, policy=REJECT_OVER_DEADLINE)
+        queue.offer("hopeless")
+        admitted, evicted, _ = queue.offer(
+            "new", hopeless=lambda q: True
+        )
+        assert admitted
+        assert evicted == []  # eviction only under pressure
+
+
+class TestCounters:
+    def test_depth_and_admitted_tracking(self):
+        queue = AdmissionQueue(capacity=3)
+        queue.offer("a")
+        queue.offer("b")
+        assert queue.depth == 2
+        queue.pop()
+        queue.offer("c")
+        assert queue.admitted == 3
+        assert queue.max_depth == 2

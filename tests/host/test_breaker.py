@@ -1,0 +1,109 @@
+"""Circuit breaker state machine: closed -> open -> half-open."""
+
+import pytest
+
+from repro.host import BreakerError, BreakerState, CircuitBreaker
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(BreakerError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(BreakerError, match="cooldown_us"):
+            CircuitBreaker(cooldown_us=-1.0)
+        with pytest.raises(BreakerError, match="probe_quota"):
+            CircuitBreaker(probe_quota=0)
+
+
+class TestStateMachine:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_us=100.0)
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(3.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.open_until_us == pytest.approx(103.0)
+        assert breaker.times_opened == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(1.0)
+        breaker.record_success(2.0)
+        breaker.record_failure(3.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_blocks_until_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_us=50.0)
+        breaker.record_failure(10.0)
+        assert not breaker.allow(30.0)
+        assert breaker.state is BreakerState.OPEN
+
+    def test_cooldown_expiry_half_opens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_us=50.0)
+        breaker.record_failure(10.0)
+        assert breaker.allow(60.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_us=50.0)
+        breaker.record_failure(10.0)
+        assert breaker.allow(60.0)
+        breaker.acquire(60.0)
+        breaker.record_success(70.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_us=50.0)
+        breaker.record_failure(10.0)
+        assert breaker.allow(60.0)
+        breaker.acquire(60.0)
+        breaker.record_failure(70.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.open_until_us == pytest.approx(120.0)
+        assert breaker.times_opened == 2
+
+    def test_probe_quota_limits_half_open_admissions(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_us=10.0, probe_quota=1
+        )
+        breaker.record_failure(0.0)
+        assert breaker.allow(20.0)
+        breaker.acquire(20.0)
+        # Second dispatch while the probe is still in flight: refused.
+        assert not breaker.allow(21.0)
+
+    def test_release_returns_probe_slot(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_us=10.0, probe_quota=1
+        )
+        breaker.record_failure(0.0)
+        assert breaker.allow(20.0)
+        breaker.acquire(20.0)
+        breaker.release()  # probe cancelled: no verdict
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow(22.0)
+
+    def test_transition_audit_trail(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_us=10.0)
+        breaker.record_failure(5.0)
+        breaker.allow(20.0)
+        breaker.acquire(20.0)
+        breaker.record_success(25.0)
+        states = [(t.from_state, t.to_state) for t in breaker.transitions]
+        assert states == [
+            (BreakerState.CLOSED, BreakerState.OPEN),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        ]
+
+
+class TestDisabled:
+    def test_disabled_breaker_never_changes_state(self):
+        breaker = CircuitBreaker(failure_threshold=1, enabled=False)
+        for t in range(10):
+            breaker.record_failure(float(t))
+            assert breaker.allow(float(t))
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.times_opened == 0
+        assert breaker.failures == 10  # counting still works

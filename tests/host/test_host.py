@@ -1,0 +1,340 @@
+"""ServingHost behavior: admission, deadlines, retries, hedging,
+breakers, determinism, and the serial-equivalence guarantee."""
+
+import pytest
+
+from repro.host import (
+    HostConfig,
+    HostConfigError,
+    HostError,
+    Query,
+    QueryStatus,
+    ServingHost,
+    run_serial,
+)
+from repro.isa import assemble
+from repro.machine.faults import FaultConfig, RetryPolicy
+from repro.network.generator import generate_hierarchy_kb
+
+PROGRAM = assemble("""
+SEARCH-NODE thing b0
+PROPAGATE b0 b1 chain(inverse:is-a)
+COLLECT-NODE b1
+""")
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_hierarchy_kb(120, branching=3)
+
+
+def make_queries(count, gap_us=0.0, deadline_us=None):
+    return [
+        Query(
+            query_id=i,
+            program=PROGRAM,
+            arrival_us=i * gap_us,
+            deadline_us=deadline_us,
+            template="inherit",
+        )
+        for i in range(count)
+    ]
+
+
+def small_config(**overrides):
+    defaults = dict(
+        num_replicas=2,
+        clusters_per_replica=4,
+        mus_per_cluster=2,
+        queue_capacity=None,
+    )
+    defaults.update(overrides)
+    return HostConfig(**defaults)
+
+
+class TestQueryValidation:
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(HostError, match="arrival_us"):
+            Query(query_id=0, program=PROGRAM, arrival_us=-1.0)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(HostError, match="deadline_us"):
+            Query(query_id=0, program=PROGRAM, deadline_us=0.0)
+
+
+class TestHostConfigValidation:
+    def test_field_named_in_errors(self):
+        with pytest.raises(HostConfigError, match="num_replicas"):
+            HostConfig(num_replicas=0)
+        with pytest.raises(HostConfigError, match="queue_capacity"):
+            HostConfig(queue_capacity=-1)
+        with pytest.raises(HostConfigError, match="shed_policy"):
+            HostConfig(shed_policy="lifo")
+        with pytest.raises(HostConfigError, match="hedge_after_us"):
+            HostConfig(hedge_after_us=0.0)
+        with pytest.raises(HostConfigError, match="faulty_replica_fraction"):
+            HostConfig(faulty_replica_fraction=1.5)
+
+
+class TestBasicServing:
+    def test_all_served_and_accounted(self, network):
+        host = ServingHost(network, small_config())
+        report = host.serve(make_queries(6, gap_us=50.0))
+        assert report.submitted == 6
+        assert report.served == 6
+        assert report.accounted()
+        for outcome in report.outcomes:
+            assert outcome.status is QueryStatus.SERVED
+            assert outcome.latency_us >= outcome.service_us > 0
+            assert outcome.results  # COLLECT-NODE returned something
+
+    def test_duplicate_query_id_rejected(self, network):
+        host = ServingHost(network, small_config())
+        queries = [
+            Query(query_id=7, program=PROGRAM),
+            Query(query_id=7, program=PROGRAM, arrival_us=1.0),
+        ]
+        with pytest.raises(HostError, match="duplicate"):
+            host.serve(queries)
+
+    def test_host_is_one_shot(self, network):
+        host = ServingHost(network, small_config())
+        host.serve(make_queries(1))
+        with pytest.raises(HostError, match="one stream"):
+            host.serve(make_queries(1))
+
+    def test_concurrency_beats_serial_makespan(self, network):
+        """Two replicas drain a simultaneous burst about twice as fast."""
+        queries = make_queries(4)
+        concurrent = ServingHost(network, small_config()).serve(queries)
+        serial = run_serial(network, queries)
+        assert concurrent.total_time_us < 0.75 * serial.total_time_us
+
+
+class TestShedding:
+    def test_zero_capacity_sheds_burst_tail(self, network):
+        config = small_config(num_replicas=1, queue_capacity=0)
+        report = ServingHost(network, config).serve(make_queries(4))
+        # One query grabs the idle replica; the rest find no buffer.
+        assert report.served == 1
+        assert report.shed == 3
+        for outcome in report.outcomes:
+            if outcome.status is QueryStatus.SHED:
+                assert outcome.shed_reason == "queue-full"
+
+    def test_bounded_queue_sheds_overflow_only(self, network):
+        config = small_config(num_replicas=1, queue_capacity=2)
+        report = ServingHost(network, config).serve(make_queries(6))
+        assert report.served == 3  # 1 direct + 2 buffered
+        assert report.shed == 3
+        assert report.queue_max_depth == 2
+
+    def test_reject_over_deadline_evicts_hopeless(self, network):
+        config = small_config(
+            num_replicas=1,
+            queue_capacity=1,
+            shed_policy="reject-over-deadline",
+        )
+        # Query 1 queues behind query 0 but its deadline cannot cover
+        # even one service time once query 2 arrives and evicts it.
+        service = ServingHost(
+            network, small_config()
+        ).array.healthy_service_us(make_queries(1)[0])
+        queries = [
+            Query(query_id=0, program=PROGRAM, template="inherit"),
+            Query(query_id=1, program=PROGRAM, arrival_us=1.0,
+                  deadline_us=0.5 * service, template="inherit"),
+            Query(query_id=2, program=PROGRAM, arrival_us=2.0,
+                  deadline_us=10 * service, template="inherit"),
+        ]
+        report = ServingHost(network, config).serve(queries)
+        evicted = report.outcome_of(1)
+        assert evicted.status is QueryStatus.SHED
+        assert evicted.shed_reason == "over-deadline"
+        assert report.outcome_of(2).status is QueryStatus.SERVED
+
+
+class TestDeadlines:
+    def test_tight_deadline_times_out(self, network):
+        config = small_config(num_replicas=1)
+        report = ServingHost(network, config).serve(
+            make_queries(2, deadline_us=1.0)
+        )
+        # Both queries' budgets expire long before one service time.
+        assert report.timed_out == 2
+        assert report.served == 0
+
+    def test_timeout_frees_replica_for_later_work(self, network):
+        config = small_config(num_replicas=1)
+        service = ServingHost(
+            network, small_config()
+        ).array.healthy_service_us(make_queries(1)[0])
+        queries = [
+            Query(query_id=0, program=PROGRAM,
+                  deadline_us=0.5 * service, template="inherit"),
+            Query(query_id=1, program=PROGRAM,
+                  arrival_us=0.6 * service, template="inherit"),
+        ]
+        report = ServingHost(network, config).serve(queries)
+        assert report.outcome_of(0).status is QueryStatus.TIMED_OUT
+        assert report.outcome_of(1).status is QueryStatus.SERVED
+        # The cancelled attempt is visible in replica accounting.
+        assert report.replicas[0].cancelled == 1
+
+    def test_default_deadline_applies_to_bare_queries(self, network):
+        config = small_config(num_replicas=1, default_deadline_us=1.0)
+        report = ServingHost(network, config).serve(make_queries(1))
+        assert report.timed_out == 1
+
+
+class TestFaultsAndBreakers:
+    # Every inter-cluster transfer corrupts and no retries remain:
+    # damage is guaranteed query-visible, deterministically.
+    FAULTS = FaultConfig(
+        transfer_corrupt_prob=1.0,
+        retry=RetryPolicy(max_retries=0),
+    )
+
+    def test_all_faulty_replicas_fail_query(self, network):
+        config = small_config(
+            faulty_replica_fraction=1.0,
+            replica_fault_template=self.FAULTS,
+            max_attempts=2,
+            fault_seed=5,
+        )
+        report = ServingHost(network, config).serve(make_queries(1))
+        outcome = report.outcomes[0]
+        assert outcome.status is QueryStatus.FAILED
+        assert outcome.attempts == 2  # retried on the other replica
+        assert outcome.retries == 1
+
+    def test_breaker_opens_and_sheds_load_from_faulty_replica(
+        self, network
+    ):
+        config = small_config(
+            num_replicas=2,
+            faulty_replica_fraction=0.5,
+            replica_fault_template=self.FAULTS,
+            breaker_failure_threshold=2,
+            breaker_cooldown_us=1e9,  # never half-opens in this run
+            max_attempts=2,
+            fault_seed=5,
+        )
+        # Arrivals spaced beyond one service time: the healthy replica
+        # is always free to absorb the retry of a damaged attempt.
+        report = ServingHost(network, config).serve(
+            make_queries(8, gap_us=500.0)
+        )
+        assert report.served == 8  # healthy replica absorbs everything
+        faulty = [r for r in report.replicas if r.faulty]
+        assert len(faulty) == 1
+        assert faulty[0].breaker_opens == 1
+        assert faulty[0].breaker_state == "open"
+        # After the trip, no further attempts reached the replica.
+        assert faulty[0].attempts == faulty[0].failures == 2
+
+    def test_breakers_disabled_keep_routing(self, network):
+        config = small_config(
+            num_replicas=2,
+            faulty_replica_fraction=0.5,
+            replica_fault_template=self.FAULTS,
+            breakers_enabled=False,
+            max_attempts=2,
+            fault_seed=5,
+        )
+        report = ServingHost(network, config).serve(
+            make_queries(8, gap_us=10.0)
+        )
+        faulty = [r for r in report.replicas if r.faulty][0]
+        assert faulty.breaker_opens == 0
+        assert faulty.attempts > 2  # kept receiving (and failing) work
+
+
+class TestHedging:
+    def test_primary_win_cancels_hedge(self, network):
+        service = ServingHost(
+            network, small_config()
+        ).array.healthy_service_us(make_queries(1)[0])
+        config = small_config(
+            num_replicas=2, hedge_after_us=0.5 * service, hedge_max=1
+        )
+        report = ServingHost(network, config).serve(make_queries(1))
+        outcome = report.outcomes[0]
+        assert outcome.status is QueryStatus.SERVED
+        assert outcome.hedges == 1
+        assert outcome.attempts == 2
+        # The primary (head start) wins; the hedge is cancelled.
+        assert outcome.latency_us == pytest.approx(service)
+        assert sum(r.cancelled for r in report.replicas) == 1
+
+    def test_no_hedge_when_attempt_faster_than_threshold(self, network):
+        service = ServingHost(
+            network, small_config()
+        ).array.healthy_service_us(make_queries(1)[0])
+        config = small_config(
+            num_replicas=2, hedge_after_us=2 * service, hedge_max=1
+        )
+        report = ServingHost(network, config).serve(make_queries(1))
+        assert report.outcomes[0].hedges == 0
+
+    def test_hedge_rescues_query_from_damaged_replica(self, network):
+        """A hedge landing on the healthy replica serves the query even
+        though the primary attempt comes back damaged."""
+        faults = FaultConfig(
+            transfer_corrupt_prob=1.0,  # primary is guaranteed damaged
+            retry=RetryPolicy(max_retries=0),
+        )
+        config = small_config(
+            num_replicas=2,
+            faulty_replica_fraction=0.5,  # seed 5 degrades replica 0,
+            replica_fault_template=faults,  # the dispatch preference
+            hedge_after_us=1.0,  # hedge almost immediately
+            hedge_max=1,
+            max_attempts=1,
+            fault_seed=5,
+        )
+        report = ServingHost(network, config).serve(make_queries(1))
+        outcome = report.outcomes[0]
+        assert outcome.status is QueryStatus.SERVED
+        assert outcome.hedges == 1
+        assert outcome.replica == 1  # the healthy hedge won
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_outcomes(self, network):
+        config = small_config(
+            num_replicas=2,
+            queue_capacity=2,
+            faulty_replica_fraction=0.5,
+            breaker_failure_threshold=2,
+            fault_seed=9,
+        )
+        queries = make_queries(10, gap_us=25.0, deadline_us=5_000.0)
+        first = ServingHost(network, config).serve(queries)
+        second = ServingHost(network, config).serve(queries)
+        assert [o.as_dict() for o in first.outcomes] == [
+            o.as_dict() for o in second.outcomes
+        ]
+
+
+class TestSerialEquivalence:
+    def test_matches_serial_reference(self, network):
+        """Acceptance: unbounded queue, no faults, breakers disabled,
+        one replica -> per-query results identical to one-at-a-time
+        serial execution."""
+        config = small_config(
+            num_replicas=1,
+            queue_capacity=None,
+            breakers_enabled=False,
+        )
+        queries = make_queries(5, gap_us=100.0)
+        host_report = ServingHost(network, config).serve(queries)
+        serial_report = run_serial(network, queries)
+        assert host_report.served == serial_report.served == 5
+        for query in queries:
+            ours = host_report.outcome_of(query.query_id)
+            ref = serial_report.outcome_of(query.query_id)
+            assert ours.status is ref.status is QueryStatus.SERVED
+            assert ours.service_us == ref.service_us
+            assert ours.results == ref.results
+            assert ours.finish_us == pytest.approx(ref.finish_us)

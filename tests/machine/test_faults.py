@@ -73,6 +73,44 @@ class TestFaultConfig:
         with pytest.raises(FaultConfigError):
             FaultConfig(link_fail_prob=1.5)
 
+    @pytest.mark.parametrize("name", [
+        "failed_cluster_fraction", "mu_loss_prob", "link_fail_prob",
+        "transfer_corrupt_prob", "scp_timeout_prob",
+    ])
+    def test_probability_errors_name_the_field(self, name):
+        """Every out-of-range rate names the offending field and value
+        so sweep scripts can report what they got wrong."""
+        for bad in (-0.1, 1.5):
+            with pytest.raises(FaultConfigError) as excinfo:
+                FaultConfig(**{name: bad})
+            assert name in str(excinfo.value)
+            assert str(bad) in str(excinfo.value)
+
+    def test_negative_penalty_named(self):
+        with pytest.raises(FaultConfigError, match="scp_timeout_penalty_us"):
+            FaultConfig(scp_timeout_penalty_us=-1.0)
+
+    def test_negative_replay_rounds_named(self):
+        with pytest.raises(FaultConfigError, match="max_replay_rounds"):
+            FaultConfig(max_replay_rounds=-1)
+
+    def test_negative_failed_cluster_ids_named(self):
+        with pytest.raises(FaultConfigError, match="failed_clusters"):
+            FaultConfig(failed_clusters=(2, -1))
+
+    @pytest.mark.parametrize("name,bad", [
+        ("max_retries", -1),
+        ("base_backoff_us", -0.5),
+        ("max_backoff_us", -2.0),
+        ("timeout_budget_us", -1.0),
+        ("backoff_factor", 0.5),
+    ])
+    def test_retry_policy_errors_name_the_field(self, name, bad):
+        with pytest.raises(FaultConfigError) as excinfo:
+            RetryPolicy(**{name: bad})
+        assert name in str(excinfo.value)
+        assert str(bad) in str(excinfo.value)
+
 
 class TestFailedClusterSelection:
     def test_deterministic_per_seed(self):
@@ -324,3 +362,33 @@ class TestAllocatorSnapshot:
         # Freed registers are reusable after the rollback.
         alloc.complex("scratch-a")
         assert alloc.name_of(alloc["scratch-a"]) == "scratch-a"
+
+
+class TestQueryVisibleFailures:
+    def test_sums_the_damage_counters(self):
+        from repro.machine.faults import FaultStats
+
+        stats = FaultStats(
+            messages_lost=2, messages_unreachable=3, transfer_failures=1
+        )
+        assert stats.query_visible_failures() == 6
+
+    def test_recovered_faults_are_not_query_visible(self):
+        """Retried transfers and replayed messages hurt latency, not
+        the answer: they must not count as query-visible damage."""
+        from repro.machine.faults import FaultStats
+
+        stats = FaultStats(
+            transfer_retries=7, replays=2, replayed_messages=40,
+            scp_timeouts=3, messages_rerouted=5,
+        )
+        assert stats.query_visible_failures() == 0
+
+    def test_guaranteed_corruption_is_query_visible(self):
+        faults = FaultConfig(
+            transfer_corrupt_prob=1.0,
+            retry=RetryPolicy(max_retries=0),
+            checkpoint_recovery=False,
+        )
+        report = _run(faults)
+        assert report.fault_stats.query_visible_failures() > 0

@@ -207,3 +207,47 @@ class TestJsonExport:
         assert dump["num_clusters"] == 4
         assert "collection" in dump["overheads_us"]
         assert dump["icn"]["messages"] == report.icn_stats.messages
+
+
+class TestBudgetedRun:
+    """Deadline budgets on the nested run (the serving layer's knife)."""
+
+    def test_tiny_budget_aborts_instead_of_deadlocking(self, fig5_kb):
+        machine = SnapMachine(
+            fig5_kb, MachineConfig(num_clusters=4, mus_per_cluster=2)
+        )
+        report = machine.run(assemble(FIG5_PROGRAM), budget_us=1.0)
+        assert report.aborted
+        assert report.total_time_us <= 1.0
+
+    def test_generous_budget_runs_to_completion(self, fig5_kb):
+        machine = SnapMachine(
+            fig5_kb, MachineConfig(num_clusters=4, mus_per_cluster=2)
+        )
+        unbudgeted = SnapMachine(
+            fig5_kb, MachineConfig(num_clusters=4, mus_per_cluster=2)
+        ).run(assemble(FIG5_PROGRAM))
+        report = machine.run(
+            assemble(FIG5_PROGRAM), budget_us=10 * unbudgeted.total_time_us
+        )
+        assert not report.aborted
+        assert report.total_time_us == unbudgeted.total_time_us
+        assert report.results() == unbudgeted.results()
+
+    def test_aborted_flag_in_json(self, fig5_kb):
+        machine = SnapMachine(
+            fig5_kb, MachineConfig(num_clusters=4, mus_per_cluster=2)
+        )
+        report = machine.run(assemble(FIG5_PROGRAM), budget_us=1.0)
+        assert report.to_json()["aborted"] is True
+
+    def test_marker_reset_clears_prior_query_state(self, fig5_kb):
+        """Back-to-back runs on one machine (the serving pattern) see
+        identical results once markers are wiped between queries."""
+        machine = SnapMachine(
+            fig5_kb, MachineConfig(num_clusters=4, mus_per_cluster=2)
+        )
+        first = machine.run(assemble(FIG5_PROGRAM)).results()
+        machine.reset_markers()
+        second = machine.run(assemble(FIG5_PROGRAM)).results()
+        assert first == second

@@ -1,0 +1,117 @@
+"""Property-based tests for the tiered synchronization protocol.
+
+The unit tests in ``test_sync.py`` pin individual behaviours; these
+hypothesis properties check protocol invariants over arbitrary
+schedules: level balances never go negative, ``all_complete`` is
+exactly "SIGI high and every level balanced", and protocol violations
+name the offending PE and level.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import SyncError, TieredSynchronizer
+
+NUM_PES = 4
+NUM_LEVELS = 3
+
+#: One PE/level pair, the currency of the protocol.
+pe_levels = st.tuples(
+    st.integers(0, NUM_PES - 1), st.integers(0, NUM_LEVELS - 1)
+)
+
+
+class TestBalanceInvariants:
+    @given(events=st.lists(
+        st.tuples(pe_levels, st.booleans()), max_size=80,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_balance_never_negative(self, events):
+        """Whatever interleaving of produce/consume the machine
+        generates, an over-consumption raises instead of driving a
+        level balance negative — afterwards every balance is >= 0."""
+        sync = TieredSynchronizer(num_pes=NUM_PES)
+        for (pe, level), is_produce in events:
+            if is_produce:
+                sync.produce(pe, level)
+            else:
+                try:
+                    sync.consume(pe, level)
+                except SyncError:
+                    pass  # rejected, state must stay consistent
+        for level in range(NUM_LEVELS):
+            assert sync.level_balance(level) >= 0
+
+    @given(events=st.lists(pe_levels, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_produce_then_consume_balances_every_level(self, events):
+        sync = TieredSynchronizer(num_pes=NUM_PES)
+        for pe, level in events:
+            sync.produce(pe, level)
+        # Markers migrate: consume on a different PE than produced.
+        for pe, level in events:
+            sync.consume((pe + 1) % NUM_PES, level)
+        assert sync.all_complete()
+        for level in range(NUM_LEVELS):
+            assert sync.level_balance(level) == 0
+
+
+class TestSigiConsistency:
+    @given(
+        events=st.lists(pe_levels, max_size=40),
+        busy_pes=st.sets(st.integers(0, NUM_PES - 1)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_all_complete_iff_sigi_and_balanced(self, events, busy_pes):
+        """``all_complete`` must be exactly SIGI AND all-balanced —
+        never true while a PE is busy, always true once counters are
+        balanced and every idle line is high."""
+        sync = TieredSynchronizer(num_pes=NUM_PES)
+        for pe, level in events:
+            sync.produce(pe, level)
+            sync.consume(pe, level)
+        for pe in busy_pes:
+            sync.set_idle(pe, False)
+        assert sync.sigi == (len(busy_pes) == 0)
+        assert sync.all_complete() == sync.sigi  # balances all zero
+        for level in range(NUM_LEVELS):
+            assert sync.level_complete(level) == sync.sigi
+
+    @given(events=st.lists(pe_levels, min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_unbalanced_level_blocks_all_complete(self, events):
+        sync = TieredSynchronizer(num_pes=NUM_PES)
+        for pe, level in events:
+            sync.produce(pe, level)
+        assert not sync.all_complete()  # markers still in transit
+        assert sync.sigi  # ...even though every PE is idle
+
+
+class TestErrorMessages:
+    @given(pe=st.integers(0, NUM_PES - 1), level=st.integers(0, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_overconsumption_names_pe_and_level(self, pe, level):
+        sync = TieredSynchronizer(num_pes=NUM_PES)
+        with pytest.raises(SyncError) as excinfo:
+            sync.consume(pe, level)
+        message = str(excinfo.value)
+        assert f"pe {pe}" in message
+        assert f"level {level}" in message
+
+    @given(
+        pe=st.integers(NUM_PES, NUM_PES + 10),
+        level=st.integers(0, 5),
+        is_produce=st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_out_of_range_pe_names_pe_and_level(
+        self, pe, level, is_produce
+    ):
+        sync = TieredSynchronizer(num_pes=NUM_PES)
+        action = sync.produce if is_produce else sync.consume
+        with pytest.raises(SyncError) as excinfo:
+            action(pe, level)
+        message = str(excinfo.value)
+        assert f"pe {pe}" in message
+        assert f"level {level}" in message
+        assert f"[0, {NUM_PES})" in message

@@ -43,3 +43,41 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_unknown_experiment_exits_nonzero_with_usage(self, capsys):
+        code = main(["experiments", "fig99"])
+        captured = capsys.readouterr()
+        assert code != 0
+        assert "unknown experiment" in captured.err
+        assert "fig99" in captured.err
+        # The usage message lists the known experiment ids.
+        assert "usage" in captured.err
+        assert "fig16" in captured.err
+        assert "overload" in captured.err
+        # Nothing was run.
+        assert captured.out == ""
+
+    def test_experiments_list_includes_overload(self, capsys):
+        code = main(["experiments", "--list"])
+        assert code == 0
+        assert "overload" in capsys.readouterr().out.split()
+
+    def test_serve_command(self, capsys):
+        code = main([
+            "serve", "--queries", "20", "--load", "2.0",
+            "--kb-nodes", "120",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "offered 2.0x sustainable" in out
+        assert "submitted: 20" in out
+        assert "served:" in out
+
+    def test_serve_command_with_faults(self, capsys):
+        code = main([
+            "serve", "--queries", "12", "--fault-fraction", "0.5",
+            "--replicas", "2", "--kb-nodes", "120", "--seed", "5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "breaker_opens" in out
