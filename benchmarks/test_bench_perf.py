@@ -1,0 +1,73 @@
+"""Wall-clock harness (``python -m repro bench``): sanity + smoke.
+
+The other files in this directory benchmark individual kernels with
+pytest-benchmark; this one exercises the ``repro.bench`` harness
+itself — the trajectory tool CI runs with ``--smoke`` — so a broken
+workload or malformed BENCH_PERF.json fails here rather than in CI.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import DEFAULT_OUT, WORKLOADS, main, run_bench
+
+
+class TestRunBench:
+    def test_propagate_smoke_counts_events(self):
+        record = run_bench(["propagate"], smoke=True)
+        assert record["smoke"] is True
+        row = record["workloads"]["propagate"]
+        assert row["events"] > 0
+        assert row["wall_s"] > 0
+        assert row["events_per_sec"] > 0
+        assert row["runs"] > 0
+
+    def test_faults_smoke_counts_events(self):
+        row = run_bench(["faults"], smoke=True)["workloads"]["faults"]
+        assert row["events"] > 0
+        assert row["events_per_sec"] > 0
+
+    def test_overload_smoke_serves_and_sheds(self):
+        row = run_bench(["overload"], smoke=True)["workloads"]["overload"]
+        assert row["events"] > 0
+        assert row["events_per_sec"] > 0
+        # Sustained 2x overload must actually shed; if it does not, the
+        # workload no longer stresses the cancellation-heavy path.
+        assert row["served"] > 0
+        assert row["shed"] > 0
+        assert row["served"] + row["shed"] == row["queries"]
+
+    def test_event_counts_are_deterministic(self):
+        """The byte-identical-reports guarantee, seen from the bench:
+        event counts never move between runs — only wall time does."""
+        first = run_bench(["propagate"], smoke=True)
+        second = run_bench(["propagate"], smoke=True)
+        assert (
+            first["workloads"]["propagate"]["events"]
+            == second["workloads"]["propagate"]["events"]
+        )
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            run_bench(["no-such-workload"], smoke=True)
+
+    def test_default_selection_covers_all_workloads(self):
+        assert set(WORKLOADS) == {"propagate", "faults", "overload"}
+
+
+class TestCli:
+    def test_main_writes_trajectory_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_PERF.json"
+        assert main(["propagate", "--smoke", "--out", str(out)]) == 0
+        record = json.loads(out.read_text())
+        assert record["bench"] == "snap1-hot-path"
+        assert record["smoke"] is True
+        assert "python" in record
+        assert "propagate" in record["workloads"]
+        printed = capsys.readouterr().out
+        assert "ev/s" in printed
+        assert str(out) in printed
+
+    def test_default_out_is_repo_trajectory_file(self):
+        assert DEFAULT_OUT == "BENCH_PERF.json"

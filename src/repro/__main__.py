@@ -17,6 +17,10 @@ Commands
     Drive the concurrent query-serving host layer with a synthetic
     arrival stream of inheritance queries and print the serving
     report (admission, shedding, deadlines, hedges, breakers).
+``bench [WORKLOADS...] [--smoke] [--out BENCH_PERF.json]``
+    Measure wall-clock events/sec of the simulator hot path on the
+    propagate-heavy, fault-recovery, and overload-serving workloads
+    and write the trajectory record to ``BENCH_PERF.json``.
 ``info``
     Print the machine configuration and knowledge-base statistics.
 """
@@ -127,6 +131,17 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Handle the `bench` subcommand."""
+    from repro.bench import main as bench_main
+
+    argv = list(args.workloads)
+    if args.smoke:
+        argv.append("--smoke")
+    argv.extend(["--out", args.out])
+    return bench_main(argv)
+
+
 def cmd_info(args) -> int:
     """Handle the `info` subcommand."""
     from repro.machine import snap1_16cluster, snap1_full
@@ -194,6 +209,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("--kb-nodes", type=int, default=240)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "bench", help="wall-clock events/sec on the simulator hot paths"
+    )
+    p.add_argument("workloads", nargs="*",
+                   help="workload ids (default: propagate faults overload)")
+    p.add_argument("--smoke", action="store_true",
+                   help="small sizes for CI smoke runs")
+    p.add_argument("--out", default="BENCH_PERF.json")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("info", help="machine + knowledge base statistics")
     p.add_argument("--kb-nodes", type=int, default=3000)

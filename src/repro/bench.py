@@ -1,0 +1,261 @@
+"""Wall-clock benchmark harness for the simulator hot path.
+
+Measures **events per second of wall-clock time** — the number of DES
+kernel events processed divided by elapsed host time — on three
+workloads chosen to stress the three hot paths of the system:
+
+``propagate``
+    Fan-out-heavy marker propagation on a healthy 16-cluster machine:
+    repeated inheritance sweeps whose PROPAGATE instructions fan out to
+    every cluster.  Stresses MU-pool job churn, ICN routing, and the
+    event heap.
+``faults``
+    The same propagation under an aggressive fault pattern (offline
+    clusters, dead links, transfer corruption): every message takes the
+    ``route_avoiding`` path and retries/watchdogs exercise event
+    cancellation.
+``overload``
+    The serving host under sustained overload: thousands of queries
+    with deadline watchdogs, hedged retries, and admission shedding.
+    Nested machine runs are pre-warmed into the replica cache so the
+    measurement isolates the host serving loop and the DES kernel —
+    the cancellation-heavy path that used to leak dead heap entries.
+
+Because the simulator is deterministic, the event counts of a workload
+never change between runs or code versions (the byte-identical-reports
+guarantee); only the wall-clock denominator moves.  That makes
+``events_per_sec`` a directly comparable trajectory across PRs —
+``python -m repro bench`` writes it to ``BENCH_PERF.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import time
+from typing import Any, Dict, List, Optional
+
+
+def _start_clock() -> float:
+    """Collect garbage left by setup/earlier workloads, then start
+    timing.  Without this, measured wall time varies with workload run
+    order (a prior workload's garbage gets collected inside the next
+    one's timed region)."""
+    gc.collect()
+    return time.perf_counter()
+
+
+#: Default output path (repo-root trajectory file, uploaded by CI).
+DEFAULT_OUT = "BENCH_PERF.json"
+
+#: Workload ids in report order.
+WORKLOADS = ("propagate", "faults", "overload")
+
+
+def _propagate_programs():
+    from .isa import assemble
+
+    texts = (
+        """
+        SEARCH-NODE thing b0
+        PROPAGATE b0 b1 chain(inverse:is-a)
+        COLLECT-NODE b1
+        """,
+        """
+        SEARCH-NODE c1 b2
+        PROPAGATE b2 b3 chain(inverse:is-a)
+        COLLECT-NODE b3
+        """,
+        """
+        SEARCH-NODE c2 b4
+        PROPAGATE b4 b5 chain(inverse:is-a)
+        COLLECT-NODE b5
+        """,
+    )
+    return [assemble(text) for text in texts]
+
+
+def bench_propagate(smoke: bool = False) -> Dict[str, Any]:
+    """Fan-out-heavy propagation on a healthy machine."""
+    from .machine import SnapMachine, snap1_16cluster
+    from .network.generator import generate_hierarchy_kb
+
+    repeats = 4 if smoke else 20
+    network = generate_hierarchy_kb(360, branching=3)
+    machine = SnapMachine(network, snap1_16cluster())
+    programs = _propagate_programs()
+    machine.run(programs[0])  # warm allocator/tables outside the clock
+    events = 0
+    start = _start_clock()
+    for _ in range(repeats):
+        for program in programs:
+            machine.reset_markers()
+            events += machine.run(program).events_processed
+    wall = time.perf_counter() - start
+    return {"events": events, "wall_s": wall, "runs": repeats * len(programs)}
+
+
+def bench_faults(smoke: bool = False) -> Dict[str, Any]:
+    """Propagation under faults: reroutes, retries, and watchdogs."""
+    from .machine import SnapMachine
+    from .machine.config import MachineConfig
+    from .machine.faults import FaultConfig
+    from .network.generator import generate_hierarchy_kb
+
+    repeats = 4 if smoke else 20
+    network = generate_hierarchy_kb(360, branching=3)
+    faults = FaultConfig(
+        seed=11,
+        failed_cluster_fraction=0.125,
+        mu_loss_prob=0.1,
+        link_fail_prob=0.15,
+        transfer_corrupt_prob=0.08,
+        scp_timeout_prob=0.02,
+    )
+    config = MachineConfig(num_clusters=16, mus_per_cluster=3, faults=faults)
+    machine = SnapMachine(network, config)
+    programs = _propagate_programs()
+    machine.run(programs[0])
+    events = 0
+    start = _start_clock()
+    for _ in range(repeats):
+        for program in programs:
+            machine.reset_markers()
+            events += machine.run(program).events_processed
+    wall = time.perf_counter() - start
+    return {"events": events, "wall_s": wall, "runs": repeats * len(programs)}
+
+
+def bench_overload(smoke: bool = False) -> Dict[str, Any]:
+    """Cancellation-heavy serving: watchdogs, hedges, shedding.
+
+    Long deadlines relative to service time mean nearly every query's
+    watchdog is scheduled far in the future and then cancelled on
+    completion — the exact pattern that used to grow the event heap
+    without bound under sustained traffic.
+    """
+    from .experiments.overload import build_queries, uncontended_profile
+    from .host import HostConfig, Query, ServingHost
+    from .isa import assemble
+    from .network.generator import generate_hierarchy_kb
+
+    count = 1500 if smoke else 20000
+    network = generate_hierarchy_kb(240, branching=3)
+    config = HostConfig(
+        num_replicas=4,
+        clusters_per_replica=4,
+        mus_per_cluster=2,
+        queue_capacity=16,
+        shed_policy="reject-newest",
+        max_attempts=2,
+        fault_seed=3,
+    )
+    mean_service, p99 = uncontended_profile(network, config)
+    sustainable = config.num_replicas / mean_service
+    config = HostConfig(
+        num_replicas=config.num_replicas,
+        clusters_per_replica=config.clusters_per_replica,
+        mus_per_cluster=config.mus_per_cluster,
+        queue_capacity=config.queue_capacity,
+        shed_policy=config.shed_policy,
+        max_attempts=config.max_attempts,
+        hedge_after_us=0.9 * p99,
+        fault_seed=config.fault_seed,
+    )
+    # Deadlines 200x the p99: watchdogs are armed far out and almost
+    # always cancelled, so dead entries dominate a naive event heap.
+    queries = build_queries(count, 2.0 * sustainable, 200.0 * p99)
+    host = ServingHost(network, config)
+    # Pre-warm the nested-run cache so the clock sees only the serving
+    # loop + DES kernel, not the (cached-once) machine simulations.
+    from .experiments.overload import TEMPLATES
+
+    for name, text in TEMPLATES:
+        program = assemble(text)
+        for replica in host.array.replicas:
+            host.array.execute(
+                replica, Query(query_id=-1, program=program, template=name)
+            )
+    start = _start_clock()
+    report = host.serve(queries)
+    wall = time.perf_counter() - start
+    return {
+        "events": host.sim.events_processed,
+        "wall_s": wall,
+        "queries": count,
+        "served": report.served,
+        "shed": report.shed,
+    }
+
+
+_RUNNERS = {
+    "propagate": bench_propagate,
+    "faults": bench_faults,
+    "overload": bench_overload,
+}
+
+
+def run_bench(
+    workloads: Optional[List[str]] = None, smoke: bool = False
+) -> Dict[str, Any]:
+    """Run the selected workloads; return the trajectory record."""
+    selected = list(workloads) if workloads else list(WORKLOADS)
+    unknown = [w for w in selected if w not in _RUNNERS]
+    if unknown:
+        raise KeyError(
+            f"unknown workload(s) {unknown}; available: {list(WORKLOADS)}"
+        )
+    results: Dict[str, Any] = {}
+    for name in selected:
+        record = _RUNNERS[name](smoke=smoke)
+        record["events_per_sec"] = (
+            record["events"] / record["wall_s"] if record["wall_s"] > 0 else 0.0
+        )
+        results[name] = record
+    return {
+        "bench": "snap1-hot-path",
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "workloads": results,
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point for ``python -m repro bench``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="wall-clock events/sec on the simulator hot paths",
+    )
+    parser.add_argument(
+        "workloads", nargs="*",
+        help=f"workload ids to run (default: all of {WORKLOADS})",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes for CI smoke runs",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    record = run_bench(args.workloads or None, smoke=args.smoke)
+    for name, row in record["workloads"].items():
+        print(
+            f"{name:>10}: {row['events']:>9} events in "
+            f"{row['wall_s']:.2f}s wall = {row['events_per_sec']:,.0f} ev/s"
+        )
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -52,6 +52,9 @@ class AdmissionQueue:
         self.capacity = capacity
         self.policy = policy
         self._queue: Deque[Any] = deque()
+        #: The underlying deque, exposed for the host's hot path
+        #: (``if not queue.buffer`` skips a method call per arrival).
+        self.buffer = self._queue
         self.max_depth = 0
         self.admitted = 0
         self.shed_newest = 0
@@ -85,16 +88,22 @@ class AdmissionQueue:
         reason)``: ``evicted`` lists queued items shed to make room;
         ``reason`` is set when the arrival itself was rejected.
         """
+        queue = self._queue
+        capacity = self.capacity
+        full = capacity is not None and len(queue) >= capacity
         evicted: List[Any] = []
-        if self.full and self.policy == REJECT_OVER_DEADLINE and hopeless:
-            evicted = [q for q in self._queue if hopeless(q)]
+        if full and self.policy == REJECT_OVER_DEADLINE and hopeless:
+            evicted = [q for q in queue if hopeless(q)]
             for item_out in evicted:
-                self._queue.remove(item_out)
+                queue.remove(item_out)
             self.shed_over_deadline += len(evicted)
-        if not self.full:
-            self._queue.append(item)
+            full = len(queue) >= capacity
+        if not full:
+            queue.append(item)
             self.admitted += 1
-            self.max_depth = max(self.max_depth, len(self._queue))
+            depth = len(queue)
+            if depth > self.max_depth:
+                self.max_depth = depth
             return True, evicted, None
         self.shed_newest += 1
         return False, evicted, "queue-full"

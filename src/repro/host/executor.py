@@ -27,7 +27,7 @@ from .config import HostConfig
 from .query import HostError, Query
 
 
-@dataclass
+@dataclass(slots=True)
 class AttemptResult:
     """What one nested execution produced."""
 
@@ -43,7 +43,7 @@ class AttemptResult:
     aborted: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Replica:
     """Serving-side state of one cluster group."""
 

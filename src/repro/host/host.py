@@ -12,9 +12,9 @@ Resilience mechanisms, in the order a query meets them:
 
 1. **Admission control** — a bounded FIFO with ``reject-newest`` or
    ``reject-over-deadline`` shedding (:mod:`repro.host.admission`).
-2. **Deadline watchdogs** — one cancellable
-   :class:`repro.machine.des.Timeout` per admitted query; expiry
-   cancels queued or in-flight work and frees the replica immediately.
+2. **Deadline watchdogs** — one cancellable kernel event per admitted
+   query; expiry cancels queued or in-flight work and frees the
+   replica immediately.
 3. **Hedged retries** — an attempt in flight longer than
    ``hedge_after_us`` is re-issued on another (healthiest-available)
    replica; the first undamaged completion wins and the loser is
@@ -36,17 +36,26 @@ from dataclasses import dataclass, field, replace
 from typing import Any, List, Optional, Sequence, Set
 
 from ..machine.config import Timing
-from ..machine.des import Simulator, Timeout
+from ..machine.des import Simulator
 from ..network.graph import SemanticNetwork
-from .admission import AdmissionQueue
+from .admission import REJECT_NEWEST, AdmissionQueue
 from .breaker import BreakerState
 from .config import HostConfig
 from .executor import AttemptResult, Replica, ReplicaArray
 from .query import HostError, Query, QueryOutcome, QueryStatus
 from .report import ReplicaSummary, ServingReport
 
+# Hot-path constants: one global load instead of an enum attribute
+# chain per query.
+_SERVED = QueryStatus.SERVED
+_SHED = QueryStatus.SHED
+_TIMED_OUT = QueryStatus.TIMED_OUT
+_FAILED = QueryStatus.FAILED
+_CLOSED = BreakerState.CLOSED
+_OPEN = BreakerState.OPEN
 
-@dataclass
+
+@dataclass(slots=True)
 class _Attempt:
     """One dispatch of a query onto a replica."""
 
@@ -60,16 +69,20 @@ class _Attempt:
     hedge_event: Any = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _QueryState:
     """Mutable serving-side bookkeeping for one query."""
 
     query: Query
     #: Effective deadline budget (query's own, or the host default).
     deadline_us: Optional[float]
+    #: Absolute deadline instant (arrival + budget; None = unbounded),
+    #: precomputed once so the hot path never re-derives it.
+    deadline_abs: Optional[float] = None
     terminal: bool = False
     queued: bool = False
-    watchdog: Optional[Timeout] = None
+    #: Deadline watchdog: a raw cancellable kernel event handle.
+    watchdog: Any = None
     in_flight: List[_Attempt] = field(default_factory=list)
     primary_attempts: int = 0
     hedges: int = 0
@@ -77,16 +90,13 @@ class _QueryState:
 
     @property
     def absolute_deadline_us(self) -> Optional[float]:
-        if self.deadline_us is None:
-            return None
-        return self.query.arrival_us + self.deadline_us
+        return self.deadline_abs
 
     def remaining_us(self, now: float) -> Optional[float]:
         """Deadline budget left at ``now`` (None = unbounded)."""
-        deadline = self.absolute_deadline_us
-        if deadline is None:
+        if self.deadline_abs is None:
             return None
-        return deadline - now
+        return self.deadline_abs - now
 
 
 class ServingHost:
@@ -107,6 +117,29 @@ class ServingHost:
         self.outcomes: List[QueryOutcome] = []
         self._states: List[_QueryState] = []
         self._ran = False
+        # Hot-path plumbing: the queue's raw deque (emptiness checks
+        # without a method call) and pre-bound callbacks, so the
+        # per-query/per-attempt paths never allocate a bound method.
+        self._buffer = self.queue.buffer
+        self._replicas = self.array.replicas
+        self._hopeless_cb = self._hopeless
+        self._attempt_done_cb = self._attempt_done
+        self._maybe_hedge_cb = self._maybe_hedge
+        self._on_deadline_cb = self._on_deadline
+        # Arrivals are reserved up front (fixing tie-break order) but
+        # committed to the event heap one at a time; see serve().
+        self._arrivals: List[Any] = []
+        self._arrival_count = 0
+        self._next_arrival = 0
+        # Tail-drop on a full queue needs no admission-control logic
+        # beyond a length check; precompute whether that shortcut
+        # applies (it never does for reject-over-deadline).
+        cap = self.config.queue_capacity
+        self._fast_shed_cap = (
+            cap
+            if cap is not None and self.config.shed_policy == REJECT_NEWEST
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Public entry
@@ -121,22 +154,40 @@ class ServingHost:
             if query.query_id in seen:
                 raise HostError(f"duplicate query_id {query.query_id}")
             seen.add(query.query_id)
+        default_deadline = self.config.default_deadline_us
+        states = self._states
+        sim = self.sim
+        reserve = sim.reserve
+        on_arrival = self._on_arrival
+        arrivals = self._arrivals
         for query in sorted(
             queries, key=lambda q: (q.arrival_us, q.query_id)
         ):
+            deadline = (
+                query.deadline_us
+                if query.deadline_us is not None
+                else default_deadline
+            )
             state = _QueryState(
                 query=query,
-                deadline_us=(
-                    query.deadline_us
-                    if query.deadline_us is not None
-                    else self.config.default_deadline_us
+                deadline_us=deadline,
+                deadline_abs=(
+                    None if deadline is None
+                    else query.arrival_us + deadline
                 ),
             )
-            self._states.append(state)
-            self.sim.schedule(
-                query.arrival_us, lambda s=state: self._on_arrival(s)
-            )
-        self.sim.run()
+            states.append(state)
+            arrivals.append(reserve(query.arrival_us, on_arrival, state))
+        # Reserving assigned every arrival its sequence number first
+        # (identical FIFO tie-breaking to scheduling them all), but
+        # only one arrival sits in the heap at a time — each commits
+        # its successor on firing — so heap depth tracks the queries
+        # actually in flight rather than the whole stream.
+        self._arrival_count = len(arrivals)
+        if arrivals:
+            self._next_arrival = 1
+            sim.commit(arrivals[0])
+        sim.run()
         stuck = [s.query.query_id for s in self._states if not s.terminal]
         if stuck:
             raise RuntimeError(f"serving deadlock: queries {stuck}")
@@ -146,25 +197,37 @@ class ServingHost:
     # Arrival and admission
     # ------------------------------------------------------------------
     def _on_arrival(self, state: _QueryState) -> None:
+        nxt = self._next_arrival
+        if nxt < self._arrival_count:
+            self.sim.commit(self._arrivals[nxt])
+            self._next_arrival = nxt + 1
         # Fast path: nothing waiting ahead and a replica free now —
         # dispatch directly, bypassing the (possibly zero-capacity)
         # buffer.  FIFO order is preserved because the queue is empty.
-        if len(self.queue) == 0:
+        buffer = self._buffer
+        if not buffer:
             replica = self._pick_replica(state)
             if replica is not None:
                 self._arm_watchdog(state)
                 self._start_attempt(state, replica)
                 return
+        elif (
+            self._fast_shed_cap is not None
+            and len(buffer) >= self._fast_shed_cap
+        ):
+            # Tail-drop shortcut: same outcome and counters as
+            # queue.offer() on a full reject-newest queue.
+            self.queue.shed_newest += 1
+            self._finalize(state, _SHED, shed_reason="queue-full")
+            return
         admitted, evicted, reason = self.queue.offer(
-            state, hopeless=self._hopeless
+            state, hopeless=self._hopeless_cb
         )
         for victim in evicted:
             self._release_watchdog(victim)
-            self._finalize(
-                victim, QueryStatus.SHED, shed_reason="over-deadline"
-            )
+            self._finalize(victim, _SHED, shed_reason="over-deadline")
         if not admitted:
-            self._finalize(state, QueryStatus.SHED, shed_reason=reason)
+            self._finalize(state, _SHED, shed_reason=reason)
             return
         state.queued = True
         self._arm_watchdog(state)
@@ -172,22 +235,28 @@ class ServingHost:
     def _hopeless(self, state: _QueryState) -> bool:
         """Queued query that cannot meet its deadline even if started
         immediately on a healthy replica (shed-over-deadline test)."""
-        remaining = state.remaining_us(self.sim.now)
-        if remaining is None:
+        deadline = state.deadline_abs
+        if deadline is None:
             return False
+        remaining = deadline - self.sim.now
         return remaining < self.array.healthy_service_us(state.query)
 
     def _arm_watchdog(self, state: _QueryState) -> None:
-        remaining = state.remaining_us(self.sim.now)
-        if remaining is None:
+        deadline = state.deadline_abs
+        if deadline is None:
             return
-        state.watchdog = Timeout(
-            self.sim, max(0.0, remaining), lambda: self._on_deadline(state)
+        remaining = deadline - self.sim.now
+        state.watchdog = self.sim.schedule(
+            remaining if remaining > 0.0 else 0.0,
+            self._on_deadline_cb,
+            state,
         )
 
     def _release_watchdog(self, state: _QueryState) -> None:
-        if state.watchdog is not None and state.watchdog.armed:
-            state.watchdog.cancel()
+        # Cancelling an already-fired event is a kernel no-op, so no
+        # armed/expired bookkeeping is needed here.
+        if state.watchdog is not None:
+            self.sim.cancel(state.watchdog)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -200,32 +269,44 @@ class ServingHost:
         deterministic tie-break).
         """
         now = self.sim.now
-        allowed = [
-            r for r in self.array.replicas
-            if not r.busy and r.breaker.allow(now)
-        ]
-        if not allowed:
-            return None
-        untried = [r for r in allowed if r.replica_id not in state.tried]
-        pool = untried or allowed
-        pool.sort(
-            key=lambda r: (
-                0 if r.breaker.state is BreakerState.CLOSED else 1,
-                r.replica_id,
-            )
-        )
-        return pool[0]
+        tried = state.tried
+        best: Optional[Replica] = None
+        best_key: Optional[tuple] = None
+        # Single allocation-free pass: minimizing (already-tried,
+        # breaker-rank, replica_id) over the admissible replicas picks
+        # exactly what the old untried-pool-then-sort selection did.
+        for r in self._replicas:
+            if r.busy or not r.breaker.allow(now):
+                continue
+            rid = r.replica_id
+            if rid not in tried and r.breaker.state is _CLOSED:
+                # Replicas iterate in ascending id, so the first
+                # untried replica with a closed breaker has the
+                # minimal key (False, 0, id) — nothing later beats it.
+                return r
+            if rid in tried:
+                key = (True, 0 if r.breaker.state is _CLOSED else 1, rid)
+            else:
+                key = (False, 1, rid)
+            if best_key is None or key < best_key:
+                best = r
+                best_key = key
+        return best
 
     def _dispatch_loop(self) -> None:
         """Drain the queue head-first onto free replicas."""
-        while len(self.queue):
-            state = self.queue.pop()
+        buffer = self._buffer
+        while buffer:
+            state = buffer[0]
             if state.terminal:
+                buffer.popleft()
                 continue
+            # Peek before popping: when no replica is free the head
+            # keeps its FIFO slot without a pop/requeue round-trip.
             replica = self._pick_replica(state)
             if replica is None:
-                self.queue.requeue_front(state)
                 return
+            buffer.popleft()
             state.queued = False
             self._start_attempt(state, replica)
 
@@ -242,18 +323,16 @@ class ServingHost:
             state.hedges += 1
         else:
             state.primary_attempts += 1
-        remaining = state.remaining_us(now)
-        budget = remaining if state.query.template is None else None
-        result = self.array.execute(replica, state.query, budget_us=budget)
-        attempt = _Attempt(
-            state=state,
-            replica=replica,
-            start_us=now,
-            result=result,
-            hedged=hedged,
-        )
+        query = state.query
+        if query.template is None:
+            deadline = state.deadline_abs
+            budget = None if deadline is None else deadline - now
+        else:
+            budget = None
+        result = self.array.execute(replica, query, budget_us=budget)
+        attempt = _Attempt(state, replica, now, result, hedged)
         attempt.completion_event = self.sim.schedule(
-            result.service_us, lambda: self._attempt_done(attempt)
+            result.service_us, self._attempt_done_cb, attempt
         )
         state.in_flight.append(attempt)
         hedge_after = self.config.hedge_after_us
@@ -264,7 +343,7 @@ class ServingHost:
             and result.service_us > hedge_after
         ):
             attempt.hedge_event = self.sim.schedule(
-                hedge_after, lambda: self._maybe_hedge(attempt)
+                hedge_after, self._maybe_hedge_cb, attempt
             )
 
     def _maybe_hedge(self, attempt: _Attempt) -> None:
@@ -286,41 +365,46 @@ class ServingHost:
     # ------------------------------------------------------------------
     def _attempt_done(self, attempt: _Attempt) -> None:
         state, replica = attempt.state, attempt.replica
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         attempt.live = False
         if attempt.hedge_event is not None:
-            self.sim.cancel(attempt.hedge_event)
-        if attempt in state.in_flight:
+            sim.cancel(attempt.hedge_event)
+        try:
             state.in_flight.remove(attempt)
+        except ValueError:
+            pass
         replica.busy = False
         replica.serving = None
         replica.busy_us += now - attempt.start_us
-        if attempt.result.ok:
+        result = attempt.result
+        if result.ok:
             replica.successes += 1
             replica.breaker.record_success(now)
         else:
             replica.failures += 1
             replica.breaker.record_failure(now)
-            if replica.breaker.state is BreakerState.OPEN:
+            if replica.breaker.state is _OPEN:
                 # Wake the dispatcher when the cooldown expires so an
                 # all-open array cannot strand the queue.
-                self.sim.schedule(
+                sim.schedule(
                     max(0.0, replica.breaker.open_until_us - now),
                     self._dispatch_loop,
                 )
         if not state.terminal:
-            if attempt.result.ok:
+            if result.ok:
                 self._cancel_in_flight(state)
                 self._finalize(
                     state,
-                    QueryStatus.SERVED,
+                    _SERVED,
                     replica=replica,
-                    service_us=attempt.result.service_us,
-                    results=attempt.result.results,
+                    service_us=result.service_us,
+                    results=result.results,
                 )
             else:
                 self._after_failed_attempt(state, replica)
-        self._dispatch_loop()
+        if self._buffer:
+            self._dispatch_loop()
 
     def _after_failed_attempt(
         self, state: _QueryState, replica: Replica
@@ -328,8 +412,8 @@ class ServingHost:
         now = self.sim.now
         if state.in_flight:
             return  # a hedge is still racing; let it decide
-        remaining = state.remaining_us(now)
-        out_of_time = remaining is not None and remaining <= 0
+        deadline = state.deadline_abs
+        out_of_time = deadline is not None and deadline - now <= 0
         if state.primary_attempts < self.config.max_attempts and not out_of_time:
             retry_replica = self._pick_replica(state)
             if retry_replica is not None:
@@ -339,7 +423,7 @@ class ServingHost:
                 state.queued = True
                 self.queue.requeue_front(state)
             return
-        self._finalize(state, QueryStatus.FAILED, replica=replica)
+        self._finalize(state, _FAILED, replica=replica)
 
     def _on_deadline(self, state: _QueryState) -> None:
         if state.terminal:
@@ -348,7 +432,7 @@ class ServingHost:
             self.queue.remove(state)
             state.queued = False
         self._cancel_in_flight(state)
-        self._finalize(state, QueryStatus.TIMED_OUT)
+        self._finalize(state, _TIMED_OUT)
         self._dispatch_loop()
 
     def _cancel_in_flight(self, state: _QueryState) -> None:
@@ -381,25 +465,32 @@ class ServingHost:
         shed_reason: Optional[str] = None,
     ) -> None:
         state.terminal = True
-        self._release_watchdog(state)
+        watchdog = state.watchdog
+        if watchdog is not None:
+            self.sim.cancel(watchdog)
         now = self.sim.now
+        query = state.query
+        arrival = query.arrival_us
+        primaries = state.primary_attempts
+        hedges = state.hedges
+        # Positional construction (field order matches QueryOutcome):
+        # this runs once per query and dataclass keyword __init__ is
+        # measurably slower on the overload benchmark.
         self.outcomes.append(
             QueryOutcome(
-                query_id=state.query.query_id,
-                status=status,
-                arrival_us=state.query.arrival_us,
-                finish_us=now,
-                latency_us=now - state.query.arrival_us,
-                service_us=service_us,
-                attempts=state.primary_attempts + state.hedges,
-                hedges=state.hedges,
-                retries=max(0, state.primary_attempts - 1),
-                replica=replica.replica_id if replica else None,
-                breaker_state=(
-                    replica.breaker.state.value if replica else None
-                ),
-                shed_reason=shed_reason,
-                results=results,
+                query.query_id,
+                status,
+                arrival,
+                now,
+                now - arrival,
+                service_us,
+                primaries + hedges,
+                hedges,
+                primaries - 1 if primaries > 1 else 0,
+                replica.replica_id if replica else None,
+                replica.breaker.state.value if replica else None,
+                shed_reason,
+                results,
             )
         )
 

@@ -76,7 +76,7 @@ class Query:
         return self.arrival_us + self.deadline_us
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryOutcome:
     """Structured record of one query's terminal disposition."""
 

@@ -81,11 +81,18 @@ class ClusterSim:
         return self.pu.idle and self.mus.idle and self.cu.idle
 
     def busy_summary(self) -> dict:
-        """Busy-time accounting for utilization reports."""
+        """Busy-time accounting for utilization reports.
+
+        Uses *elapsed* busy time (``busy_time_until``), so a run cut
+        off mid-service by a ``budget_us`` abort never counts service
+        that had not yet happened; for completed runs the values equal
+        the plain ``busy_time`` accumulators exactly.
+        """
+        now = self.pu.sim.now
         summary = {
-            "pu_busy": self.pu.busy_time,
-            "mu_busy": self.mus.busy_time,
-            "cu_busy": self.cu.busy_time,
+            "pu_busy": self.pu.busy_time_until(now),
+            "mu_busy": self.mus.busy_time_until(now),
+            "cu_busy": self.cu.busy_time_until(now),
             "mu_jobs": self.mus.jobs_done,
             "cu_jobs": self.cu.jobs_done,
             "activation_peak": self.activation_queue.peak,

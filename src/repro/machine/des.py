@@ -9,13 +9,23 @@ global bus, SCP).
 Determinism: events scheduled for the same timestamp fire in schedule
 order (a monotone sequence number breaks ties), so simulations are
 bit-reproducible.
+
+Hot-path design (see ``docs/PERF.md``): heap entries are plain lists
+``[time, seq, fn, args]`` so ``heapq`` compares them with C-level
+tuple ordering (the unique ``seq`` guarantees the comparison never
+reaches ``fn``); ``schedule`` accepts positional callback arguments so
+callers can pass one reusable bound method instead of allocating a
+closure per event; cancellation is O(1) lazy removal with a live-event
+counter, and the heap is compacted in bulk once cancelled entries
+outnumber live ones — so cancellation-heavy serving runs (hedges,
+deadline watchdogs) neither leak memory nor pay per-entry pop costs.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
 
@@ -23,12 +33,16 @@ class SimulationError(RuntimeError):
     """Raised on kernel misuse (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+#: Heap entry layout: ``[time, seq, fn, args]``.  A cancelled (or
+#: already-fired) entry has ``fn`` set to ``None``; it stays in the
+#: heap until popped or compacted away.
+_Event = list
+
+#: Compaction trigger: cancelled entries must exceed this count *and*
+#: outnumber live entries before the heap is rebuilt.  Keeps the
+#: amortized cost O(1) per cancellation while bounding heap growth to
+#: ~2x the live-event count for cancellation-heavy workloads.
+COMPACT_THRESHOLD = 512
 
 
 class Simulator:
@@ -42,19 +56,77 @@ class Simulator:
         #: Timestamp of the last event actually processed (unlike
         #: ``now``, never advanced by an empty ``run(until=...)``).
         self.last_event_us = 0.0
+        #: Scheduled events that are neither fired nor cancelled.
+        self._live = 0
+        #: Cancelled entries still occupying heap slots.
+        self._dead = 0
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> _Event:
-        """Run ``fn`` after ``delay`` microseconds of simulated time."""
+    def schedule(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> _Event:
+        """Run ``fn(*args)`` after ``delay`` microseconds of simulated
+        time.  Returns a handle accepted by :meth:`cancel`."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        event = _Event(self.now + delay, self._seq, fn)
+        event = [self.now + delay, self._seq, fn, args]
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
+    def reserve(
+        self, time: float, fn: Callable[..., None], *args: Any
+    ) -> _Event:
+        """Create an event for a known future instant *without* putting
+        it in the heap yet.
+
+        The sequence number is assigned immediately, so a caller that
+        knows its whole schedule up front (the serving host's arrival
+        stream) can fix the FIFO tie-break order of all its events
+        first and still keep the heap as shallow as the live horizon:
+        heap-operation cost scales with events actually in flight, not
+        with the total stream length.  The caller owns delivery — each
+        reserved event must be handed to :meth:`commit` before the
+        clock reaches its time, and must not be cancelled while
+        uncommitted.  Reserved events count as pending.
+        """
+        if time < self.now:
+            raise SimulationError(f"reserve in the past: {time} < {self.now}")
+        event = [time, self._seq, fn, args]
+        self._seq += 1
+        self._live += 1
+        return event
+
+    def commit(self, event: _Event) -> None:
+        """Enter a :meth:`reserve`-d event into the heap."""
+        heapq.heappush(self._heap, event)
+
     def cancel(self, event: _Event) -> None:
-        """Cancel a scheduled event (lazy removal)."""
-        event.cancelled = True
+        """Cancel a scheduled event (lazy O(1) removal).
+
+        Cancelling an event that already fired (or was already
+        cancelled) is a no-op.  Dead entries are purged in bulk by
+        :meth:`_compact` once they outnumber live ones.
+        """
+        if event[2] is None:
+            return
+        event[2] = None
+        event[3] = ()
+        self._live -= 1
+        self._dead += 1
+        if self._dead > COMPACT_THRESHOLD and self._dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Rebuilding cannot change the firing order: pop order is a
+        function of the total ``(time, seq)`` order alone, not of the
+        heap's internal layout.
+        """
+        self._heap = [e for e in self._heap if e[2] is not None]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     def run(self, until: Optional[float] = None) -> float:
         """Process events until the heap empties (or ``until`` passes).
@@ -72,44 +144,96 @@ class Simulator:
         number, so it fires after every already-queued event of the
         same timestamp, in submission order (FIFO tie-breaking).
 
+        ``events_processed``, ``pending``, and ``last_event_us`` are
+        flushed once per :meth:`run` call, not per event — callbacks
+        must not read them mid-run (none do; they are post-run report
+        inputs).
+
         Returns the final simulated time.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if until is not None and event.time > until:
-                heapq.heappush(self._heap, event)
-                break
-            self.now = event.time
-            self.last_event_us = event.time
-            self.events_processed += 1
-            event.fn()
+        heap = self._heap
+        heappop = heapq.heappop
+        fired = 0
+        last = self.last_event_us
+        try:
+            if until is None:
+                while heap:
+                    event = heappop(heap)
+                    fn = event[2]
+                    if fn is None:
+                        self._dead -= 1
+                        continue
+                    args = event[3]
+                    # Mark consumed: a late cancel() of this handle is
+                    # a no-op, and callback/argument refs are released.
+                    event[2] = None
+                    event[3] = ()
+                    last = event[0]
+                    self.now = last
+                    fired += 1
+                    fn(*args)
+                    heap = self._heap  # _compact() may swap the list
+            else:
+                while heap:
+                    event = heap[0]
+                    fn = event[2]
+                    if fn is None:
+                        heappop(heap)
+                        self._dead -= 1
+                        continue
+                    event_time = event[0]
+                    if event_time > until:
+                        break
+                    heappop(heap)
+                    args = event[3]
+                    event[2] = None
+                    event[3] = ()
+                    last = event_time
+                    self.now = event_time
+                    fired += 1
+                    fn(*args)
+                    heap = self._heap
+        finally:
+            self._live -= fired
+            self.events_processed += fired
+            self.last_event_us = last
         if until is not None and until > self.now:
             self.now = until
         return self.now
 
     @property
     def pending(self) -> int:
-        """Events still scheduled (uncancelled)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Events still scheduled (uncancelled).  O(1)."""
+        return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Heap slots in use, including not-yet-purged cancelled
+        entries (bounded to ~2x ``pending`` by compaction)."""
+        return len(self._heap)
 
 
 class Timeout:
     """A cancellable watchdog over a guarded operation.
 
-    Schedules ``on_timeout`` after ``delay`` microseconds; if the
-    guarded operation completes first, :meth:`cancel` disarms the
+    Schedules ``on_timeout(*args)`` after ``delay`` microseconds; if
+    the guarded operation completes first, :meth:`cancel` disarms the
     watchdog.  Used by the fault layer to enforce per-transfer
     recovery budgets (a transfer that cannot be repaired within its
-    budget of simulated time is declared failed).
+    budget of simulated time is declared failed) and by the serving
+    host's per-query deadline watchdogs.
     """
 
     def __init__(
-        self, sim: Simulator, delay: float, on_timeout: Callable[[], None]
+        self,
+        sim: Simulator,
+        delay: float,
+        on_timeout: Callable[..., None],
+        *args: Any,
     ) -> None:
         self._sim = sim
         self._on_timeout = on_timeout
+        self._args = args
         self._cancelled = False
         self.expired = False
         self._event = sim.schedule(delay, self._fire)
@@ -118,7 +242,7 @@ class Timeout:
         if self._cancelled:
             return
         self.expired = True
-        self._on_timeout()
+        self._on_timeout(*self._args)
 
     def cancel(self) -> None:
         """Disarm the watchdog (the guarded operation completed)."""
@@ -133,19 +257,30 @@ class Timeout:
 
 @dataclass
 class Job:
-    """A unit of work submitted to a server: service time + completion."""
+    """A unit of work submitted to a server: service time + completion.
+
+    ``on_done`` is invoked as ``on_done(*args)`` when service
+    completes, so hot paths can pass a reusable bound method plus its
+    arguments instead of building a fresh closure per job.
+    """
 
     service_time: float
     on_start: Optional[Callable[[], None]] = None
-    on_done: Optional[Callable[[], None]] = None
+    on_done: Optional[Callable[..., None]] = None
     tag: Any = None
+    args: Tuple[Any, ...] = ()
 
 
 class Server:
     """A single FIFO server (models PU decode, CU DMA, bus, SCP).
 
     Tracks busy time and queue-length statistics so component
-    utilization can be reported.
+    utilization can be reported.  ``busy_time`` accrues a job's full
+    service when the job *starts* (which keeps accrual order — and
+    float summation order — independent of completion interleaving);
+    :meth:`busy_time_until` pro-rates the in-service job so a run cut
+    off mid-service (a ``budget_us`` abort) never reports more busy
+    time than actually elapsed.
 
     ``penalty_hook`` is the fault-injection hook: when set, it is
     consulted as each job enters service and may return extra service
@@ -163,6 +298,10 @@ class Server:
         self.jobs_done = 0
         self.max_queue = 0
         self.penalty_hook: Optional[Callable[[Job], float]] = None
+        #: Completion timestamp of the job in service (valid when busy).
+        self._service_end = 0.0
+        #: Reusable completion callback (no per-job closure).
+        self._finish_cb = self._finish
 
     @property
     def busy(self) -> bool:
@@ -182,7 +321,8 @@ class Server:
     def submit(self, job: Job) -> None:
         """Enqueue a job; service starts when capacity frees."""
         self._queue.append(job)
-        self.max_queue = max(self.max_queue, len(self._queue))
+        if len(self._queue) > self.max_queue:
+            self.max_queue = len(self._queue)
         if not self._busy:
             self._start_next()
 
@@ -198,13 +338,25 @@ class Server:
         if self.penalty_hook is not None:
             service += self.penalty_hook(job)
         self.busy_time += service
-        self.sim.schedule(service, lambda: self._finish(job))
+        event = self.sim.schedule(service, self._finish_cb, job)
+        self._service_end = event[0]
 
     def _finish(self, job: Job) -> None:
         self.jobs_done += 1
         if job.on_done:
-            job.on_done()
+            job.on_done(*job.args)
         self._start_next()
+
+    def busy_time_until(self, now: float) -> float:
+        """Busy time actually *elapsed* by ``now``.
+
+        Equals ``busy_time`` once every started job has completed; a
+        job still in service contributes only its elapsed portion, so
+        aborted runs cannot report utilization above capacity.
+        """
+        if self._busy and self._service_end > now:
+            return self.busy_time - (self._service_end - now)
+        return self.busy_time
 
 
 class ServerPool:
@@ -223,6 +375,9 @@ class ServerPool:
         self.max_queue = 0
         #: Fault-injection hook; see :class:`Server`.
         self.penalty_hook: Optional[Callable[[Job], float]] = None
+        #: Completion timestamps of the jobs in service.
+        self._service_ends: List[float] = []
+        self._finish_cb = self._finish
 
     @property
     def busy_servers(self) -> int:
@@ -242,9 +397,28 @@ class ServerPool:
     def submit(self, job: Job) -> None:
         """Enqueue a job; service starts when capacity frees."""
         self._queue.append(job)
-        self.max_queue = max(self.max_queue, len(self._queue))
+        if len(self._queue) > self.max_queue:
+            self.max_queue = len(self._queue)
         if self._busy < self.num_servers:
             self._start_next()
+
+    def submit_batch(self, jobs: List[Job]) -> None:
+        """Enqueue a fan-out of jobs in one call.
+
+        Exactly equivalent to submitting each job in order — the queue
+        contents, start order, and event sequence numbers are
+        bit-identical — but the per-job call overhead is paid once per
+        batch, which is how the simulator delivers a PROPAGATE fan-out
+        to a destination cluster as one aggregated submission.
+        """
+        queue = self._queue
+        num_servers = self.num_servers
+        for job in jobs:
+            queue.append(job)
+            if len(queue) > self.max_queue:
+                self.max_queue = len(queue)
+            if self._busy < num_servers:
+                self._start_next()
 
     def _start_next(self) -> None:
         if not self._queue or self._busy >= self.num_servers:
@@ -257,14 +431,25 @@ class ServerPool:
         if self.penalty_hook is not None:
             service += self.penalty_hook(job)
         self.busy_time += service
-        self.sim.schedule(service, lambda: self._finish(job))
+        event = self.sim.schedule(service, self._finish_cb, job)
+        self._service_ends.append(event[0])
 
     def _finish(self, job: Job) -> None:
         self._busy -= 1
+        self._service_ends.remove(self.sim.now)
         self.jobs_done += 1
         if job.on_done:
-            job.on_done()
+            job.on_done(*job.args)
         self._start_next()
+
+    def busy_time_until(self, now: float) -> float:
+        """Busy time actually *elapsed* by ``now`` (see
+        :meth:`Server.busy_time_until`)."""
+        total = self.busy_time
+        for end in self._service_ends:
+            if end > now:
+                total -= end - now
+        return total
 
 
 def utilization(busy_time: float, servers: int, elapsed: float) -> float:

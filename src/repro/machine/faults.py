@@ -265,6 +265,7 @@ class FaultInjector:
         config: FaultConfig,
         num_clusters: int,
         mu_counts: Sequence[int],
+        topology: Optional[HypercubeTopology] = None,
     ) -> None:
         if len(mu_counts) != num_clusters:
             raise FaultConfigError(
@@ -293,13 +294,21 @@ class FaultInjector:
         self.effective_mu_counts: Tuple[int, ...] = tuple(effective)
 
         # ICN link failures over the topology's undirected adjacency.
+        # A shared topology (one per machine) is reused for the
+        # enumeration; ``neighbors`` is memoized and deterministic, so
+        # the RNG draw order — and the realized pattern — is identical
+        # to a freshly built topology.
         self.dead_links: FrozenSet[Tuple[int, int]] = frozenset()
         if config.link_fail_prob > 0:
             link_rng = _stream(config, "links")
-            topology = HypercubeTopology(num_clusters)
+            topo = (
+                topology
+                if topology is not None
+                else HypercubeTopology(num_clusters)
+            )
             dead: Set[Tuple[int, int]] = set()
             for a in range(num_clusters):
-                for b in topology.neighbors(a):
+                for b in topo.neighbors(a):
                     if b <= a:
                         continue
                     if link_rng.random() < config.link_fail_prob:
@@ -309,6 +318,11 @@ class FaultInjector:
 
         self._transfer_rng = _stream(config, "transfer")
         self._scp_rng = _stream(config, "scp")
+        if topology is not None:
+            # Defense in depth for shared route caches: a *different*
+            # fault pattern than the last one routed through this
+            # topology drops every memoized path.
+            topology.note_fault_state(self.failed_clusters, self.dead_links)
 
     # -- runtime sampling -------------------------------------------------
     def transfer_corrupted(self) -> bool:

@@ -29,6 +29,7 @@ from ..isa.instructions import Instruction
 from ..isa.program import SnapProgram
 from ..network.graph import SemanticNetwork
 from .config import MachineConfig, snap1_full
+from .icn import HypercubeTopology
 from .report import MachineRunReport
 from .simulator import SnapSimulation
 
@@ -70,6 +71,11 @@ class SnapMachine:
             ),
             excluded_clusters=excluded,
         )
+        # One topology per machine, shared by every run: routing is
+        # stateless, so sharing only lets the route/dimension caches
+        # stay warm across programs (a big win for host serving, where
+        # one machine executes thousands of queries).
+        self.topology = HypercubeTopology(self.config.num_clusters)
         self.last_report: Optional[MachineRunReport] = None
 
     # ------------------------------------------------------------------
@@ -88,7 +94,9 @@ class SnapMachine:
         """
         if not isinstance(program, SnapProgram):
             program = SnapProgram(list(program))
-        simulation = SnapSimulation(self.state, self.config)
+        simulation = SnapSimulation(
+            self.state, self.config, topology=self.topology
+        )
         self.last_report = simulation.run(program, budget_us=budget_us)
         return self.last_report
 

@@ -189,12 +189,7 @@ class MachineRunReport:
             "category_busy_us": dict(self.category_busy_us),
             "overheads_us": self.overheads.as_dict(),
             "messages_per_sync": self.sync_stats.messages_per_sync(),
-            "icn": {
-                "messages": self.icn_stats.messages,
-                "mean_hops": self.icn_stats.mean_hops,
-                "mean_latency_us": self.icn_stats.mean_latency,
-                "dimension_counts": dict(self.icn_stats.dimension_counts),
-            },
+            "icn": self.icn_stats.to_json(),
             "cluster_busy": [dict(c) for c in self.cluster_busy],
         }
         if self.faults_enabled and self.fault_stats is not None:

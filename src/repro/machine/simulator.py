@@ -76,7 +76,12 @@ class _InstrState:
 class SnapSimulation:
     """One timed execution of a SNAP program."""
 
-    def __init__(self, state: MachineState, config: MachineConfig) -> None:
+    def __init__(
+        self,
+        state: MachineState,
+        config: MachineConfig,
+        topology: Optional[HypercubeTopology] = None,
+    ) -> None:
         if state.num_clusters != config.num_clusters:
             raise ValueError(
                 "machine state and configuration disagree on cluster count"
@@ -85,7 +90,16 @@ class SnapSimulation:
         self.cfg = config
         self.timing = config.timing
         self.sim = Simulator()
-        self.topology = HypercubeTopology(config.num_clusters)
+        # A topology may be shared across runs (SnapMachine passes one
+        # per machine) so its route caches survive between programs;
+        # routing is stateless, so sharing cannot change any path.
+        if topology is not None and topology.num_clusters != config.num_clusters:
+            raise ValueError("shared topology disagrees on cluster count")
+        self.topology = (
+            topology
+            if topology is not None
+            else HypercubeTopology(config.num_clusters)
+        )
         # Fault layer: constructed only for an *enabled* config, so the
         # fault-free path never draws an RNG stream or takes a branch
         # that could perturb the event trace.
@@ -93,7 +107,10 @@ class SnapSimulation:
         self.faults: Optional[FaultInjector] = None
         if fault_cfg is not None and fault_cfg.enabled:
             self.faults = FaultInjector(
-                fault_cfg, config.num_clusters, config.mu_counts()
+                fault_cfg,
+                config.num_clusters,
+                config.mu_counts(),
+                topology=self.topology,
             )
         self.clusters: List[ClusterSim] = build_clusters(
             self.sim, config, self.faults
@@ -165,6 +182,11 @@ class SnapSimulation:
             summary = cluster.busy_summary()
             summary["mu_servers"] = cluster.num_mus
             self.report.cluster_busy.append(summary)
+        utilization = self.report.mu_utilization()
+        assert utilization <= 1.0 + 1e-9, (
+            f"MU utilization {utilization} exceeds capacity: "
+            "busy-time accounting is broken"
+        )
         if self.faults is not None:
             self.faults.stats.nodes_remapped = getattr(
                 self.state, "nodes_remapped", 0
@@ -224,7 +246,7 @@ class SnapSimulation:
         self._attribute(instr.category, self.timing.t_broadcast)
         self.perf.record(self.sim.now, -1, EventCode.INSTR_ISSUE, index)
         self.controller.submit(
-            Job(service, on_done=lambda: self._broadcast_done(st))
+            Job(service, on_done=self._broadcast_done, args=(st,))
         )
         # The controller pipeline may issue further independent
         # instructions while this one is broadcast.
@@ -246,7 +268,8 @@ class SnapSimulation:
             cluster.pu.submit(
                 Job(
                     self.timing.t_decode,
-                    on_done=lambda c=cluster: self._decode_done(st, c),
+                    on_done=self._decode_done,
+                    args=(st, cluster),
                 )
             )
         self._try_issue()
@@ -279,7 +302,7 @@ class SnapSimulation:
         service = work_service_time(work, self.timing)
         self._attribute(instr.category, service)
         self.clusters[home].mus.submit(
-            Job(service, on_done=lambda: self._cluster_task_done(st))
+            Job(service, on_done=self._cluster_task_done, args=(st,))
         )
         self._try_issue()
 
@@ -301,7 +324,8 @@ class SnapSimulation:
             cluster.mus.submit(
                 Job(
                     service,
-                    on_done=lambda: self._cluster_task_done(st, items),
+                    on_done=self._cluster_task_done,
+                    args=(st, items),
                 )
             )
             return
@@ -310,7 +334,7 @@ class SnapSimulation:
         service = work_service_time(work, self.timing)
         self._attribute(instr.category, service)
         cluster.mus.submit(
-            Job(service, on_done=lambda: self._cluster_task_done(st))
+            Job(service, on_done=self._cluster_task_done, args=(st,))
         )
 
     def _run_collector(self, cid: int, instr: Instruction):
@@ -374,9 +398,8 @@ class SnapSimulation:
         cluster.mus.submit(
             Job(
                 service,
-                on_done=lambda: self._seed_scan_done(
-                    st, cid, local_out, remote_out
-                ),
+                on_done=self._seed_scan_done,
+                args=(st, cid, local_out, remote_out),
             )
         )
 
@@ -397,12 +420,12 @@ class SnapSimulation:
         local_out: List[Arrival],
         remote_out: List[ActivationMessage],
     ) -> None:
-        for arrival in local_out:
-            self._spawn_arrival_job(st, arrival)
+        if local_out:
+            self._spawn_arrival_batch(st, local_out)
         for msg in remote_out:
             self._send_message(st, cid, msg)
 
-    def _spawn_arrival_job(self, st: _InstrState, arrival: Arrival) -> None:
+    def _prepare_arrival(self, st: _InstrState, arrival: Arrival) -> Job:
         """Deliver a marker at its destination node (one MU task)."""
         ctx = st.ctx
         assert ctx is not None
@@ -418,15 +441,51 @@ class SnapSimulation:
         self.syncer.produce(pe, st.index)
         service = work_service_time(work, self.timing)
         self._attribute(Category.PROPAGATE, service)
-        cluster = self.clusters[arrival.cluster]
+        return Job(
+            service,
+            on_done=self._arrival_done,
+            args=(st, arrival.cluster, pe, local_out, remote_out),
+        )
 
-        def done() -> None:
-            self._release_outputs(st, arrival.cluster, local_out, remote_out)
-            self.syncer.consume(pe, st.index)
-            st.pending -= 1
-            self._check_propagate_done(st)
+    def _spawn_arrival_job(self, st: _InstrState, arrival: Arrival) -> None:
+        job = self._prepare_arrival(st, arrival)
+        self.clusters[arrival.cluster].mus.submit(job)
 
-        cluster.mus.submit(Job(service, on_done=done))
+    def _spawn_arrival_batch(
+        self, st: _InstrState, arrivals: List[Arrival]
+    ) -> None:
+        """Deliver a fan-out of markers, batched per destination cluster.
+
+        Consecutive arrivals bound for the same cluster become one
+        aggregated MU-pool submission.  Delivery/expansion side effects
+        run in arrival order and ``submit_batch`` preserves per-job
+        enqueue order, so the event trace is identical to N sequential
+        submissions — only the per-call overhead is amortized.
+        """
+        batch: List[Job] = []
+        batch_cid = -1
+        for arrival in arrivals:
+            cid = arrival.cluster
+            if cid != batch_cid and batch:
+                self.clusters[batch_cid].mus.submit_batch(batch)
+                batch = []
+            batch_cid = cid
+            batch.append(self._prepare_arrival(st, arrival))
+        if batch:
+            self.clusters[batch_cid].mus.submit_batch(batch)
+
+    def _arrival_done(
+        self,
+        st: _InstrState,
+        cid: int,
+        pe: int,
+        local_out: List[Arrival],
+        remote_out: List[ActivationMessage],
+    ) -> None:
+        self._release_outputs(st, cid, local_out, remote_out)
+        self.syncer.consume(pe, st.index)
+        st.pending -= 1
+        self._check_propagate_done(st)
 
     def _send_message(
         self, st: _InstrState, src: int, msg: ActivationMessage
@@ -466,13 +525,12 @@ class SnapSimulation:
             + hops * self.timing.t_hop
             + max(0, hops - 1) * self.timing.t_forward
         )
-        self.report.icn_stats.record(hops, latency)
-        previous = src
-        for cluster_on_path in path:
-            self.report.icn_stats.record_dimension(
-                self.topology.dimension_of_hop(previous, cluster_on_path)
-            )
-            previous = cluster_on_path
+        # One atomic stats update per message: the hop count and the
+        # per-dimension counts come from the same (cached) path, so
+        # they can never disagree.
+        self.report.icn_stats.record_message(
+            self.topology.path_dimensions(src, path), latency
+        )
         self.report.overheads.communication += latency
         self._attribute(Category.PROPAGATE, latency)
         self.perf.record(self.sim.now, src, EventCode.MSG_SEND, st.index)
@@ -486,11 +544,26 @@ class SnapSimulation:
         if self.faults is not None and self.faults.cfg.transfer_corrupt_prob > 0:
             rec = {"attempts": 0, "alive": True, "watchdog": None, "src": src}
 
-        def launch() -> None:
-            source_cluster.activation_queue.pop()
-            self._advance_message(st, pe, msg, path, 0, rec)
+        source_cluster.cu.submit(
+            Job(
+                self.timing.t_cu_dma,
+                on_done=self._launch_message,
+                args=(st, pe, msg, path, rec, source_cluster),
+            )
+        )
 
-        source_cluster.cu.submit(Job(self.timing.t_cu_dma, on_done=launch))
+    def _launch_message(
+        self,
+        st: _InstrState,
+        producer_pe: int,
+        msg: ActivationMessage,
+        path: List[int],
+        rec: Optional[Dict[str, Any]],
+        source_cluster: ClusterSim,
+    ) -> None:
+        """Source CU DMA done: the message leaves the activation memory."""
+        source_cluster.activation_queue.pop()
+        self._advance_message(st, producer_pe, msg, path, 0, rec)
 
     def _advance_message(
         self,
@@ -507,41 +580,51 @@ class SnapSimulation:
             # packed message round-trips); deliver directly.
             self._deliver_message(st, producer_pe, msg)
             return
-        target = path[hop_index]
+        self.sim.schedule(
+            self.timing.t_hop,
+            self._after_wire, st, producer_pe, msg, path, hop_index, rec,
+        )
 
-        def after_wire() -> None:
-            if rec is not None:
-                if not rec["alive"]:
-                    # The recovery watchdog already declared this
-                    # transfer lost; drop the stale wire event.
-                    return
-                if self.faults is not None and self.faults.transfer_corrupted():
-                    # Parity caught a corrupted transfer on this hop:
-                    # retry the hop after a backoff instead of
-                    # delivering poisoned data.
-                    self._retry_hop(st, producer_pe, msg, path, hop_index, rec)
-                    return
-            if hop_index == len(path) - 1:
-                if rec is not None and rec["watchdog"] is not None:
-                    watchdog = rec["watchdog"]
-                    if watchdog.armed:
-                        watchdog.cancel()
-                self._deliver_message(st, producer_pe, msg)
-            else:
-                forwarder = self.clusters[target]
-                self.perf.record(
-                    self.sim.now, target, EventCode.MSG_FORWARD, st.index
+    def _after_wire(
+        self,
+        st: _InstrState,
+        producer_pe: int,
+        msg: ActivationMessage,
+        path: List[int],
+        hop_index: int,
+        rec: Optional[Dict[str, Any]],
+    ) -> None:
+        """The wire transfer of one hop finished."""
+        if rec is not None:
+            if not rec["alive"]:
+                # The recovery watchdog already declared this
+                # transfer lost; drop the stale wire event.
+                return
+            if self.faults is not None and self.faults.transfer_corrupted():
+                # Parity caught a corrupted transfer on this hop:
+                # retry the hop after a backoff instead of
+                # delivering poisoned data.
+                self._retry_hop(st, producer_pe, msg, path, hop_index, rec)
+                return
+        if hop_index == len(path) - 1:
+            if rec is not None and rec["watchdog"] is not None:
+                watchdog = rec["watchdog"]
+                if watchdog.armed:
+                    watchdog.cancel()
+            self._deliver_message(st, producer_pe, msg)
+        else:
+            target = path[hop_index]
+            forwarder = self.clusters[target]
+            self.perf.record(
+                self.sim.now, target, EventCode.MSG_FORWARD, st.index
+            )
+            forwarder.cu.submit(
+                Job(
+                    self.timing.t_forward,
+                    on_done=self._advance_message,
+                    args=(st, producer_pe, msg, path, hop_index + 1, rec),
                 )
-                forwarder.cu.submit(
-                    Job(
-                        self.timing.t_forward,
-                        on_done=lambda: self._advance_message(
-                            st, producer_pe, msg, path, hop_index + 1, rec
-                        ),
-                    )
-                )
-
-        self.sim.schedule(self.timing.t_hop, after_wire)
+            )
 
     def _retry_hop(
         self,
@@ -569,13 +652,9 @@ class SnapSimulation:
             # First corruption of this transfer arms the timeout
             # budget: total recovery (simulated µs) is bounded even if
             # every retry keeps getting corrupted.
-            def on_timeout() -> None:
-                rec["alive"] = False
-                self.faults.stats.transfer_failures += 1
-                self._message_lost(st, producer_pe, msg, rec["src"])
-
             rec["watchdog"] = Timeout(
-                self.sim, policy.timeout_budget_us, on_timeout
+                self.sim, policy.timeout_budget_us,
+                self._transfer_timed_out, st, producer_pe, msg, rec,
             )
         backoff = policy.backoff(rec["attempts"] - 1)
         self.faults.stats.retry_time_us += backoff
@@ -586,10 +665,21 @@ class SnapSimulation:
         self._attribute(Category.PROPAGATE, backoff + self.timing.t_hop)
         self.sim.schedule(
             backoff,
-            lambda: self._advance_message(
-                st, producer_pe, msg, path, hop_index, rec
-            ),
+            self._advance_message, st, producer_pe, msg, path, hop_index, rec,
         )
+
+    def _transfer_timed_out(
+        self,
+        st: _InstrState,
+        producer_pe: int,
+        msg: ActivationMessage,
+        rec: Dict[str, Any],
+    ) -> None:
+        """Recovery budget exhausted: declare the transfer failed."""
+        assert self.faults is not None
+        rec["alive"] = False
+        self.faults.stats.transfer_failures += 1
+        self._message_lost(st, producer_pe, msg, rec["src"])
 
     def _message_lost(
         self,
@@ -658,13 +748,12 @@ class SnapSimulation:
         self.report.overheads.synchronization += cost
         self._attribute(Category.PROPAGATE, cost)
         self.syncer.reset_level(st.index)
+        self.sim.schedule(cost, self._barrier_done, st)
 
-        def finish() -> None:
-            self.report.sync_stats.barrier(self.sim.now, st.index)
-            self.perf.record(self.sim.now, -1, EventCode.BARRIER, st.index)
-            self._complete(st)
-
-        self.sim.schedule(cost, finish)
+    def _barrier_done(self, st: _InstrState) -> None:
+        self.report.sync_stats.barrier(self.sim.now, st.index)
+        self.perf.record(self.sim.now, -1, EventCode.BARRIER, st.index)
+        self._complete(st)
 
     # ------------------------------------------------------------------
     # Completion
@@ -699,7 +788,9 @@ class SnapSimulation:
         self._attribute(Category.COLLECT, service)
         self.perf.record(self.sim.now, -1, EventCode.COLLECT, st.index)
         st.collected.sort(key=lambda item: item[0])
-        self.controller.submit(Job(service, on_done=lambda: self._complete(st)))
+        self.controller.submit(
+            Job(service, on_done=self._complete, args=(st,))
+        )
 
     def _complete(self, st: _InstrState) -> None:
         instr = st.instr

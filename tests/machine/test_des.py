@@ -11,6 +11,7 @@ from repro.machine import (
     Timeout,
     utilization,
 )
+from repro.machine.des import COMPACT_THRESHOLD
 
 
 class TestSimulator:
@@ -118,6 +119,111 @@ class TestSimulator:
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.events_processed == 4
+
+
+class TestHeapCompaction:
+    def test_cancelling_10k_timeouts_keeps_heap_bounded(self):
+        """Regression: cancelled watchdogs used to stay in the heap
+        until popped, so deadline-heavy serving runs grew the heap
+        without bound."""
+        sim = Simulator()
+        for i in range(10_000):
+            watchdog = Timeout(sim, 1_000.0 + i, lambda: None)
+            watchdog.cancel()
+            assert sim.heap_size <= COMPACT_THRESHOLD + 1
+        assert sim.pending == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_interleaved_cancel_bounds_heap_to_live_events(self):
+        """With half the events cancelled, compaction keeps heap slots
+        within ~2x the live-event count."""
+        sim = Simulator()
+        fired = []
+        expected = []
+        for i in range(10_000):
+            handle = sim.schedule(500.0 + i, fired.append, i)
+            if i % 2:
+                sim.cancel(handle)
+            else:
+                expected.append(i)
+            assert sim.heap_size <= 2 * sim.pending + COMPACT_THRESHOLD + 1
+        sim.run()
+        assert fired == expected
+
+    def test_pending_counts_live_events_only(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending == 10
+        for handle in handles[:4]:
+            sim.cancel(handle)
+        assert sim.pending == 6
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        sim.run()
+        sim.cancel(handle)
+        sim.cancel(handle)
+        assert fired == ["x"]
+        assert sim.pending == 0
+
+
+class TestReserveCommit:
+    def test_reserved_seq_fixes_tie_break_order(self):
+        """A reserved event fires before a same-time event scheduled
+        later, even when committed after it — the tie-break follows
+        reservation order, not heap-entry order."""
+        sim = Simulator()
+        log = []
+        reserved = sim.reserve(5.0, log.append, "reserved")
+        sim.schedule(5.0, log.append, "scheduled")
+        sim.commit(reserved)
+        sim.run()
+        assert log == ["reserved", "scheduled"]
+
+    def test_reserved_event_is_pending_but_not_in_heap(self):
+        sim = Simulator()
+        event = sim.reserve(3.0, lambda: None)
+        assert sim.pending == 1
+        assert sim.heap_size == 0
+        sim.commit(event)
+        assert sim.heap_size == 1
+        sim.run()
+        assert sim.events_processed == 1
+        assert sim.pending == 0
+
+    def test_reserve_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.reserve(1.0, lambda: None)
+
+
+class TestElapsedBusyTime:
+    def test_server_prorates_in_service_job(self):
+        sim = Simulator()
+        server = Server(sim)
+        server.submit(Job(10.0))
+        sim.run(until=4.0)
+        # The accumulator accrues at job start; the elapsed view never
+        # counts service that has not happened yet.
+        assert server.busy_time == 10.0
+        assert server.busy_time_until(sim.now) == 4.0
+
+    def test_pool_prorates_only_unfinished_jobs(self):
+        sim = Simulator()
+        pool = ServerPool(sim, servers=2)
+        pool.submit(Job(2.0))
+        pool.submit(Job(10.0))
+        sim.run(until=5.0)
+        assert pool.busy_time_until(sim.now) == 2.0 + 5.0
+        sim.run()
+        assert pool.busy_time_until(sim.now) == pool.busy_time == 12.0
 
 
 class TestServer:

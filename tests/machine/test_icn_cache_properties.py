@@ -1,0 +1,170 @@
+"""Property-based tests for the memoized ICN routing caches.
+
+The route caches (``docs/PERF.md``) must be invisible: a warm
+topology — one that has served and cached thousands of lookups —
+must answer every ``route``/``route_avoiding`` query identically to a
+freshly constructed topology computing from scratch.  These hypothesis
+properties hammer shared warm topologies across cluster counts 1–64
+and random fault patterns, comparing every answer against the uncached
+code path on a pristine instance.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.icn import HypercubeTopology, TopologyError, link_key
+
+#: Warm topologies shared across every hypothesis example so the LRU
+#: caches accumulate (and evict) entries while properties run.
+_WARM = {}
+
+
+def warm_topology(num_clusters):
+    topo = _WARM.get(num_clusters)
+    if topo is None:
+        topo = _WARM[num_clusters] = HypercubeTopology(num_clusters)
+    return topo
+
+
+@st.composite
+def cluster_pairs(draw):
+    """(num_clusters, src, dst) with both endpoints in range."""
+    n = draw(st.integers(1, 64))
+    src = draw(st.integers(0, n - 1))
+    dst = draw(st.integers(0, n - 1))
+    return n, src, dst
+
+
+@st.composite
+def fault_patterns(draw):
+    """(num_clusters, src, dst, blocked_clusters, blocked_links)."""
+    n, src, dst = draw(cluster_pairs())
+    blocked_clusters = frozenset(
+        draw(st.sets(st.integers(0, n - 1), max_size=min(n, 8)))
+    )
+    link_pairs = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=8,
+        )
+    )
+    blocked_links = frozenset(
+        link_key(a, b) for a, b in link_pairs if a != b
+    )
+    return n, src, dst, blocked_clusters, blocked_links
+
+
+class TestRouteCacheTransparency:
+    @given(pair=cluster_pairs())
+    @settings(max_examples=200, deadline=None)
+    def test_cached_route_equals_fresh_topology(self, pair):
+        """A warm topology's (possibly cached) route is identical to a
+        pristine instance computing through the uncached path."""
+        n, src, dst = pair
+        warm = warm_topology(n)
+        fresh = HypercubeTopology(n)
+        expected = fresh._route_uncached(src, dst)
+        first = warm.route(src, dst)
+        second = warm.route(src, dst)  # guaranteed cache hit
+        assert first == expected
+        assert second == expected
+
+    @given(pair=cluster_pairs(), data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_cached_route_with_order_equals_fresh(self, pair, data):
+        """Alternate digit orders — including non-convergent ones that
+        raise — round-trip through the cache unchanged."""
+        n, src, dst = pair
+        warm = warm_topology(n)
+        fresh = HypercubeTopology(n)
+        order = tuple(
+            data.draw(st.permutations(range(fresh.num_digits)))
+        )
+        try:
+            expected = fresh._route_uncached(src, dst, order)
+        except TopologyError:
+            expected = TopologyError
+        for _ in range(2):  # miss, then hit (incl. the _RAISES sentinel)
+            if expected is TopologyError:
+                try:
+                    warm.route(src, dst, order=order)
+                except TopologyError:
+                    continue
+                raise AssertionError("cached route hid a TopologyError")
+            assert warm.route(src, dst, order=order) == expected
+
+    @given(pair=cluster_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_routes_are_valid_paths(self, pair):
+        """Cached or not, a route is a chain of single-digit hops from
+        src to dst over existing clusters."""
+        n, src, dst = pair
+        warm = warm_topology(n)
+        path = warm.route(src, dst)
+        assert (path == []) == (src == dst)
+        previous = src
+        for hop in path:
+            assert 0 <= hop < n
+            assert warm.hamming(previous, hop) == 1
+            previous = hop
+        if path:
+            assert path[-1] == dst
+
+
+class TestFaultAwareCacheTransparency:
+    @given(pattern=fault_patterns())
+    @settings(max_examples=200, deadline=None)
+    def test_cached_route_avoiding_equals_fresh(self, pattern):
+        """The fault-aware cache keys on the blocked sets, so a warm
+        topology that has routed around many fault patterns still
+        answers every (src, dst, blocked) query like a fresh one."""
+        n, src, dst, blocked_clusters, blocked_links = pattern
+        warm = warm_topology(n)
+        fresh = HypercubeTopology(n)
+        expected = fresh._route_avoiding_uncached(
+            src, dst, blocked_clusters, blocked_links
+        )
+        for _ in range(2):  # miss, then hit (incl. the None sentinel)
+            got = warm.route_avoiding(
+                src, dst, blocked_clusters, blocked_links
+            )
+            assert got == expected
+
+    @given(pattern=fault_patterns())
+    @settings(max_examples=100, deadline=None)
+    def test_route_avoiding_respects_blocked_sets(self, pattern):
+        n, src, dst, blocked_clusters, blocked_links = pattern
+        warm = warm_topology(n)
+        path = warm.route_avoiding(
+            src, dst, blocked_clusters, blocked_links
+        )
+        if path is None:
+            return
+        previous = src
+        for hop in path:
+            assert hop not in blocked_clusters
+            assert link_key(previous, hop) not in blocked_links
+            previous = hop
+        assert previous == dst
+
+    @given(pattern=fault_patterns())
+    @settings(max_examples=100, deadline=None)
+    def test_fault_state_churn_never_changes_answers(self, pattern):
+        """note_fault_state invalidation (and the repopulation after
+        it) is invisible: answers before and after a fault-state flip
+        match the fresh topology either way."""
+        n, src, dst, blocked_clusters, blocked_links = pattern
+        warm = warm_topology(n)
+        fresh = HypercubeTopology(n)
+        expected = fresh._route_avoiding_uncached(
+            src, dst, blocked_clusters, blocked_links
+        )
+        before = warm.route_avoiding(
+            src, dst, blocked_clusters, blocked_links
+        )
+        warm.note_fault_state(blocked_clusters, blocked_links)
+        after = warm.route_avoiding(
+            src, dst, blocked_clusters, blocked_links
+        )
+        warm.note_fault_state(frozenset(), frozenset())
+        assert before == expected
+        assert after == expected

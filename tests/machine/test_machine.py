@@ -241,6 +241,26 @@ class TestBudgetedRun:
         report = machine.run(assemble(FIG5_PROGRAM), budget_us=1.0)
         assert report.to_json()["aborted"] is True
 
+    def test_aborted_run_utilization_stays_within_capacity(self, fig5_kb):
+        """Regression: busy time accrues a job's full service at start,
+        so a run aborted mid-service used to count MU time that never
+        elapsed — with long service times relative to the budget,
+        ``mu_utilization()`` came out above 1 (12x over, for this
+        timing).  The elapsed-busy-time view pins it to capacity."""
+        from repro.machine.config import Timing
+
+        timing = Timing(t_node_visit=500.0)
+        for budget in (5.0, 20.0, 50.0, 100.0):
+            machine = SnapMachine(
+                fig5_kb,
+                MachineConfig(
+                    num_clusters=4, mus_per_cluster=2, timing=timing
+                ),
+            )
+            report = machine.run(assemble(FIG5_PROGRAM), budget_us=budget)
+            assert report.aborted
+            assert report.mu_utilization() <= 1.0
+
     def test_marker_reset_clears_prior_query_state(self, fig5_kb):
         """Back-to-back runs on one machine (the serving pattern) see
         identical results once markers are wiped between queries."""
