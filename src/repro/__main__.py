@@ -8,15 +8,24 @@ Commands
 ``speech "SENTENCE"``
     Synthesize a noisy word lattice from the sentence and run the
     speech parser over it.
-``experiments [IDS...] [--full] [--list]``
+``experiments [IDS...] [--full] [--list] [--trace PATH]``
     Regenerate the paper's tables/figures and extension studies
     (including ``faultdeg``, the fault-injection degradation sweep,
     and ``overload``, the serving-under-overload sweep);
-    same as ``python -m repro.experiments.runner``.
-``serve [--queries N] [--load X] [--fault-fraction F]``
+    same as ``python -m repro.experiments.runner``.  With ``--trace``
+    every simulation in the run is captured into one Perfetto file
+    (best with a single experiment id).
+``serve [--queries N] [--load X] [--fault-fraction F] [--trace PATH]``
     Drive the concurrent query-serving host layer with a synthetic
     arrival stream of inheritance queries and print the serving
     report (admission, shedding, deadlines, hedges, breakers).
+    ``--trace`` additionally writes a Chrome-trace-event/Perfetto
+    JSON timeline of the run.
+``trace WORKLOAD [--out trace.json] [--smoke]``
+    Capture a canonical workload (``propagate``, ``faults``, or
+    ``overload``) as a validated Perfetto trace with the metrics
+    registry embedded; open the file in ``ui.perfetto.dev``.  See
+    ``docs/OBSERVABILITY.md``.
 ``bench [WORKLOADS...] [--smoke] [--out BENCH_PERF.json]``
     Measure wall-clock events/sec of the simulator hot path on the
     propagate-heavy, fault-recovery, and overload-serving workloads
@@ -95,7 +104,22 @@ def cmd_experiments(args) -> int:
         argv.extend(["--out", args.out])
     if args.list:
         argv.append("--list")
-    return runner_main(argv)
+    if not args.trace:
+        return runner_main(argv)
+    # Install a process-global tracer so every nested simulation the
+    # selected experiments start is captured, without threading a
+    # tracer through each experiment's signature.
+    from repro.obs import Tracer, set_tracer, write_chrome_json
+
+    tracer = Tracer()
+    set_tracer(tracer)
+    try:
+        code = runner_main(argv)
+    finally:
+        set_tracer(None)
+    write_chrome_json(args.trace, tracer)
+    print(f"wrote {args.trace} ({tracer.num_events} trace events)")
+    return code
 
 
 def cmd_serve(args) -> int:
@@ -120,7 +144,14 @@ def cmd_serve(args) -> int:
     queries = build_queries(
         args.queries, args.load * sustainable, deadline_us, seed=args.seed
     )
-    report = ServingHost(network, config).serve(queries)
+    tracer = metrics = None
+    if args.trace:
+        from repro.obs import MetricsRegistry, Tracer
+
+        tracer, metrics = Tracer(), MetricsRegistry()
+    report = ServingHost(
+        network, config, tracer=tracer, metrics=metrics
+    ).serve(queries)
     print(
         f"offered {args.load:.1f}x sustainable "
         f"({args.load * sustainable * 1e6:.0f} q/s), "
@@ -128,7 +159,22 @@ def cmd_serve(args) -> int:
     )
     for key, value in report.summary().items():
         print(f"  {key}: {value}")
+    if args.trace:
+        from repro.obs import write_chrome_json
+
+        write_chrome_json(args.trace, tracer, metrics=metrics)
+        print(f"wrote {args.trace} ({tracer.num_events} trace events)")
     return 0
+
+
+def cmd_trace(args) -> int:
+    """Handle the `trace` subcommand."""
+    from repro.obs.capture import main as capture_main
+
+    argv = [args.workload, "--out", args.out]
+    if args.smoke:
+        argv.append("--smoke")
+    return capture_main(argv)
 
 
 def cmd_bench(args) -> int:
@@ -189,6 +235,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("--out")
     p.add_argument("--list", action="store_true",
                    help="list experiment ids and exit")
+    p.add_argument("--trace", metavar="PATH",
+                   help="capture every simulation into a Perfetto trace")
     p.set_defaults(fn=cmd_experiments)
 
     p = sub.add_parser(
@@ -208,7 +256,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                    help="per-query deadline (default: 2.5x p99)")
     p.add_argument("--kb-nodes", type=int, default=240)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Perfetto trace of the serving run")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "trace", help="capture a workload as a Perfetto trace"
+    )
+    p.add_argument("workload",
+                   choices=["propagate", "faults", "overload"],
+                   help="scenario to capture")
+    p.add_argument("--out", default="trace.json",
+                   help="output path (default: trace.json)")
+    p.add_argument("--smoke", action="store_true",
+                   help="small sizes for CI smoke runs")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(
         "bench", help="wall-clock events/sec on the simulator hot paths"

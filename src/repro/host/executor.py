@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..machine.config import MachineConfig, Timing
 from ..machine.machine import SnapMachine
 from ..network.graph import SemanticNetwork
+from ..obs.tracer import NULL_TRACER
 from .breaker import CircuitBreaker
 from .config import HostConfig
 from .query import HostError, Query
@@ -82,10 +83,12 @@ class ReplicaArray:
                 timing=timing or Timing(),
                 faults=config.fault_config_for(rid),
             )
+            machine = SnapMachine(network, machine_cfg)
+            machine.trace_name = f"replica {rid:02d}"
             self.replicas.append(
                 Replica(
                     replica_id=rid,
-                    machine=SnapMachine(network, machine_cfg),
+                    machine=machine,
                     breaker=CircuitBreaker(
                         failure_threshold=config.breaker_failure_threshold,
                         cooldown_us=config.breaker_cooldown_us,
@@ -109,6 +112,9 @@ class ReplicaArray:
         replica: Replica,
         query: Query,
         budget_us: Optional[float] = None,
+        tracer=None,
+        metrics=None,
+        trace_offset_us: float = 0.0,
     ) -> AttemptResult:
         """Run the query on a replica; cached per (template, replica).
 
@@ -116,6 +122,12 @@ class ReplicaArray:
         cut-off for the nested simulation) applies only to uncacheable
         queries, where simulating past the deadline would be wasted
         work.
+
+        When a tracer is active, only the *first* execution of each
+        ``(template, replica)`` pair emits machine-level tracks (cache
+        hits replay the cached timing without re-simulating); the host
+        still draws a span for every attempt, so the timeline stays
+        complete.
         """
         key = None
         if query.template is not None:
@@ -126,7 +138,11 @@ class ReplicaArray:
             budget_us = None  # cache entries must be run-to-completion
         machine = replica.machine
         machine.reset_markers()
-        report = machine.run(query.program, budget_us=budget_us)
+        report = machine.run(
+            query.program, budget_us=budget_us,
+            tracer=tracer, metrics=metrics,
+            trace_offset_us=trace_offset_us,
+        )
         damage = 0
         if report.faults_enabled and report.fault_stats is not None:
             damage = report.fault_stats.query_visible_failures()
@@ -153,13 +169,19 @@ class ReplicaArray:
             hit = self._healthy_cache.get(query.template)
             if hit is not None:
                 return hit
+        # Estimate probes are warm-up runs, not serving activity: pin
+        # the null tracer so they never pollute a capture (the global
+        # tracer would otherwise catch them at offset 0).
         healthy = self.healthy_replicas
         if healthy:
-            estimate = self.execute(healthy[0], query).service_us
+            estimate = self.execute(
+                healthy[0], query, tracer=NULL_TRACER
+            ).service_us
         elif self.replicas:
             # Fully degraded array: estimate from the fastest replica.
             estimate = min(
-                self.execute(r, query).service_us for r in self.replicas
+                self.execute(r, query, tracer=NULL_TRACER).service_us
+                for r in self.replicas
             )
         else:
             raise HostError("no replica to estimate service time")

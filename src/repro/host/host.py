@@ -38,6 +38,7 @@ from typing import Any, List, Optional, Sequence, Set
 from ..machine.config import Timing
 from ..machine.des import Simulator
 from ..network.graph import SemanticNetwork
+from ..obs.tracer import get_tracer
 from .admission import REJECT_NEWEST, AdmissionQueue
 from .breaker import BreakerState
 from .config import HostConfig
@@ -67,6 +68,8 @@ class _Attempt:
     live: bool = True
     completion_event: Any = None
     hedge_event: Any = None
+    #: Open attempt span handle (tracing only).
+    span: Any = None
 
 
 @dataclass(slots=True)
@@ -87,6 +90,10 @@ class _QueryState:
     primary_attempts: int = 0
     hedges: int = 0
     tried: Set[int] = field(default_factory=set)
+    #: Tracing bookkeeping (populated only when a tracer is active).
+    track: int = -1
+    span: Any = None
+    queued_span: Any = None
 
     @property
     def absolute_deadline_us(self) -> Optional[float]:
@@ -107,6 +114,8 @@ class ServingHost:
         network: SemanticNetwork,
         config: Optional[HostConfig] = None,
         timing: Optional[Timing] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.config = config or HostConfig()
         self.sim = Simulator()
@@ -140,6 +149,23 @@ class ServingHost:
             if cap is not None and self.config.shed_policy == REJECT_NEWEST
             else None
         )
+        # Observability.  The untraced default costs one `_observed`
+        # bool check at each instrumentation site; the tracer draws
+        # one span tree per query (admission → attempts → hedges →
+        # outcome), per-replica attempt spans + busy transitions, and
+        # a queue-depth counter, while the registry accumulates the
+        # matching aggregates.
+        obs_tracer = tracer if tracer is not None else get_tracer()
+        self._tr = obs_tracer if obs_tracer.enabled else None
+        self._metrics = metrics
+        self._observed = self._tr is not None or metrics is not None
+        if self._tr is not None:
+            tr = self._tr
+            self._tk_queue = tr.track("host", "queue")
+            self._tk_replica = [
+                tr.track("host", f"replica {r.replica_id:02d}")
+                for r in self._replicas
+            ]
 
     # ------------------------------------------------------------------
     # Public entry
@@ -191,6 +217,8 @@ class ServingHost:
         stuck = [s.query.query_id for s in self._states if not s.terminal]
         if stuck:
             raise RuntimeError(f"serving deadlock: queries {stuck}")
+        if self._observed:
+            self._note_post_run()
         return self._build_report()
 
     # ------------------------------------------------------------------
@@ -201,6 +229,8 @@ class ServingHost:
         if nxt < self._arrival_count:
             self.sim.commit(self._arrivals[nxt])
             self._next_arrival = nxt + 1
+        if self._observed:
+            self._trace_arrival(state)
         # Fast path: nothing waiting ahead and a replica free now —
         # dispatch directly, bypassing the (possibly zero-capacity)
         # buffer.  FIFO order is preserved because the queue is empty.
@@ -227,10 +257,14 @@ class ServingHost:
             self._release_watchdog(victim)
             self._finalize(victim, _SHED, shed_reason="over-deadline")
         if not admitted:
+            if self._observed and evicted:
+                self._note_queue_depth()
             self._finalize(state, _SHED, shed_reason=reason)
             return
         state.queued = True
         self._arm_watchdog(state)
+        if self._observed:
+            self._note_enqueued(state)
 
     def _hopeless(self, state: _QueryState) -> bool:
         """Queued query that cannot meet its deadline even if started
@@ -257,6 +291,151 @@ class ServingHost:
         # armed/expired bookkeeping is needed here.
         if state.watchdog is not None:
             self.sim.cancel(state.watchdog)
+
+    # ------------------------------------------------------------------
+    # Observability (every caller is behind a `self._observed` check)
+    # ------------------------------------------------------------------
+    def _trace_arrival(self, state: _QueryState) -> None:
+        """Open the query's span tree (its own Perfetto thread)."""
+        tr = self._tr
+        if tr is None:
+            return
+        qid = state.query.query_id
+        state.track = tr.track("queries", f"query {qid:05d}")
+        state.span = tr.begin(
+            state.track, f"query {qid}", self.sim.now,
+            template=state.query.template or "",
+        )
+
+    def _note_queue_depth(self) -> None:
+        """Sample the admission-queue depth after a mutation."""
+        depth = len(self._buffer)
+        now = self.sim.now
+        if self._tr is not None:
+            self._tr.counter(self._tk_queue, "queue_depth", now, depth)
+        if self._metrics is not None:
+            self._metrics.gauge("host.queue_depth").set(now, depth)
+
+    def _note_enqueued(self, state: _QueryState) -> None:
+        if self._tr is not None and state.span is not None:
+            state.queued_span = self._tr.begin(
+                state.track, "queued", self.sim.now
+            )
+        self._note_queue_depth()
+
+    def _note_dispatch(self, attempt: _Attempt) -> None:
+        """An attempt entered service on a replica."""
+        state, replica = attempt.state, attempt.replica
+        now = self.sim.now
+        rid = replica.replica_id
+        tr = self._tr
+        if tr is not None:
+            if state.queued_span is not None:
+                tr.end(state.queued_span, now)
+                state.queued_span = None
+            track = self._tk_replica[rid]
+            label = "hedge" if attempt.hedged else "attempt"
+            attempt.span = tr.begin(
+                track, f"{label} q{state.query.query_id}", now,
+                replica=rid,
+            )
+            tr.counter(track, "busy", now, 1)
+            if state.span is not None:
+                tr.instant(
+                    state.track,
+                    "hedge-issued" if attempt.hedged else "attempt-start",
+                    now, replica=rid,
+                )
+        if self._metrics is not None:
+            m = self._metrics
+            m.counter("host.attempts").inc()
+            if attempt.hedged:
+                m.counter("host.hedges_issued").inc()
+            m.gauge(f"host.replica.{rid}.busy").set(now, 1)
+
+    def _note_attempt_end(
+        self, attempt: _Attempt, cancelled: bool
+    ) -> None:
+        """An attempt left its replica (completed or cancelled)."""
+        state, replica = attempt.state, attempt.replica
+        now = self.sim.now
+        rid = replica.replica_id
+        result = attempt.result
+        tr = self._tr
+        if tr is not None:
+            track = self._tk_replica[rid]
+            tr.end(
+                attempt.span, now,
+                ok=result.ok, damage=result.damage, cancelled=cancelled,
+            )
+            tr.counter(track, "busy", now, 0)
+            if state.span is not None:
+                tr.instant(
+                    state.track,
+                    "attempt-cancelled" if cancelled else "attempt-done",
+                    now, replica=rid, ok=result.ok, damage=result.damage,
+                )
+        if self._metrics is not None:
+            m = self._metrics
+            if cancelled:
+                m.counter("host.attempts_cancelled").inc()
+                if attempt.hedged:
+                    m.counter("host.hedges_cancelled").inc()
+            elif not result.ok:
+                m.counter("host.attempt_failures").inc()
+            m.gauge(f"host.replica.{rid}.busy").set(now, 0)
+
+    def _note_finalize(
+        self,
+        state: _QueryState,
+        status: QueryStatus,
+        shed_reason: Optional[str],
+    ) -> None:
+        """Close the query's span tree and count its outcome."""
+        now = self.sim.now
+        tr = self._tr
+        if tr is not None and state.span is not None:
+            if state.queued_span is not None:
+                tr.end(state.queued_span, now)
+                state.queued_span = None
+            tr.instant(
+                state.track, status.value, now,
+                **({"reason": shed_reason} if shed_reason else {}),
+            )
+            tr.end(
+                state.span, now,
+                status=status.value,
+                attempts=state.primary_attempts + state.hedges,
+                hedges=state.hedges,
+            )
+        if self._metrics is not None:
+            m = self._metrics
+            m.counter("host.queries").inc()
+            m.counter(f"host.outcome.{status.value}").inc()
+            if state.primary_attempts > 1:
+                m.counter("host.retries").inc(state.primary_attempts - 1)
+            if status is _SERVED:
+                m.histogram("host.served_latency_us").observe(
+                    now - state.query.arrival_us
+                )
+
+    def _note_post_run(self) -> None:
+        """Replay breaker audit trails into the capture (post-run,
+        so the serving hot path pays nothing per transition)."""
+        open_state = BreakerState.OPEN
+        for replica in self._replicas:
+            rid = replica.replica_id
+            for t in replica.breaker.transitions:
+                if self._tr is not None:
+                    self._tr.instant(
+                        self._tk_replica[rid],
+                        f"breaker-{t.to_state.value}",
+                        t.time_us, from_state=t.from_state.value,
+                    )
+                if self._metrics is not None:
+                    self._metrics.counter("host.breaker.transitions").inc()
+                    if t.to_state is open_state:
+                        self._metrics.counter("host.breaker.opens").inc()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -308,6 +487,8 @@ class ServingHost:
                 return
             buffer.popleft()
             state.queued = False
+            if self._observed:
+                self._note_queue_depth()
             self._start_attempt(state, replica)
 
     def _start_attempt(
@@ -329,12 +510,22 @@ class ServingHost:
             budget = None if deadline is None else deadline - now
         else:
             budget = None
-        result = self.array.execute(replica, query, budget_us=budget)
+        if self._observed:
+            # Nested machine tracks land at the host dispatch time.
+            result = self.array.execute(
+                replica, query, budget_us=budget,
+                tracer=self._tr, metrics=self._metrics,
+                trace_offset_us=now,
+            )
+        else:
+            result = self.array.execute(replica, query, budget_us=budget)
         attempt = _Attempt(state, replica, now, result, hedged)
         attempt.completion_event = self.sim.schedule(
             result.service_us, self._attempt_done_cb, attempt
         )
         state.in_flight.append(attempt)
+        if self._observed:
+            self._note_dispatch(attempt)
         hedge_after = self.config.hedge_after_us
         if (
             not hedged
@@ -378,6 +569,8 @@ class ServingHost:
         replica.serving = None
         replica.busy_us += now - attempt.start_us
         result = attempt.result
+        if self._observed:
+            self._note_attempt_end(attempt, cancelled=False)
         if result.ok:
             replica.successes += 1
             replica.breaker.record_success(now)
@@ -422,6 +615,8 @@ class ServingHost:
                 # Head-of-line requeue: the retry keeps its position.
                 state.queued = True
                 self.queue.requeue_front(state)
+                if self._observed:
+                    self._note_enqueued(state)
             return
         self._finalize(state, _FAILED, replica=replica)
 
@@ -431,6 +626,8 @@ class ServingHost:
         if state.queued:
             self.queue.remove(state)
             state.queued = False
+            if self._observed:
+                self._note_queue_depth()
         self._cancel_in_flight(state)
         self._finalize(state, _TIMED_OUT)
         self._dispatch_loop()
@@ -450,6 +647,8 @@ class ServingHost:
             replica.busy_us += now - attempt.start_us
             # A cancelled attempt renders no verdict for the breaker.
             replica.breaker.release()
+            if self._observed:
+                self._note_attempt_end(attempt, cancelled=True)
         state.in_flight.clear()
 
     # ------------------------------------------------------------------
@@ -465,6 +664,8 @@ class ServingHost:
         shed_reason: Optional[str] = None,
     ) -> None:
         state.terminal = True
+        if self._observed:
+            self._note_finalize(state, status, shed_reason)
         watchdog = state.watchdog
         if watchdog is not None:
             self.sim.cancel(watchdog)

@@ -15,15 +15,21 @@ from typing import Any, Dict, List, Optional
 from .query import QueryOutcome, QueryStatus
 
 
+def _percentile_sorted(ordered: List[float], p: float) -> float:
+    """Nearest-rank percentile of an *already sorted* sample."""
+    if not ordered:
+        return 0.0
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100]: {p}")
+    rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
 def percentile(values: List[float], p: float) -> float:
     """Nearest-rank percentile (``p`` in [0, 100]) of a sample."""
     if not values:
         return 0.0
-    if not 0 <= p <= 100:
-        raise ValueError(f"percentile must be in [0, 100]: {p}")
-    ordered = sorted(values)
-    rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
-    return ordered[int(rank) - 1]
+    return _percentile_sorted(sorted(values), p)
 
 
 @dataclass
@@ -65,6 +71,12 @@ class ServingReport:
     replicas: List[ReplicaSummary] = field(default_factory=list)
     queue_max_depth: int = 0
     queue_admitted: int = 0
+    #: Memoised sorted served-latency sample, keyed by the outcome
+    #: count it was built from (reports can gain outcomes after
+    #: construction, e.g. in tests that assemble them by hand).
+    _latency_cache: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     def count(self, status: QueryStatus) -> int:
@@ -117,15 +129,34 @@ class ServingReport:
             if o.status is QueryStatus.SERVED
         ]
 
+    def _sorted_served_latencies(self) -> List[float]:
+        """Sorted served-latency sample, computed once per outcome set."""
+        cached = self._latency_cache
+        if cached is not None and cached[0] == len(self.outcomes):
+            return cached[1]
+        ordered = sorted(self.served_latencies())
+        self._latency_cache = (len(self.outcomes), ordered)
+        return ordered
+
     def latency_percentile(self, p: float) -> float:
         """Served-latency percentile, in µs."""
-        return percentile(self.served_latencies(), p)
+        return _percentile_sorted(self._sorted_served_latencies(), p)
 
     @property
     def mean_served_latency_us(self) -> float:
         """Mean served latency, in µs."""
-        latencies = self.served_latencies()
+        latencies = self._sorted_served_latencies()
         return sum(latencies) / len(latencies) if latencies else 0.0
+
+    def latency_summary(self) -> Dict[str, float]:
+        """Mean/p50/p95/p99 served latency (µs) from one sorted pass."""
+        ordered = self._sorted_served_latencies()
+        return {
+            "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+            "p50": _percentile_sorted(ordered, 50),
+            "p95": _percentile_sorted(ordered, 95),
+            "p99": _percentile_sorted(ordered, 99),
+        }
 
     def throughput_per_s(self) -> float:
         """Served queries per simulated second."""
@@ -151,12 +182,7 @@ class ServingReport:
             "failed": self.failed,
             "shed_fraction": self.shed_fraction,
             "total_time_us": self.total_time_us,
-            "latency_us": {
-                "mean": self.mean_served_latency_us,
-                "p50": self.latency_percentile(50),
-                "p95": self.latency_percentile(95),
-                "p99": self.latency_percentile(99),
-            },
+            "latency_us": self.latency_summary(),
             "queue_max_depth": self.queue_max_depth,
             "queue_admitted": self.queue_admitted,
             "replicas": [r.as_dict() for r in self.replicas],
@@ -165,6 +191,7 @@ class ServingReport:
 
     def summary(self) -> Dict[str, Any]:
         """Headline numbers for experiment tables."""
+        latency = self.latency_summary()
         return {
             "submitted": self.submitted,
             "served": self.served,
@@ -172,8 +199,8 @@ class ServingReport:
             "timed_out": self.timed_out,
             "failed": self.failed,
             "shed_fraction": round(self.shed_fraction, 4),
-            "p50_ms": round(self.latency_percentile(50) / 1e3, 3),
-            "p99_ms": round(self.latency_percentile(99) / 1e3, 3),
+            "p50_ms": round(latency["p50"] / 1e3, 3),
+            "p99_ms": round(latency["p99"] / 1e3, 3),
             "throughput_per_s": round(self.throughput_per_s(), 1),
             "breaker_opens": sum(r.breaker_opens for r in self.replicas),
         }

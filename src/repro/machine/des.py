@@ -201,6 +201,73 @@ class Simulator:
             self.now = until
         return self.now
 
+    def run_traced(
+        self,
+        tracer,
+        track: int,
+        until: Optional[float] = None,
+        sample_every: int = 256,
+        ts_offset: float = 0.0,
+    ) -> float:
+        """:meth:`run` with kernel observability (opt-in slow path).
+
+        Identical boundary/tie-break semantics and event ordering to
+        :meth:`run` — the only additions are a ``des.run`` span
+        covering the dispatch window and a ``heap`` counter sample
+        (heap slots, live pending events) every ``sample_every``
+        events, all on the caller-supplied ``track`` of the given
+        :class:`repro.obs.tracer.Tracer`.  ``ts_offset`` shifts every
+        emitted timestamp — a nested simulation (a replica serving one
+        query) places its kernel activity at the host time it ran.
+
+        Kept as a separate loop so the hot :meth:`run` path pays
+        nothing for instrumentation — callers branch once per run, not
+        once per event (the ≤5 % disabled-overhead contract in
+        ``docs/OBSERVABILITY.md``).
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        fired = 0
+        last = self.last_event_us
+        span = tracer.begin(track, "des.run", ts_offset + self.now)
+        counter = tracer.counter
+        try:
+            while heap:
+                event = heap[0]
+                fn = event[2]
+                if fn is None:
+                    heappop(heap)
+                    self._dead -= 1
+                    continue
+                event_time = event[0]
+                if until is not None and event_time > until:
+                    break
+                heappop(heap)
+                args = event[3]
+                event[2] = None
+                event[3] = ()
+                last = event_time
+                self.now = event_time
+                fired += 1
+                fn(*args)
+                heap = self._heap  # _compact() may swap the list
+                if fired % sample_every == 0:
+                    counter(track, "heap", ts_offset + self.now, {
+                        "heap_size": len(heap),
+                        "pending": self._live - fired,
+                    })
+        finally:
+            self._live -= fired
+            self.events_processed += fired
+            self.last_event_us = last
+        if until is not None and until > self.now:
+            self.now = until
+        tracer.end(span, ts_offset + self.now, events=fired)
+        counter(track, "heap", ts_offset + self.now, {
+            "heap_size": len(self._heap), "pending": self._live,
+        })
+        return self.now
+
     @property
     def pending(self) -> int:
         """Events still scheduled (uncancelled).  O(1)."""

@@ -292,6 +292,8 @@ class FaultInjector:
             self.stats.mus_lost += lost
             effective.append(count - lost)
         self.effective_mu_counts: Tuple[int, ...] = tuple(effective)
+        #: Configured (pre-loss) MU counts, kept for observability.
+        self.configured_mu_counts: Tuple[int, ...] = tuple(mu_counts)
 
         # ICN link failures over the topology's undirected adjacency.
         # A shared topology (one per machine) is reused for the
@@ -323,6 +325,29 @@ class FaultInjector:
             # fault pattern than the last one routed through this
             # topology drops every memoized path.
             topology.note_fault_state(self.failed_clusters, self.dead_links)
+
+    # -- observability ----------------------------------------------------
+    def emit_injection_events(self, tracer, track: int, ts: float = 0.0) -> None:
+        """Emit the realized *static* fault pattern as trace instants.
+
+        One instant per offline cluster, per dead link, and (when any
+        MU was lost) one summarizing instant per affected cluster —
+        all at ``ts`` (machine construction time) on the given tracer
+        track, so a Perfetto timeline shows what the run started out
+        degraded with before any recovery event fires.
+        """
+        for cid in sorted(self.failed_clusters):
+            tracer.instant(track, "cluster-offline", ts, cluster=cid)
+        for a, b in sorted(self.dead_links):
+            tracer.instant(track, "link-dead", ts, link=f"{a}-{b}")
+        if self.stats.mus_lost:
+            for cid, effective in enumerate(self.effective_mu_counts):
+                lost = self.configured_mu_counts[cid] - effective
+                if lost > 0 and cid not in self.failed_clusters:
+                    tracer.instant(
+                        track, "mus-lost", ts,
+                        cluster=cid, lost=lost, surviving_mus=effective,
+                    )
 
     # -- runtime sampling -------------------------------------------------
     def transfer_corrupted(self) -> bool:

@@ -77,12 +77,19 @@ class SnapMachine:
         # one machine executes thousands of queries).
         self.topology = HypercubeTopology(self.config.num_clusters)
         self.last_report: Optional[MachineRunReport] = None
+        #: Process name this machine's tracks are filed under in a
+        #: trace (the host layer sets one per replica, e.g.
+        #: ``replica 03``).
+        self.trace_name = "machine"
 
     # ------------------------------------------------------------------
     def run(
         self,
         program: Union[SnapProgram, Iterable[Instruction]],
         budget_us: Optional[float] = None,
+        tracer=None,
+        metrics=None,
+        trace_offset_us: float = 0.0,
     ) -> MachineRunReport:
         """Execute a program with full timing; returns the run report.
 
@@ -91,11 +98,21 @@ class SnapMachine:
         set) with the clock parked exactly on the budget.  The serving
         host uses this to bound nested executions by a query deadline;
         the default (``None``) is the unchanged run-to-completion path.
+
+        ``tracer``/``metrics`` opt the run into the observability
+        layer (:mod:`repro.obs`); ``trace_offset_us`` shifts every
+        emitted timestamp, which the serving host uses to place a
+        nested per-query run at the host time it dispatched.  The
+        defaults (global :data:`repro.obs.NULL_TRACER`, no registry)
+        cost one branch per run.
         """
         if not isinstance(program, SnapProgram):
             program = SnapProgram(list(program))
         simulation = SnapSimulation(
-            self.state, self.config, topology=self.topology
+            self.state, self.config, topology=self.topology,
+            tracer=tracer, metrics=metrics,
+            trace_offset_us=trace_offset_us,
+            trace_name=self.trace_name,
         )
         self.last_report = simulation.run(program, budget_us=budget_us)
         return self.last_report

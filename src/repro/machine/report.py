@@ -19,6 +19,26 @@ from .icn import IcnStats
 from .sync import SyncStats
 
 
+def _json_safe(value: Any) -> Any:
+    """Coerce an arbitrary value into something ``json.dump`` accepts.
+
+    :attr:`InstructionTrace.result` is typed ``Any`` — retrieval
+    instructions store whatever the collection phase produced (node-name
+    lists today, but nothing enforces that).  Containers are converted
+    recursively (sets sorted by ``repr`` for a deterministic dump,
+    mapping keys stringified); anything else falls back to ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return [_json_safe(item) for item in sorted(value, key=repr)]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    return repr(value)
+
+
 @dataclass
 class InstructionTrace:
     """Timing and work of one executed instruction."""
@@ -161,31 +181,19 @@ class MachineRunReport:
         """JSON-serializable dump of the run's measurements.
 
         Covers everything an external analysis pipeline needs: totals,
-        per-instruction traces, per-category busy time, the overhead
+        per-instruction traces (with collected results coerced through
+        :func:`_json_safe` — ``result`` is ``Any`` and may hold
+        non-JSON types), per-category busy time, the overhead
         breakdown, traffic series, and per-cluster utilization.
-        (Collected results and raw perf records are omitted — export
-        those separately if needed.)
+        (Raw perf records are omitted — export those separately if
+        needed.)
         """
         dump: Dict[str, Any] = {
             "total_time_us": self.total_time_us,
             "num_clusters": self.num_clusters,
             "total_pes": self.total_pes,
             "events_processed": self.events_processed,
-            "instructions": [
-                {
-                    "index": t.index,
-                    "opcode": t.opcode,
-                    "category": t.category,
-                    "issue_us": t.issue_time,
-                    "complete_us": t.complete_time,
-                    "latency_us": t.latency,
-                    "alpha": t.alpha,
-                    "max_hops": t.max_hops,
-                    "remote_messages": t.remote_messages,
-                    "arrivals": t.arrivals,
-                }
-                for t in self.traces
-            ],
+            "instructions": [self._trace_json(t) for t in self.traces],
             "category_busy_us": dict(self.category_busy_us),
             "overheads_us": self.overheads.as_dict(),
             "messages_per_sync": self.sync_stats.messages_per_sync(),
@@ -197,6 +205,24 @@ class MachineRunReport:
         if self.aborted:
             dump["aborted"] = True
         return dump
+
+    @staticmethod
+    def _trace_json(t: InstructionTrace) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "index": t.index,
+            "opcode": t.opcode,
+            "category": t.category,
+            "issue_us": t.issue_time,
+            "complete_us": t.complete_time,
+            "latency_us": t.latency,
+            "alpha": t.alpha,
+            "max_hops": t.max_hops,
+            "remote_messages": t.remote_messages,
+            "arrivals": t.arrivals,
+        }
+        if t.result is not None:
+            entry["result"] = _json_safe(t.result)
+        return entry
 
     def summary(self) -> Dict[str, Any]:
         """Headline numbers for experiment tables."""

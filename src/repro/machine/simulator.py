@@ -43,6 +43,7 @@ from ..isa.instructions import (
     SetColor,
 )
 from ..isa.program import SnapProgram
+from ..obs.tracer import get_tracer
 from .cluster import ClusterSim, build_clusters, pe_index_of_cluster, work_service_time
 from .config import MachineConfig
 from .des import Job, Simulator, Timeout
@@ -71,6 +72,10 @@ class _InstrState:
     #: Activation messages lost to faults, awaiting checkpoint replay.
     lost: List[Any] = field(default_factory=list)
     replay_rounds: int = 0
+    #: Tracing bookkeeping (populated only when a tracer is active).
+    lane: int = -1
+    span: Any = None
+    phase: Any = None
 
 
 class SnapSimulation:
@@ -81,6 +86,10 @@ class SnapSimulation:
         state: MachineState,
         config: MachineConfig,
         topology: Optional[HypercubeTopology] = None,
+        tracer=None,
+        metrics=None,
+        trace_offset_us: float = 0.0,
+        trace_name: str = "machine",
     ) -> None:
         if state.num_clusters != config.num_clusters:
             raise ValueError(
@@ -139,6 +148,37 @@ class SnapSimulation:
             pe_index_of_cluster(config, cid)
             for cid in range(config.num_clusters)
         ]
+        # Observability.  `self._tr is None` is the only check hot
+        # paths pay when tracing is off (NULL_TRACER default); all
+        # track allocation happens here, up front.  `trace_offset_us`
+        # shifts every emitted timestamp so nested runs (a replica
+        # executing one query under the serving host) land at the host
+        # time they actually ran.
+        obs_tracer = tracer if tracer is not None else get_tracer()
+        self._tr = obs_tracer if obs_tracer.enabled else None
+        self._metrics = metrics
+        self._off = trace_offset_us
+        self._trace_name = trace_name
+        if self._tr is not None:
+            tr = self._tr
+            self._tk_ctrl = tr.track(trace_name, "controller")
+            self._tk_kernel = tr.track(trace_name, "des-kernel")
+            self._tk_icn = tr.track(trace_name, "icn")
+            self._tk_faults = tr.track(trace_name, "faults")
+            self._tk_cluster = [
+                tr.track(trace_name, f"cluster {cid:02d}")
+                for cid in range(config.num_clusters)
+            ]
+            self._tk_cu = [
+                tr.track(trace_name, f"cluster {cid:02d} cu")
+                for cid in range(config.num_clusters)
+            ]
+            self._lane_tracks: List[int] = []
+            self._free_lanes: List[int] = []
+            if self.faults is not None:
+                self.faults.emit_injection_events(
+                    tr, self._tk_faults, ts=self._off
+                )
 
     # ------------------------------------------------------------------
     # Public entry
@@ -158,7 +198,13 @@ class SnapSimulation:
         self._program = program
         self._pc = 0
         self._try_issue()
-        self.sim.run(until=budget_us)
+        if self._tr is not None:
+            self.sim.run_traced(
+                self._tr, self._tk_kernel,
+                until=budget_us, ts_offset=self._off,
+            )
+        else:
+            self.sim.run(until=budget_us)
         incomplete = self._in_flight or self._pc < len(program)
         if incomplete and budget_us is not None:
             self.report.aborted = True
@@ -193,7 +239,33 @@ class SnapSimulation:
             )
             self.report.faults_enabled = True
             self.report.fault_stats = self.faults.stats
+        if self._metrics is not None:
+            self._feed_metrics()
         return self.report
+
+    def _feed_metrics(self) -> None:
+        """Fold the finished run's report into the metrics registry.
+
+        Runs once per program, after the event loop — the machine
+        layer's aggregate counters cost nothing on the hot path.
+        """
+        registry = self._metrics
+        traces = self.report.traces
+        registry.counter("machine.instructions").inc(len(traces))
+        latency = registry.histogram("machine.instruction_latency_us")
+        for trace in traces:
+            latency.observe(trace.latency)
+        icn = self.report.icn_stats
+        registry.counter("machine.icn.messages").inc(icn.messages)
+        registry.counter("machine.icn.hops").inc(icn.total_hops)
+        for dim in sorted(icn.dimension_counts):
+            registry.counter(f"machine.icn.dim.{dim}").inc(
+                icn.dimension_counts[dim]
+            )
+        if self.faults is not None:
+            for key, value in self.faults.stats.as_dict().items():
+                if value:
+                    registry.counter(f"machine.faults.{key}").inc(value)
 
     # ------------------------------------------------------------------
     # Fault hooks
@@ -203,8 +275,125 @@ class SnapSimulation:
         assert self.faults is not None
         if self.faults.scp_timeout():
             self.faults.stats.scp_timeouts += 1
+            if self._tr is not None:
+                self._tr.instant(
+                    self._tk_faults, "scp-timeout", self._off + self.sim.now,
+                    penalty_us=self.faults.cfg.scp_timeout_penalty_us,
+                )
             return self.faults.cfg.scp_timeout_penalty_us
         return 0.0
+
+    # ------------------------------------------------------------------
+    # Tracing helpers (called only behind `self._tr is not None`)
+    # ------------------------------------------------------------------
+    def _trace_issue(self, st: _InstrState) -> None:
+        """Open an instruction span on the lowest free pipeline lane.
+
+        One lane per concurrently in-flight instruction: spans on a
+        lane are strictly sequential, so Perfetto renders the
+        controller pipeline as parallel rows with clean nesting —
+        phase spans (`broadcast` / `wave` / `barrier` / …) are
+        children of the instruction span on the same lane.
+        """
+        tr = self._tr
+        if self._free_lanes:
+            self._free_lanes.sort()
+            lane = self._free_lanes.pop(0)
+        else:
+            lane = len(self._lane_tracks)
+            self._lane_tracks.append(
+                tr.track(self._trace_name, f"pipe {lane}")
+            )
+        st.lane = lane
+        ts = self._off + self.sim.now
+        st.span = tr.begin(
+            self._lane_tracks[lane], f"{st.instr.opcode} #{st.index}", ts
+        )
+        st.phase = tr.begin(self._lane_tracks[lane], "broadcast", ts)
+
+    def _trace_phase(self, st: _InstrState, name: Optional[str]) -> None:
+        """Close the current phase span and open the next one."""
+        tr = self._tr
+        ts = self._off + self.sim.now
+        tr.end(st.phase, ts)
+        st.phase = (
+            tr.begin(self._lane_tracks[st.lane], name, ts)
+            if name is not None else None
+        )
+
+    def _trace_complete(self, st: _InstrState) -> None:
+        """Close the instruction span and release its lane."""
+        if st.span is None:
+            return
+        tr = self._tr
+        ts = self._off + self.sim.now
+        tr.end(st.phase, ts)
+        tr.end(
+            st.span, ts,
+            work_ops=st.work_ops, messages=st.messages,
+            opcode=st.instr.opcode,
+        )
+        self._free_lanes.append(st.lane)
+
+    def _traced_span_job(self, track: int, name: str, job: Job) -> Job:
+        """Wrap a single-server job so its occupancy becomes a span.
+
+        The span runs from actual service start to actual completion
+        (``now - start``), so penalty hooks (SCP timeouts stretching a
+        broadcast) are visible in the trace.  Only valid for serialized
+        servers (controller, PU, CU) — pool jobs would overlap on one
+        track and render as broken nesting.
+        """
+        tr = self._tr
+        off = self._off
+        sim = self.sim
+        start_holder: List[float] = []
+        orig_start = job.on_start
+        orig_done = job.on_done
+
+        def _on_start() -> None:
+            start_holder.append(sim.now)
+            if orig_start is not None:
+                orig_start()
+
+        def _on_done(*args: Any) -> None:
+            start = start_holder[0]
+            tr.span(track, name, off + start, sim.now - start)
+            if orig_done is not None:
+                orig_done(*args)
+
+        job.on_start = _on_start
+        job.on_done = _on_done
+        return job
+
+    def _traced_mu_job(self, cid: int, job: Job) -> Job:
+        """Wrap an MU-pool job to sample the cluster's busy-MU count.
+
+        Pool jobs overlap, so MU activity is a counter track
+        (``mu_busy``), not spans: one sample as each task starts and
+        one as it finishes.
+        """
+        tr = self._tr
+        off = self._off
+        sim = self.sim
+        track = self._tk_cluster[cid]
+        pool = self.clusters[cid].mus
+        orig_start = job.on_start
+        orig_done = job.on_done
+
+        def _on_start() -> None:
+            tr.counter(track, "mu_busy", off + sim.now, pool.busy_servers)
+            if orig_start is not None:
+                orig_start()
+
+        def _on_done(*args: Any) -> None:
+            tr.counter(track, "mu_busy", off + sim.now, pool.busy_servers)
+            if orig_done is not None:
+                orig_done(*args)
+
+        job.on_start = _on_start
+        job.on_done = _on_done
+        return job
 
     # ------------------------------------------------------------------
     # Controller
@@ -245,15 +434,23 @@ class SnapSimulation:
         self.report.overheads.broadcast += self.timing.t_broadcast
         self._attribute(instr.category, self.timing.t_broadcast)
         self.perf.record(self.sim.now, -1, EventCode.INSTR_ISSUE, index)
-        self.controller.submit(
-            Job(service, on_done=self._broadcast_done, args=(st,))
-        )
+        job = Job(service, on_done=self._broadcast_done, args=(st,))
+        if self._tr is not None:
+            self._trace_issue(st)
+            job = self._traced_span_job(
+                self._tk_ctrl, f"broadcast #{index}", job
+            )
+        self.controller.submit(job)
         # The controller pipeline may issue further independent
         # instructions while this one is broadcast.
         self.sim.schedule(0.0, self._try_issue)
 
     def _broadcast_done(self, st: _InstrState) -> None:
         instr = st.instr
+        if self._tr is not None:
+            self._trace_phase(
+                st, "wave" if isinstance(instr, Propagate) else "execute"
+            )
         if isinstance(instr, (Create, Delete, SetColor)):
             self._dispatch_maintenance(st)
             return
@@ -265,13 +462,17 @@ class SnapSimulation:
         st.clusters_remaining = len(self.alive_clusters)
         for cluster in self.alive_clusters:
             cluster.instructions_queued += 1
-            cluster.pu.submit(
-                Job(
-                    self.timing.t_decode,
-                    on_done=self._decode_done,
-                    args=(st, cluster),
-                )
+            job = Job(
+                self.timing.t_decode,
+                on_done=self._decode_done,
+                args=(st, cluster),
             )
+            if self._tr is not None:
+                job = self._traced_span_job(
+                    self._tk_cluster[cluster.cluster_id],
+                    f"decode #{st.index}", job,
+                )
+            cluster.pu.submit(job)
         self._try_issue()
 
     # ------------------------------------------------------------------
@@ -301,9 +502,10 @@ class SnapSimulation:
         st.clusters_remaining = 1
         service = work_service_time(work, self.timing)
         self._attribute(instr.category, service)
-        self.clusters[home].mus.submit(
-            Job(service, on_done=self._cluster_task_done, args=(st,))
-        )
+        job = Job(service, on_done=self._cluster_task_done, args=(st,))
+        if self._tr is not None:
+            job = self._traced_mu_job(home, job)
+        self.clusters[home].mus.submit(job)
         self._try_issue()
 
     # ------------------------------------------------------------------
@@ -321,21 +523,23 @@ class SnapSimulation:
             st.work_ops += work.total()
             service = work_service_time(work, self.timing)
             self._attribute(instr.category, service)
-            cluster.mus.submit(
-                Job(
-                    service,
-                    on_done=self._cluster_task_done,
-                    args=(st, items),
-                )
+            job = Job(
+                service,
+                on_done=self._cluster_task_done,
+                args=(st, items),
             )
+            if self._tr is not None:
+                job = self._traced_mu_job(cid, job)
+            cluster.mus.submit(job)
             return
         work = self._run_cluster_primitive(cid, instr)
         st.work_ops += work.total()
         service = work_service_time(work, self.timing)
         self._attribute(instr.category, service)
-        cluster.mus.submit(
-            Job(service, on_done=self._cluster_task_done, args=(st,))
-        )
+        job = Job(service, on_done=self._cluster_task_done, args=(st,))
+        if self._tr is not None:
+            job = self._traced_mu_job(cid, job)
+        cluster.mus.submit(job)
 
     def _run_collector(self, cid: int, instr: Instruction):
         state = self.state
@@ -395,13 +599,19 @@ class SnapSimulation:
         service = work_service_time(work, self.timing)
         self._attribute(Category.PROPAGATE, service)
         self.perf.record(self.sim.now, cid, EventCode.TASK_START, st.index)
-        cluster.mus.submit(
-            Job(
-                service,
-                on_done=self._seed_scan_done,
-                args=(st, cid, local_out, remote_out),
-            )
+        job = Job(
+            service,
+            on_done=self._seed_scan_done,
+            args=(st, cid, local_out, remote_out),
         )
+        if self._tr is not None:
+            self._tr.instant(
+                self._tk_cluster[cid], "seed-scan",
+                self._off + self.sim.now,
+                instr=st.index, seeds=len(seeds),
+            )
+            job = self._traced_mu_job(cid, job)
+        cluster.mus.submit(job)
 
     def _seed_scan_done(
         self,
@@ -441,11 +651,14 @@ class SnapSimulation:
         self.syncer.produce(pe, st.index)
         service = work_service_time(work, self.timing)
         self._attribute(Category.PROPAGATE, service)
-        return Job(
+        job = Job(
             service,
             on_done=self._arrival_done,
             args=(st, arrival.cluster, pe, local_out, remote_out),
         )
+        if self._tr is not None:
+            job = self._traced_mu_job(arrival.cluster, job)
+        return job
 
     def _spawn_arrival_job(self, st: _InstrState, arrival: Arrival) -> None:
         job = self._prepare_arrival(st, arrival)
@@ -511,9 +724,21 @@ class SnapSimulation:
                 # No surviving route: the marker simply never arrives
                 # (graceful degradation — accuracy, not correctness).
                 self.faults.stats.messages_unreachable += 1
+                if self._tr is not None:
+                    self._tr.instant(
+                        self._tk_faults, "msg-unreachable",
+                        self._off + self.sim.now,
+                        src=src, dest=msg.dest_cluster,
+                    )
                 return
             if path != self.topology.route(src, msg.dest_cluster):
                 self.faults.stats.messages_rerouted += 1
+                if self._tr is not None:
+                    self._tr.instant(
+                        self._tk_faults, "msg-rerouted",
+                        self._off + self.sim.now,
+                        src=src, dest=msg.dest_cluster, hops=len(path),
+                    )
         st.pending += 1
         st.messages += 1
         pe = self._pe_of_cluster[src]
@@ -534,6 +759,16 @@ class SnapSimulation:
         self.report.overheads.communication += latency
         self._attribute(Category.PROPAGATE, latency)
         self.perf.record(self.sim.now, src, EventCode.MSG_SEND, st.index)
+        if self._tr is not None:
+            ts = self._off + self.sim.now
+            self._tr.instant(
+                self._tk_cluster[src], "msg-send", ts,
+                dest=msg.dest_cluster, hops=hops, instr=st.index,
+            )
+            self._tr.counter(
+                self._tk_icn, "messages", ts,
+                self.report.icn_stats.messages,
+            )
 
         source_cluster = self.clusters[src]
         source_cluster.activation_queue.push(msg)
@@ -544,13 +779,16 @@ class SnapSimulation:
         if self.faults is not None and self.faults.cfg.transfer_corrupt_prob > 0:
             rec = {"attempts": 0, "alive": True, "watchdog": None, "src": src}
 
-        source_cluster.cu.submit(
-            Job(
-                self.timing.t_cu_dma,
-                on_done=self._launch_message,
-                args=(st, pe, msg, path, rec, source_cluster),
-            )
+        job = Job(
+            self.timing.t_cu_dma,
+            on_done=self._launch_message,
+            args=(st, pe, msg, path, rec, source_cluster),
         )
+        if self._tr is not None:
+            job = self._traced_span_job(
+                self._tk_cu[src], f"dma #{st.index}", job
+            )
+        source_cluster.cu.submit(job)
 
     def _launch_message(
         self,
@@ -618,13 +856,16 @@ class SnapSimulation:
             self.perf.record(
                 self.sim.now, target, EventCode.MSG_FORWARD, st.index
             )
-            forwarder.cu.submit(
-                Job(
-                    self.timing.t_forward,
-                    on_done=self._advance_message,
-                    args=(st, producer_pe, msg, path, hop_index + 1, rec),
-                )
+            job = Job(
+                self.timing.t_forward,
+                on_done=self._advance_message,
+                args=(st, producer_pe, msg, path, hop_index + 1, rec),
             )
+            if self._tr is not None:
+                job = self._traced_span_job(
+                    self._tk_cu[target], f"fwd #{st.index}", job
+                )
+            forwarder.cu.submit(job)
 
     def _retry_hop(
         self,
@@ -648,6 +889,13 @@ class SnapSimulation:
             self._message_lost(st, producer_pe, msg, rec["src"])
             return
         self.faults.stats.transfer_retries += 1
+        if self._tr is not None:
+            self._tr.instant(
+                self._tk_faults, "transfer-retry",
+                self._off + self.sim.now,
+                attempt=rec["attempts"], src=rec["src"],
+                dest=msg.dest_cluster,
+            )
         if rec["watchdog"] is None:
             # First corruption of this transfer arms the timeout
             # budget: total recovery (simulated µs) is bounded even if
@@ -679,6 +927,12 @@ class SnapSimulation:
         assert self.faults is not None
         rec["alive"] = False
         self.faults.stats.transfer_failures += 1
+        if self._tr is not None:
+            self._tr.instant(
+                self._tk_faults, "transfer-timeout",
+                self._off + self.sim.now,
+                src=rec["src"], dest=msg.dest_cluster,
+            )
         self._message_lost(st, producer_pe, msg, rec["src"])
 
     def _message_lost(
@@ -694,6 +948,11 @@ class SnapSimulation:
         *accounted for*, just unsuccessful — so the propagation barrier
         can fire and decide whether to replay from the checkpoint.
         """
+        if self._tr is not None:
+            self._tr.instant(
+                self._tk_faults, "msg-lost", self._off + self.sim.now,
+                src=src, dest=msg.dest_cluster, instr=st.index,
+            )
         st.lost.append((src, msg))
         self.syncer.consume(producer_pe, st.index)
         st.pending -= 1
@@ -705,6 +964,11 @@ class SnapSimulation:
         self.perf.record(
             self.sim.now, msg.dest_cluster, EventCode.MSG_RECV, st.index
         )
+        if self._tr is not None:
+            self._tr.instant(
+                self._tk_cluster[msg.dest_cluster], "msg-recv",
+                self._off + self.sim.now, instr=st.index, hops=msg.hops,
+            )
         arrival = self.state.message_to_arrival(msg)
         self._spawn_arrival_job(st, arrival)
         self.syncer.consume(producer_pe, st.index)
@@ -726,6 +990,13 @@ class SnapSimulation:
                 lost, st.lost = st.lost, []
                 self.faults.stats.replays += 1
                 self.faults.stats.replayed_messages += len(lost)
+                if self._tr is not None:
+                    self._tr.instant(
+                        self._tk_faults, "checkpoint-replay",
+                        self._off + self.sim.now,
+                        instr=st.index, round=st.replay_rounds,
+                        messages=len(lost),
+                    )
                 for src, msg in lost:
                     self._send_message(st, src, msg)
                 if st.pending > 0:
@@ -748,6 +1019,8 @@ class SnapSimulation:
         self.report.overheads.synchronization += cost
         self._attribute(Category.PROPAGATE, cost)
         self.syncer.reset_level(st.index)
+        if self._tr is not None and st.span is not None:
+            self._trace_phase(st, "barrier")
         self.sim.schedule(cost, self._barrier_done, st)
 
     def _barrier_done(self, st: _InstrState) -> None:
@@ -788,9 +1061,13 @@ class SnapSimulation:
         self._attribute(Category.COLLECT, service)
         self.perf.record(self.sim.now, -1, EventCode.COLLECT, st.index)
         st.collected.sort(key=lambda item: item[0])
-        self.controller.submit(
-            Job(service, on_done=self._complete, args=(st,))
-        )
+        job = Job(service, on_done=self._complete, args=(st,))
+        if self._tr is not None and st.span is not None:
+            self._trace_phase(st, "gather")
+            job = self._traced_span_job(
+                self._tk_ctrl, f"collect #{st.index}", job
+            )
+        self.controller.submit(job)
 
     def _complete(self, st: _InstrState) -> None:
         instr = st.instr
@@ -811,6 +1088,8 @@ class SnapSimulation:
             ),
         )
         self.perf.record(self.sim.now, -1, EventCode.INSTR_COMPLETE, st.index)
+        if self._tr is not None:
+            self._trace_complete(st)
         del self._in_flight[st.index]
         self._try_issue()
 

@@ -1,0 +1,255 @@
+"""Trace-capture workloads: ``python -m repro trace <workload>``.
+
+One-command Perfetto captures of the three canonical workloads (the
+same scenarios the wall-clock benchmark exercises, sized for a
+readable timeline rather than a stopwatch):
+
+``propagate``
+    Fan-out-heavy marker propagation on a healthy 16-cluster machine:
+    pipeline lanes, per-cluster decode spans, MU occupancy, and ICN
+    message traffic.
+``faults``
+    The same propagation under an aggressive fault pattern: offline
+    clusters, dead links, transfer retries/timeouts, and checkpoint
+    replays on the ``faults`` track.
+``overload``
+    The serving host under bursty 2x overload with half the replicas
+    degraded (slow and damaged) and hedging enabled: per-query span
+    trees, queue depth, breaker trips, and a hedged-retry rescue —
+    open the trace in ``ui.perfetto.dev`` and look for the ``hedge
+    q…`` span that finishes while its doomed primary is cancelled
+    (the worked example in ``EXPERIMENTS.md``).
+
+The emitted file is Chrome trace-event JSON (object form) with the
+run's :class:`repro.obs.metrics.MetricsRegistry` dump under the extra
+top-level ``"metrics"`` key.  Every capture is validated with
+:mod:`repro.obs.validate` before it is written.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from .chrome import export_chrome_json
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+from .validate import validate_chrome_trace
+
+#: Workload ids, in help/display order.
+WORKLOADS = ("propagate", "faults", "overload")
+
+
+def _propagate_setup(faulty: bool):
+    from ..isa import assemble
+    from ..machine import SnapMachine
+    from ..machine.config import MachineConfig, snap1_16cluster
+    from ..network.generator import generate_hierarchy_kb
+
+    network = generate_hierarchy_kb(360, branching=3)
+    if faulty:
+        from ..machine.faults import FaultConfig
+
+        config = MachineConfig(
+            num_clusters=16,
+            mus_per_cluster=3,
+            faults=FaultConfig(
+                seed=11,
+                failed_cluster_fraction=0.125,
+                mu_loss_prob=0.1,
+                link_fail_prob=0.15,
+                transfer_corrupt_prob=0.08,
+                scp_timeout_prob=0.02,
+            ),
+        )
+    else:
+        config = snap1_16cluster()
+    machine = SnapMachine(network, config)
+    programs = [
+        assemble(text)
+        for text in (
+            """
+            SEARCH-NODE thing b0
+            PROPAGATE b0 b1 chain(inverse:is-a)
+            COLLECT-NODE b1
+            """,
+            """
+            SEARCH-NODE c1 b2
+            PROPAGATE b2 b3 chain(inverse:is-a)
+            COLLECT-NODE b3
+            """,
+        )
+    ]
+    return machine, programs
+
+
+def _capture_machine(
+    faulty: bool, smoke: bool
+) -> Tuple[Tracer, MetricsRegistry, Dict[str, Any]]:
+    machine, programs = _propagate_setup(faulty)
+    if smoke:
+        programs = programs[:1]
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    offset = 0.0
+    total = 0.0
+    for program in programs:
+        machine.reset_markers()
+        # Back-to-back programs share one timeline: each run starts
+        # where the previous one ended.
+        report = machine.run(
+            program, tracer=tracer, metrics=metrics, trace_offset_us=offset
+        )
+        offset += report.total_time_us
+        total = offset
+    return tracer, metrics, {
+        "runs": len(programs),
+        "simulated_us": round(total, 3),
+    }
+
+
+def capture_propagate(smoke: bool = False):
+    """Healthy propagation capture (machine layer only)."""
+    return _capture_machine(faulty=False, smoke=smoke)
+
+
+def capture_faults(smoke: bool = False):
+    """Propagation-under-faults capture (recovery events visible)."""
+    return _capture_machine(faulty=True, smoke=smoke)
+
+
+def capture_overload(smoke: bool = False):
+    """Serving-host capture: bursty overload + degraded replicas + hedging.
+
+    Tuned so every resilience mechanism fires on one timeline.  Half
+    the replicas are degraded *slow-and-damaged* (heavy SCP-timeout
+    penalties stretch their service several-fold before the offline
+    clusters damage the answer), and the arrival stream alternates 2x
+    overload bursts with drain lulls:
+
+    * during a burst the queue overflows (shedding) and completed
+      damaged attempts trip the per-replica breakers;
+    * at a burst/lull boundary the healthy replicas drain while a
+      straggler is still grinding on a degraded replica — the hedge
+      timer fires, finds spare capacity, and the hedge *wins*,
+      serving the query while the doomed primary is cancelled.  That
+      hedged-retry rescue is the worked example in ``EXPERIMENTS.md``:
+      open the trace in ``ui.perfetto.dev`` and find the query whose
+      ``attempt-cancelled`` carries ``damage > 0`` next to a served
+      outcome.
+    """
+    from dataclasses import replace
+
+    from ..experiments.overload import build_queries, uncontended_profile
+    from ..host import HostConfig, ServingHost
+    from ..machine.faults import FaultConfig, RetryPolicy
+    from ..network.generator import generate_hierarchy_kb
+
+    count = 150 if smoke else 300
+    burst, lull_us = 30, 3_000.0
+    network = generate_hierarchy_kb(240, branching=3)
+    base = dict(
+        num_replicas=4,
+        clusters_per_replica=4,
+        mus_per_cluster=2,
+        queue_capacity=16,
+        shed_policy="reject-newest",
+        max_attempts=2,
+        faulty_replica_fraction=0.5,
+        fault_seed=3,
+        replica_fault_template=FaultConfig(
+            failed_cluster_fraction=0.25,
+            transfer_corrupt_prob=0.05,
+            scp_timeout_prob=0.9,
+            scp_timeout_penalty_us=400.0,
+            remap_nodes=False,
+            retry=RetryPolicy(max_retries=1),
+        ),
+    )
+    mean_service, p99 = uncontended_profile(network, HostConfig(**base))
+    sustainable = HostConfig(**base).num_replicas / mean_service
+    config = HostConfig(**base, hedge_after_us=0.9 * p99)
+    queries = build_queries(count, 2.0 * sustainable, 20.0 * p99)
+    # Re-time the uniform stream into burst/lull cycles: a drain lull
+    # after every `burst` arrivals is what leaves healthy replicas
+    # idle while a degraded-replica straggler is still in flight.
+    queries = [
+        replace(q, arrival_us=q.arrival_us + (q.query_id // burst) * lull_us)
+        for q in queries
+    ]
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    host = ServingHost(network, config, tracer=tracer, metrics=metrics)
+    report = host.serve(queries)
+    return tracer, metrics, {
+        "queries": count,
+        "served": report.served,
+        "shed": report.shed,
+        "timed_out": report.timed_out,
+        "failed": report.failed,
+        "hedges_issued": metrics.counter("host.hedges_issued").value,
+        "breaker_opens": metrics.counter("host.breaker.opens").value,
+        "simulated_us": round(report.total_time_us, 3),
+    }
+
+
+_RUNNERS = {
+    "propagate": capture_propagate,
+    "faults": capture_faults,
+    "overload": capture_overload,
+}
+
+
+def capture(workload: str, smoke: bool = False) -> Dict[str, Any]:
+    """Run a workload under tracing; return the validated document.
+
+    The returned Chrome trace document carries the run summary under
+    the extra top-level ``"capture"`` key.
+    """
+    runner = _RUNNERS.get(workload)
+    if runner is None:
+        raise KeyError(
+            f"unknown workload {workload!r}; available: {list(WORKLOADS)}"
+        )
+    tracer, metrics, info = runner(smoke=smoke)
+    document = export_chrome_json(tracer, metrics=metrics)
+    document["capture"] = {"workload": workload, "smoke": smoke, **info}
+    validate_chrome_trace(document)
+    return document
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point for ``python -m repro trace``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="capture a Perfetto trace of a canonical workload",
+    )
+    parser.add_argument(
+        "workload", choices=WORKLOADS,
+        help="scenario to capture",
+    )
+    parser.add_argument(
+        "--out", default="trace.json",
+        help="output path (default: trace.json); open in ui.perfetto.dev",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    document = capture(args.workload, smoke=args.smoke)
+    with open(args.out, "w") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    events = len(document["traceEvents"])
+    for key, value in document["capture"].items():
+        print(f"  {key}: {value}")
+    print(f"wrote {args.out} ({events} events) — open in ui.perfetto.dev")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,210 @@
+"""Metrics: counters, gauges, and fixed-bucket histograms.
+
+The aggregate half of the observability layer.  Where the tracer
+(:mod:`repro.obs.tracer`) answers *when did it happen*, the registry
+answers *how often and how much*: monotone counters (hedges issued,
+messages per ICN dimension, breaker trips), time-stamped gauge series
+(queue depth, replicas busy), and fixed-bucket histograms (served
+latency, instruction latency).
+
+All timestamps are simulated microseconds supplied by the caller.
+Everything exports to plain dicts (:meth:`MetricsRegistry.as_dict`)
+and rides along inside the Chrome trace JSON under the top-level
+``"metrics"`` key, so one artifact carries both views of a run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+#: Default histogram bucket upper bounds, in simulated µs.  Chosen to
+#: straddle the serving layer's typical latencies (hundreds of µs to
+#: tens of ms); the final implicit bucket is +inf.
+DEFAULT_LATENCY_BUCKETS_US: Tuple[float, ...] = (
+    50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0,
+    10_000.0, 25_000.0, 50_000.0, 100_000.0,
+)
+
+
+class Counter:
+    """A monotone event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A sampled value series over simulated time.
+
+    Keeps every ``(ts, value)`` sample (runs are bounded, and the
+    series *is* the product — queue depth over time is exactly what
+    post-hoc totals could not show).
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def set(self, ts: float, value: float) -> None:
+        """Record the gauge's value at simulated time ``ts``."""
+        self.samples.append((ts, value))
+
+    @property
+    def last(self) -> float:
+        """Most recent sampled value (0.0 when never set)."""
+        return self.samples[-1][1] if self.samples else 0.0
+
+    @property
+    def peak(self) -> float:
+        """Largest sampled value (0.0 when never set)."""
+        return max((v for _, v in self.samples), default=0.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper-bound buckets plus +inf)."""
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US
+    ) -> None:
+        ordered = tuple(bounds)
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ValueError(f"bucket bounds must increase: {ordered}")
+        self.name = name
+        self.bounds = ordered
+        #: One count per bound, plus the trailing +inf bucket.
+        self.counts = [0] * (len(ordered) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Add one observation to its bucket."""
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.sum / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (JSON-friendly)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: calling
+    twice with the same name returns the same instrument, so producers
+    (the host layer, the machine layer) need no shared setup.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram called ``name`` (created on first use).
+
+        ``bounds`` applies only on creation; a later call with
+        different bounds raises rather than silently re-bucketing.
+        """
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None
+                else DEFAULT_LATENCY_BUCKETS_US
+            )
+        elif bounds is not None and tuple(bounds) != instrument.bounds:
+            raise ValueError(
+                f"histogram {name!r} already exists with bounds "
+                f"{instrument.bounds}, requested {tuple(bounds)}"
+            )
+        return instrument
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dump of every instrument.
+
+        Gauge series are emitted in full (the time series is the
+        point); counters as plain numbers; histograms with bounds and
+        per-bucket counts.
+        """
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {
+                    "samples": [[ts, value] for ts, value in g.samples],
+                    "last": g.last,
+                    "peak": g.peak,
+                }
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.as_dict()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """Headline view: counter totals + gauge peaks + histogram means."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauge_peaks": {
+                name: g.peak for name, g in sorted(self._gauges.items())
+            },
+            "histogram_means": {
+                name: round(h.mean, 3)
+                for name, h in sorted(self._histograms.items())
+            },
+        }

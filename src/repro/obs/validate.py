@@ -1,0 +1,140 @@
+"""Chrome trace-event schema validation (the CI trace smoke gate).
+
+Checks the structural contract a trace must satisfy to load cleanly
+in Perfetto, without requiring any external schema library:
+
+* the document is either a bare event array or an object with a
+  ``traceEvents`` array (extra top-level keys allowed);
+* every event is an object carrying a known ``ph`` phase, a string
+  ``name``, integer ``pid``/``tid``, and (except metadata events) a
+  non-negative numeric ``ts``;
+* complete (``"X"``) events carry a non-negative ``dur``;
+* counter (``"C"``) events carry numeric ``args``;
+* per ``(pid, tid)`` track, ``ts`` is monotone non-decreasing — the
+  exporter sorts by timestamp, and a violation means interleaved or
+  corrupted tracks.
+
+Run standalone as ``python -m repro.obs.validate trace.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class TraceValidationError(ValueError):
+    """Raised when a trace document violates the schema contract."""
+
+
+#: Phases the exporter may emit, plus common phases other tools add.
+KNOWN_PHASES = frozenset(
+    {"X", "B", "E", "i", "I", "C", "M", "b", "e", "n", "S", "T", "F"}
+)
+
+
+def validation_errors(document: Any) -> List[str]:
+    """All schema violations in a trace document (empty = valid)."""
+    errors: List[str] = []
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            return ["object-form trace has no traceEvents array"]
+    elif isinstance(document, list):
+        events = document
+    else:
+        return [f"trace must be an array or object, got {type(document).__name__}"]
+
+    last_ts: Dict[tuple, float] = {}
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing or empty name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: {key} must be an int")
+        if phase == "M":
+            continue  # metadata: no timestamp requirement
+        ts = event.get("ts")
+        if not isinstance(ts, numbers.Real) or isinstance(ts, bool):
+            errors.append(f"{where}: ts must be a number")
+            continue
+        if ts < 0:
+            errors.append(f"{where}: negative ts {ts}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, numbers.Real) or isinstance(dur, bool):
+                errors.append(f"{where}: X event dur must be a number")
+            elif dur < 0:
+                errors.append(f"{where}: negative dur {dur}")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: C event needs non-empty args")
+            elif not all(
+                isinstance(v, numbers.Real) and not isinstance(v, bool)
+                for v in args.values()
+            ):
+                errors.append(f"{where}: C event args must be numeric")
+        track = (event.get("pid"), event.get("tid"))
+        previous = last_ts.get(track)
+        if previous is not None and ts < previous:
+            errors.append(
+                f"{where}: ts {ts} goes backwards on track "
+                f"pid={track[0]} tid={track[1]} (previous {previous})"
+            )
+        last_ts[track] = max(ts, previous) if previous is not None else ts
+    return errors
+
+
+def validate_chrome_trace(document: Any) -> None:
+    """Raise :class:`TraceValidationError` listing every violation."""
+    errors = validation_errors(document)
+    if errors:
+        shown = "\n  ".join(errors[:20])
+        suffix = "" if len(errors) <= 20 else f"\n  ... {len(errors) - 20} more"
+        raise TraceValidationError(
+            f"{len(errors)} trace schema violation(s):\n  {shown}{suffix}"
+        )
+
+
+def validate_file(path: str) -> int:
+    """Validate a trace file; returns the number of events checked."""
+    with open(path) as handle:
+        document = json.load(handle)
+    validate_chrome_trace(document)
+    events = (
+        document["traceEvents"] if isinstance(document, dict) else document
+    )
+    return len(events)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: ``python -m repro.obs.validate trace.json [...]``."""
+    paths = list(argv if argv is not None else sys.argv[1:])
+    if not paths:
+        print("usage: python -m repro.obs.validate TRACE.json [...]",
+              file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            count = validate_file(path)
+        except (OSError, json.JSONDecodeError, TraceValidationError) as exc:
+            print(f"{path}: INVALID\n{exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: ok ({count} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Regression tests: MachineRunReport.to_json must stay JSON-safe.
+
+``InstructionTrace.result`` is typed ``Any`` — nothing stops an
+instruction implementation from storing sets, tuples, or arbitrary
+objects there.  ``to_json`` must coerce (not crash on, not silently
+corrupt) whatever it finds.
+"""
+
+import json
+
+from repro.machine.report import (
+    InstructionTrace, MachineRunReport, _json_safe,
+)
+
+
+def _trace(index, result):
+    return InstructionTrace(
+        index=index,
+        opcode="COLLECT-NODE",
+        category="retrieval",
+        issue_time=0.0,
+        complete_time=1.0,
+        result=result,
+    )
+
+
+class _Opaque:
+    def __repr__(self):
+        return "<opaque marker-set>"
+
+
+class TestJsonSafe:
+    def test_primitives_pass_through(self):
+        for value in (None, True, 3, 2.5, "node"):
+            assert _json_safe(value) == value
+
+    def test_tuple_becomes_list(self):
+        assert _json_safe(("a", ("b", "c"))) == ["a", ["b", "c"]]
+
+    def test_set_is_sorted_deterministically(self):
+        assert _json_safe({"b", "a", "c"}) == ["a", "b", "c"]
+        # Mixed types must not raise on comparison.
+        assert _json_safe({1, "a"}) == sorted([1, "a"], key=repr)
+
+    def test_dict_keys_stringified(self):
+        assert _json_safe({1: {"x"}}) == {"1": ["x"]}
+
+    def test_unknown_object_falls_back_to_repr(self):
+        assert _json_safe(_Opaque()) == "<opaque marker-set>"
+
+
+class TestReportToJson:
+    def test_non_json_result_serializes(self):
+        report = MachineRunReport(
+            traces=[
+                _trace(0, {"zebra", "apple"}),
+                _trace(1, [("node", 3), _Opaque()]),
+                _trace(2, None),
+            ]
+        )
+        dump = json.loads(json.dumps(report.to_json()))
+        instructions = dump["instructions"]
+        assert instructions[0]["result"] == ["apple", "zebra"]
+        assert instructions[1]["result"] == [["node", 3],
+                                             "<opaque marker-set>"]
+        # None results are dropped, not emitted as null.
+        assert "result" not in instructions[2]
+
+    def test_dump_is_deterministic(self):
+        def build():
+            return MachineRunReport(
+                traces=[_trace(0, frozenset({"b", "a"}))]
+            )
+
+        assert json.dumps(build().to_json(), sort_keys=True) == json.dumps(
+            build().to_json(), sort_keys=True
+        )

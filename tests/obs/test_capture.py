@@ -1,0 +1,98 @@
+"""Tests for the one-command trace captures (`python -m repro trace`)."""
+
+import json
+
+import pytest
+
+from repro.obs.capture import WORKLOADS, capture, main as capture_main
+from repro.obs.validate import main as validate_main
+
+
+class TestCapture:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_smoke_capture_is_valid_and_nonempty(self, workload):
+        document = capture(workload, smoke=True)
+        # capture() validates internally; spot-check the envelope.
+        assert document["capture"]["workload"] == workload
+        assert document["capture"]["smoke"] is True
+        assert len(document["traceEvents"]) > 100
+        assert "metrics" in document
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            capture("nope")
+
+    def test_overload_capture_exercises_resilience(self):
+        document = capture("overload", smoke=True)
+        info = document["capture"]
+        assert info["served"] > 0
+        assert info["shed"] > 0  # bursts must overflow the queue
+        assert info["hedges_issued"] >= 1
+        assert info["breaker_opens"] >= 1
+        counters = document["metrics"]["counters"]
+        assert counters["host.queries"] == info["queries"]
+
+    def test_overload_capture_contains_hedged_rescue(self):
+        # The EXPERIMENTS.md worked example: at least one query must
+        # be served by its hedge while the primary attempt is
+        # cancelled (the hedge "wins" the race on its query track).
+        document = capture("overload", smoke=True)
+        by_query = {}
+        for event in document["traceEvents"]:
+            if event.get("cat") == "instant":
+                key = (event["pid"], event["tid"])
+                by_query.setdefault(key, []).append(event)
+        rescued = 0
+        for events in by_query.values():
+            hedge = next(
+                (e for e in events if e["name"] == "hedge-issued"), None
+            )
+            if hedge is None:
+                continue
+            served = any(e["name"] == "served" for e in events)
+            done = [e for e in events if e["name"] == "attempt-done"]
+            if served and done and (
+                done[-1]["args"]["replica"] == hedge["args"]["replica"]
+            ):
+                rescued += 1
+        assert rescued >= 1
+
+    def test_faults_capture_has_fault_track_events(self):
+        document = capture("faults", smoke=True)
+        names = {
+            e["name"] for e in document["traceEvents"]
+            if e.get("cat") == "instant"
+        }
+        assert "cluster-offline" in names
+
+    def test_capture_is_deterministic(self):
+        one = capture("propagate", smoke=True)
+        two = capture("propagate", smoke=True)
+        assert json.dumps(one, sort_keys=True) == \
+            json.dumps(two, sort_keys=True)
+
+
+class TestCaptureCli:
+    def test_main_writes_validatable_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = capture_main(["propagate", "--smoke", "--out", str(out)])
+        assert code == 0
+        assert "ui.perfetto.dev" in capsys.readouterr().out
+        assert validate_main([str(out)]) == 0
+
+    def test_repro_trace_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "trace.json"
+        code = main(["trace", "propagate", "--smoke", "--out", str(out)])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["capture"]["workload"] == "propagate"
+
+    def test_validate_cli_rejects_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            [{"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": -5,
+              "dur": 1}]
+        ))
+        assert validate_main([str(bad)]) == 1

@@ -1,0 +1,136 @@
+"""Tests for the Chrome trace-event exporter and schema validator."""
+
+import json
+
+import pytest
+
+from repro.obs.chrome import export_chrome_json, write_chrome_json
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.obs.validate import (
+    TraceValidationError, validate_chrome_trace, validate_file,
+    validation_errors,
+)
+
+
+def _small_capture():
+    tracer = Tracer()
+    host = tracer.track("host", "queue")
+    replica = tracer.track("replica 00", "controller")
+    tracer.counter(host, "queue_depth", 0.0, 1)
+    tracer.span(replica, "attempt q0", 1.0, 5.0, ok=True)
+    tracer.instant(host, "outcome", 6.5, status="served")
+    return tracer
+
+
+class TestExporter:
+    def test_document_shape(self):
+        document = export_chrome_json(_small_capture())
+        assert document["displayTimeUnit"] == "ms"
+        phases = [e["ph"] for e in document["traceEvents"]]
+        # Two processes + two threads announced, then the body.
+        assert phases.count("M") == 4
+        assert phases.count("X") == 1
+        assert phases.count("i") == 1
+        assert phases.count("C") == 1
+
+    def test_pid_tid_assignment(self):
+        document = export_chrome_json(_small_capture())
+        names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in document["traceEvents"] if e["ph"] == "M"
+            and e["name"] == "thread_name"
+        }
+        assert names == {(1, 1): "queue", (2, 1): "controller"}
+
+    def test_body_sorted_by_timestamp(self):
+        tracer = _small_capture()
+        # Captured out of order on the same track.
+        track = tracer.track("host", "queue")
+        tracer.instant(track, "early", 0.25)
+        document = export_chrome_json(tracer)
+        body = [e for e in document["traceEvents"] if e["ph"] != "M"]
+        assert [e["ts"] for e in body] == sorted(e["ts"] for e in body)
+
+    def test_open_span_closed_at_last_timestamp(self):
+        tracer = Tracer()
+        track = tracer.track("p", "t")
+        tracer.begin(track, "never-ended", 1.0)
+        tracer.instant(track, "last", 9.0)
+        document = export_chrome_json(tracer)
+        span = next(e for e in document["traceEvents"] if e["ph"] == "X")
+        assert span["ts"] == 1.0
+        assert span["dur"] == 8.0
+
+    def test_metrics_embedded(self):
+        metrics = MetricsRegistry()
+        metrics.counter("host.queries").inc(2)
+        document = export_chrome_json(_small_capture(), metrics=metrics)
+        assert document["metrics"]["counters"] == {"host.queries": 2}
+
+    def test_export_validates_and_roundtrips(self):
+        document = export_chrome_json(_small_capture())
+        validate_chrome_trace(document)
+        validate_chrome_trace(json.loads(json.dumps(document)))
+
+    def test_dict_counter_values(self):
+        tracer = Tracer()
+        track = tracer.track("kernel", "des")
+        tracer.counter(track, "heap", 1.0, {"heap_size": 4, "pending": 2})
+        document = export_chrome_json(tracer)
+        event = next(e for e in document["traceEvents"] if e["ph"] == "C")
+        assert event["args"] == {"heap_size": 4, "pending": 2}
+        validate_chrome_trace(document)
+
+    def test_write_chrome_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_json(str(path), _small_capture())
+        assert validate_file(str(path)) == len(written["traceEvents"])
+
+
+class TestValidator:
+    def test_bare_array_accepted(self):
+        assert validation_errors([]) == []
+
+    def test_non_trace_rejected(self):
+        assert validation_errors(42)
+        assert validation_errors({"no": "events"})
+
+    def test_unknown_phase(self):
+        errors = validation_errors(
+            [{"ph": "Z", "name": "x", "pid": 1, "tid": 1, "ts": 0}]
+        )
+        assert any("unknown phase" in e for e in errors)
+
+    def test_negative_duration(self):
+        errors = validation_errors([
+            {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0,
+             "dur": -1.0},
+        ])
+        assert any("negative dur" in e for e in errors)
+
+    def test_counter_needs_numeric_args(self):
+        errors = validation_errors([
+            {"ph": "C", "name": "c", "pid": 1, "tid": 1, "ts": 0,
+             "args": {"value": "high"}},
+        ])
+        assert any("numeric" in e for e in errors)
+
+    def test_monotonicity_per_track(self):
+        good = [
+            {"ph": "i", "name": "a", "pid": 1, "tid": 1, "ts": 5, "s": "t"},
+            {"ph": "i", "name": "b", "pid": 1, "tid": 2, "ts": 1, "s": "t"},
+        ]
+        assert validation_errors(good) == []
+        bad = [
+            {"ph": "i", "name": "a", "pid": 1, "tid": 1, "ts": 5, "s": "t"},
+            {"ph": "i", "name": "b", "pid": 1, "tid": 1, "ts": 1, "s": "t"},
+        ]
+        assert any("goes backwards" in e for e in validation_errors(bad))
+
+    def test_validate_raises_with_all_violations(self):
+        with pytest.raises(TraceValidationError, match="violation"):
+            validate_chrome_trace(
+                [{"ph": "X", "name": "", "pid": "x", "tid": 1, "ts": -1,
+                  "dur": 1}]
+            )

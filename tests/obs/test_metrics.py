@@ -1,0 +1,117 @@
+"""Unit tests for the metrics registry (counters/gauges/histograms)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_US, Counter, Gauge, Histogram, MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_raises(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_zero_increment_allowed(self):
+        counter = Counter("c")
+        counter.inc(0)
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_empty_defaults(self):
+        gauge = Gauge("g")
+        assert gauge.last == 0.0
+        assert gauge.peak == 0.0
+
+    def test_series_last_and_peak(self):
+        gauge = Gauge("g")
+        gauge.set(1.0, 3)
+        gauge.set(2.0, 7)
+        gauge.set(3.0, 2)
+        assert gauge.samples == [(1.0, 3), (2.0, 7), (3.0, 2)]
+        assert gauge.last == 2
+        assert gauge.peak == 7
+
+
+class TestHistogram:
+    def test_increasing_bounds_accepted(self):
+        # Regression: the bounds check once used an inverted
+        # comparison and rejected every valid (increasing) sequence.
+        hist = Histogram("h", bounds=(1.0, 2.0, 3.0))
+        assert hist.bounds == (1.0, 2.0, 3.0)
+        Histogram("default")  # the default bucket set must be valid
+
+    @pytest.mark.parametrize(
+        "bounds", [(2.0, 1.0), (1.0, 1.0), (1.0, 3.0, 2.0)]
+    )
+    def test_non_increasing_bounds_raise(self, bounds):
+        with pytest.raises(ValueError, match="must increase"):
+            Histogram("h", bounds=bounds)
+
+    def test_empty_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_bucket_placement(self):
+        hist = Histogram("h", bounds=(10.0, 20.0))
+        hist.observe(5.0)    # first bucket (<= 10)
+        hist.observe(10.0)   # boundary goes to its bound's bucket
+        hist.observe(15.0)   # second bucket
+        hist.observe(99.0)   # +inf overflow bucket
+        assert hist.counts == [2, 1, 1]
+        assert hist.total == 4
+        assert hist.mean == pytest.approx((5 + 10 + 15 + 99) / 4)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h", bounds=(1.0,)).mean == 0.0
+
+    def test_as_dict_shape(self):
+        hist = Histogram("h", bounds=(1.0,))
+        hist.observe(0.5)
+        dump = hist.as_dict()
+        assert dump["bounds"] == [1.0]
+        assert dump["counts"] == [1, 0]
+        assert dump["total"] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_histogram_default_bounds(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.bounds == DEFAULT_LATENCY_BUCKETS_US
+
+    def test_histogram_bounds_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0, 2.0))
+        registry.histogram("h")  # no bounds: reuse is fine
+        registry.histogram("h", bounds=(1.0, 2.0))  # same bounds: fine
+        with pytest.raises(ValueError, match="already exists"):
+            registry.histogram("h", bounds=(5.0,))
+
+    def test_as_dict_and_summary_are_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("host.queries").inc(3)
+        registry.gauge("host.queue_depth").set(1.5, 2)
+        registry.histogram("lat", bounds=(10.0,)).observe(4.0)
+        full = json.loads(json.dumps(registry.as_dict()))
+        assert full["counters"] == {"host.queries": 3}
+        assert full["gauges"]["host.queue_depth"]["samples"] == [[1.5, 2]]
+        assert full["histograms"]["lat"]["total"] == 1
+        headline = json.loads(json.dumps(registry.summary()))
+        assert headline["gauge_peaks"] == {"host.queue_depth": 2}
+        assert headline["histogram_means"] == {"lat": 4.0}
