@@ -21,11 +21,17 @@ Commands
     report (admission, shedding, deadlines, hedges, breakers).
     ``--trace`` additionally writes a Chrome-trace-event/Perfetto
     JSON timeline of the run.
-``trace WORKLOAD [--out trace.json] [--smoke]``
+``trace WORKLOAD [--out trace.json] [--smoke] [--metrics-out PATH]``
     Capture a canonical workload (``propagate``, ``faults``, or
     ``overload``) as a validated Perfetto trace with the metrics
     registry embedded; open the file in ``ui.perfetto.dev``.  See
-    ``docs/OBSERVABILITY.md``.
+    ``docs/OBSERVABILITY.md``.  ``--metrics-out`` additionally dumps
+    the metrics registry as a standalone JSON document.
+``analyze TRACE [--report out.md] [--compare golden.json]``
+    Run the trace-analysis engine over a capture: critical paths,
+    per-query latency attribution, measured α/β, structural
+    anomalies, and (with ``--compare``) the metric-drift gate against
+    a golden snapshot — exits non-zero on drift beyond tolerance.
 ``bench [WORKLOADS...] [--smoke] [--out BENCH_PERF.json]``
     Measure wall-clock events/sec of the simulator hot path on the
     propagate-heavy, fault-recovery, and overload-serving workloads
@@ -174,7 +180,25 @@ def cmd_trace(args) -> int:
     argv = [args.workload, "--out", args.out]
     if args.smoke:
         argv.append("--smoke")
+    if args.metrics_out:
+        argv.extend(["--metrics-out", args.metrics_out])
     return capture_main(argv)
+
+
+def cmd_analyze(args) -> int:
+    """Handle the `analyze` subcommand."""
+    from repro.obs.analyze import main as analyze_main
+
+    argv = [args.trace]
+    if args.report:
+        argv.extend(["--report", args.report])
+    if args.json:
+        argv.extend(["--json", args.json])
+    if args.compare:
+        argv.extend(["--compare", args.compare])
+    if args.snapshot_out:
+        argv.extend(["--snapshot-out", args.snapshot_out])
+    return analyze_main(argv)
 
 
 def cmd_bench(args) -> int:
@@ -185,6 +209,8 @@ def cmd_bench(args) -> int:
     if args.smoke:
         argv.append("--smoke")
     argv.extend(["--out", args.out])
+    if args.snapshot:
+        argv.extend(["--snapshot", args.snapshot])
     return bench_main(argv)
 
 
@@ -270,7 +296,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                    help="output path (default: trace.json)")
     p.add_argument("--smoke", action="store_true",
                    help="small sizes for CI smoke runs")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="also dump the metrics registry as standalone JSON")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "analyze",
+        help="critical paths, latency attribution, drift gate on a trace",
+    )
+    p.add_argument("trace",
+                   help="trace JSON from `trace`/`serve` (or a metrics "
+                        "snapshot JSON for drift-only checks)")
+    p.add_argument("--report", metavar="PATH",
+                   help="write the markdown report here (default: stdout)")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the analysis record as JSON")
+    p.add_argument("--compare", metavar="GOLDEN",
+                   help="golden snapshot; exit 1 on drift beyond tolerance")
+    p.add_argument("--snapshot-out", metavar="PATH",
+                   help="write this run's metrics snapshot")
+    p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser(
         "bench", help="wall-clock events/sec on the simulator hot paths"
@@ -280,6 +325,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("--smoke", action="store_true",
                    help="small sizes for CI smoke runs")
     p.add_argument("--out", default="BENCH_PERF.json")
+    p.add_argument("--snapshot", metavar="PATH",
+                   help="write deterministic fields as a drift snapshot")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("info", help="machine + knowledge base statistics")

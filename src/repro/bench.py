@@ -241,8 +241,30 @@ def main(argv=None) -> int:
         "--out", default=DEFAULT_OUT,
         help=f"output JSON path (default: {DEFAULT_OUT})",
     )
+    parser.add_argument(
+        "--snapshot", metavar="PATH",
+        help="also write the deterministic fields (events/runs/queries/"
+             "served/shed — never wall time) as a drift-gate snapshot "
+             "for `python -m repro analyze --compare`",
+    )
     args = parser.parse_args(argv)
     record = run_bench(args.workloads or None, smoke=args.smoke)
+    if args.snapshot:
+        from .obs.analyze import make_snapshot
+
+        deterministic = {
+            name: {
+                key: value
+                for key, value in row.items()
+                if key not in ("wall_s", "events_per_sec")
+            }
+            for name, row in record["workloads"].items()
+        }
+        snapshot = make_snapshot(deterministic, workload="bench")
+        with open(args.snapshot, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.snapshot}")
     for name, row in record["workloads"].items():
         print(
             f"{name:>10}: {row['events']:>9} events in "

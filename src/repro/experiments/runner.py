@@ -71,6 +71,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--out", help="also write results to this file")
     parser.add_argument(
+        "--snapshot", metavar="PATH",
+        help="write the runs' numeric data as a drift-gate snapshot "
+             "(keys {id}.{field}) for `python -m repro analyze --compare`",
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list registered experiment ids and exit",
     )
@@ -103,6 +108,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text + "\n")
+    if args.snapshot:
+        import json
+
+        from ..obs.analyze import make_snapshot
+
+        snapshot = make_snapshot(
+            {r.experiment_id: r.data for r in results},
+            workload="experiments",
+        )
+        with open(args.snapshot, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.snapshot}")
     return 0
 
 

@@ -332,6 +332,7 @@ class SnapSimulation:
             st.span, ts,
             work_ops=st.work_ops, messages=st.messages,
             opcode=st.instr.opcode,
+            alpha=st.ctx.alpha if st.ctx is not None else 0,
         )
         self._free_lanes.append(st.lane)
 
@@ -764,6 +765,7 @@ class SnapSimulation:
             self._tr.instant(
                 self._tk_cluster[src], "msg-send", ts,
                 dest=msg.dest_cluster, hops=hops, instr=st.index,
+                latency_us=latency,
             )
             self._tr.counter(
                 self._tk_icn, "messages", ts,

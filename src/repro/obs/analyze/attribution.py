@@ -1,0 +1,489 @@
+"""Latency attribution, phase profiles, and measured parallelism.
+
+Three programmatic answers the raw timeline only shows visually:
+
+**Query latency attribution** — each query's end-to-end latency is
+partitioned (exactly: the buckets sum to the latency) over what the
+query was doing at every moment, by sweeping the boundaries of its
+queued spans and its replica attempt spans:
+
+``queued``
+    waiting in the admission queue (inside a ``queued`` span);
+``service``
+    the first primary attempt in service, alone;
+``retry``
+    a later primary attempt in service, alone — host-level fault
+    recovery time (the query is re-running because an attempt came
+    back damaged);
+``hedge``
+    hedge exposure: ≥2 attempts racing, or a hedge attempt alone;
+``other``
+    uncovered host time (dispatch decisions, finalize gaps — ~0).
+
+**Machine profiles** — per machine process (a traced
+:class:`~repro.machine.simulator` run: the ``trace overload`` replicas
+or a standalone ``trace propagate`` machine), time by pipeline phase
+(``broadcast``/``wave``/``barrier``/``gather``/``execute``), ICN
+transit time (summed per-message latency), fault-recovery activity,
+and the per-instruction critical path aggregated by phase.
+
+**Measured parallelism** — α per PROPAGATE from instruction-span args
+(cross-checkable against :func:`repro.analysis.parallelism.measure_alpha`
+on the same run) and β as the overlap depth of concurrent instruction
+spans across the controller's pipeline lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .critpath import critical_path, summarize_path
+from .reader import Span, TraceModel, Track
+
+#: Process names with fixed roles in captures.
+QUERIES_PROCESS = "queries"
+HOST_PROCESS = "host"
+
+#: Attribution bucket names, in report order.
+BUCKETS = ("queued", "service", "retry", "hedge", "other")
+
+
+# ----------------------------------------------------------------------
+# Query latency attribution
+# ----------------------------------------------------------------------
+@dataclass
+class QueryAttribution:
+    """One query's end-to-end latency, partitioned into buckets."""
+
+    query_id: int
+    arrival_us: float
+    finish_us: float
+    status: str
+    attempts: int
+    hedges: int
+    buckets: Dict[str, float] = field(default_factory=dict)
+    #: Critical path through the query tree, time per segment kind.
+    critical_path: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency_us(self) -> float:
+        return self.finish_us - self.arrival_us
+
+    def bucket_sum_us(self) -> float:
+        return sum(self.buckets.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "query_id": self.query_id,
+            "arrival_us": self.arrival_us,
+            "finish_us": self.finish_us,
+            "latency_us": self.latency_us,
+            "status": self.status,
+            "attempts": self.attempts,
+            "hedges": self.hedges,
+            "buckets": {k: self.buckets.get(k, 0.0) for k in BUCKETS},
+            "critical_path": dict(self.critical_path),
+        }
+
+
+def _query_id_of(span: Span) -> Optional[int]:
+    parts = span.name.split()
+    if len(parts) == 2 and parts[0] == "query":
+        try:
+            return int(parts[1])
+        except ValueError:
+            return None
+    return None
+
+
+def _attempt_query_id(name: str) -> Optional[Tuple[int, bool]]:
+    """``attempt q17`` -> (17, False); ``hedge q17`` -> (17, True)."""
+    parts = name.split()
+    if len(parts) == 2 and parts[1].startswith("q"):
+        hedged = parts[0] == "hedge"
+        if hedged or parts[0] == "attempt":
+            try:
+                return int(parts[1][1:]), hedged
+            except ValueError:
+                return None
+    return None
+
+
+def _collect_attempts(
+    model: TraceModel,
+) -> Dict[int, List[Tuple[float, float, bool]]]:
+    """Per query id: replica attempt intervals ``(start, end, hedged)``
+    in start order (= issue order, since the host serializes starts)."""
+    attempts: Dict[int, List[Tuple[float, float, bool]]] = {}
+    for track in model.tracks_of(HOST_PROCESS):
+        if not track.thread.startswith("replica"):
+            continue
+        for span in track.all_spans():
+            parsed = _attempt_query_id(span.name)
+            if parsed is None:
+                continue
+            qid, hedged = parsed
+            attempts.setdefault(qid, []).append(
+                (span.start_us, span.end_us, hedged)
+            )
+    for intervals in attempts.values():
+        intervals.sort()
+    return attempts
+
+
+def attribute_queries(model: TraceModel) -> List[QueryAttribution]:
+    """Attribution for every query track in the capture, by query id.
+
+    Every returned record satisfies ``sum(buckets) == latency`` to
+    float precision — the invariant is asserted here, not only in
+    tests, because a violation means the reader or the sweep broke.
+    """
+    attempts_by_query = _collect_attempts(model)
+    out: List[QueryAttribution] = []
+    for track in model.tracks_of(QUERIES_PROCESS):
+        for root in track.spans:
+            qid = _query_id_of(root)
+            if qid is None:
+                continue
+            record = _attribute_one(
+                root, qid, attempts_by_query.get(qid, []), track
+            )
+            drift = abs(record.bucket_sum_us() - record.latency_us)
+            if drift > 1e-6 * max(1.0, record.latency_us):
+                raise AssertionError(
+                    f"attribution buckets for query {qid} sum to "
+                    f"{record.bucket_sum_us()} != latency "
+                    f"{record.latency_us}"
+                )
+            out.append(record)
+    out.sort(key=lambda r: r.query_id)
+    return out
+
+
+def _attribute_one(
+    root: Span,
+    qid: int,
+    attempts: Sequence[Tuple[float, float, bool]],
+    track: Track,
+) -> QueryAttribution:
+    start, end = root.start_us, root.end_us
+    clamp = lambda lo, hi: (max(lo, start), min(hi, end))  # noqa: E731
+    queued = [
+        clamp(c.start_us, c.end_us)
+        for c in root.walk()
+        if c is not root and c.name == "queued"
+    ]
+    clamped_attempts = [
+        (*clamp(a, b), hedged) for a, b, hedged in attempts
+    ]
+    # The first non-hedged interval is the first primary attempt;
+    # later non-hedged ones are retries after damage.
+    first_primary: Optional[Tuple[float, float]] = None
+    for a, b, hedged in clamped_attempts:
+        if not hedged:
+            first_primary = (a, b)
+            break
+
+    cuts = {start, end}
+    for a, b in queued:
+        cuts.update((a, b))
+    for a, b, _ in clamped_attempts:
+        cuts.update((a, b))
+    ordered = sorted(c for c in cuts if start <= c <= end)
+
+    buckets = {name: 0.0 for name in BUCKETS}
+    for lo, hi in zip(ordered, ordered[1:]):
+        width = hi - lo
+        if width <= 0.0:
+            continue
+        mid = (lo + hi) / 2.0
+        covering = [
+            (a, b, hedged)
+            for a, b, hedged in clamped_attempts
+            if a <= mid < b
+        ]
+        if any(a <= mid < b for a, b in queued):
+            buckets["queued"] += width
+        elif len(covering) >= 2:
+            buckets["hedge"] += width
+        elif len(covering) == 1:
+            a, b, hedged = covering[0]
+            if hedged:
+                buckets["hedge"] += width
+            elif first_primary == (a, b):
+                buckets["service"] += width
+            else:
+                buckets["retry"] += width
+        else:
+            buckets["other"] += width
+
+    status = str(root.args.get("status", ""))
+    if not status:
+        # Fall back to the terminal instant on the query track.
+        for instant in track.instants:
+            if instant.name in ("served", "shed", "timed-out", "failed"):
+                status = instant.name
+    attempt_spans = [
+        Span("hedge" if hedged else "attempt", a, b)
+        for a, b, hedged in clamped_attempts
+    ]
+    path = critical_path(
+        root,
+        children_of=lambda s: (
+            list(s.children) + attempt_spans if s is root else s.children
+        ),
+    )
+    critical = summarize_path(
+        path, rename=lambda name: "self" if name == root.name else name
+    )
+    return QueryAttribution(
+        query_id=qid,
+        arrival_us=start,
+        finish_us=end,
+        status=status,
+        attempts=int(root.args.get("attempts", len(clamped_attempts))),
+        hedges=int(root.args.get("hedges",
+                                 sum(1 for *_, h in clamped_attempts if h))),
+        buckets=buckets,
+        critical_path=critical,
+    )
+
+
+def aggregate_buckets(
+    records: Sequence[QueryAttribution],
+) -> Dict[str, float]:
+    """Bucket totals across queries (µs), in report order."""
+    totals = {name: 0.0 for name in BUCKETS}
+    for record in records:
+        for name, value in record.buckets.items():
+            totals[name] += value
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Machine profiles (pipeline phases, ICN transit, fault recovery)
+# ----------------------------------------------------------------------
+@dataclass
+class MachineProfile:
+    """Where one traced machine's time went."""
+
+    process: str
+    #: Sum of instruction-span durations across pipeline lanes.
+    instruction_us: float = 0.0
+    #: Time per pipeline phase (broadcast/wave/barrier/gather/execute).
+    phase_us: Dict[str, float] = field(default_factory=dict)
+    #: Summed per-message ICN transit latency.
+    icn_transit_us: float = 0.0
+    #: SCP-timeout penalty time (the only fault with a duration).
+    fault_penalty_us: float = 0.0
+    #: Fault-track event counts by name (replays, reroutes, ...).
+    fault_events: Dict[str, int] = field(default_factory=dict)
+    #: Per-instruction critical path, aggregated by phase name.
+    critical_path: Dict[str, float] = field(default_factory=dict)
+    instructions: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "process": self.process,
+            "instructions": self.instructions,
+            "instruction_us": self.instruction_us,
+            "phase_us": dict(self.phase_us),
+            "icn_transit_us": self.icn_transit_us,
+            "fault_penalty_us": self.fault_penalty_us,
+            "fault_events": dict(self.fault_events),
+            "critical_path": dict(self.critical_path),
+        }
+
+
+def machine_processes(model: TraceModel) -> List[str]:
+    """Processes that carry controller pipeline lanes (machine runs)."""
+    return [
+        process
+        for process in model.processes()
+        if any(
+            t.thread.startswith("pipe ") for t in model.tracks_of(process)
+        )
+    ]
+
+
+def _lane_instruction_spans(model: TraceModel, process: str) -> List[Span]:
+    spans: List[Span] = []
+    for track in model.tracks_of(process):
+        if track.thread.startswith("pipe "):
+            spans.extend(track.spans)
+    spans.sort(key=lambda s: (s.start_us, s.end_us))
+    return spans
+
+
+def machine_profile(model: TraceModel, process: str) -> MachineProfile:
+    """Phase/ICN/fault attribution of one machine process."""
+    profile = MachineProfile(process=process)
+    for instr in _lane_instruction_spans(model, process):
+        profile.instructions += 1
+        profile.instruction_us += instr.duration_us
+        for phase in instr.children:
+            profile.phase_us[phase.name] = (
+                profile.phase_us.get(phase.name, 0.0) + phase.duration_us
+            )
+        for segment, value in summarize_path(
+            critical_path(instr)
+        ).items():
+            key = "issue" if segment == instr.name else segment
+            profile.critical_path[key] = (
+                profile.critical_path.get(key, 0.0) + value
+            )
+    for track in model.tracks_of(process):
+        for instant in track.instants:
+            if instant.name == "msg-send":
+                profile.icn_transit_us += float(
+                    instant.args.get("latency_us", 0.0)
+                )
+        if track.thread == "faults":
+            for instant in track.instants:
+                profile.fault_events[instant.name] = (
+                    profile.fault_events.get(instant.name, 0) + 1
+                )
+                if instant.name == "scp-timeout":
+                    profile.fault_penalty_us += float(
+                        instant.args.get("penalty_us", 0.0)
+                    )
+    profile.phase_us = dict(
+        sorted(profile.phase_us.items(), key=lambda kv: (-kv[1], kv[0]))
+    )
+    profile.critical_path = dict(
+        sorted(profile.critical_path.items(),
+               key=lambda kv: (-kv[1], kv[0]))
+    )
+    return profile
+
+
+# ----------------------------------------------------------------------
+# Utilization and overlap-depth (measured α / β)
+# ----------------------------------------------------------------------
+def overlap_profile(
+    intervals: Sequence[Tuple[float, float]],
+) -> Dict[int, float]:
+    """Time spent at each concurrency depth ≥ 1 (a sweep line)."""
+    events: List[Tuple[float, int]] = []
+    for a, b in intervals:
+        if b > a:
+            events.append((a, 1))
+            events.append((b, -1))
+    events.sort()
+    profile: Dict[int, float] = {}
+    depth = 0
+    previous = None
+    for ts, delta in events:
+        if previous is not None and depth > 0 and ts > previous:
+            profile[depth] = profile.get(depth, 0.0) + (ts - previous)
+        depth += delta
+        previous = ts
+    return profile
+
+
+@dataclass
+class TrackUtilization:
+    """Busy time of one track over the capture's extent."""
+
+    process: str
+    thread: str
+    busy_us: float
+    extent_us: float
+    peak_overlap: int
+
+    @property
+    def busy_fraction(self) -> float:
+        return self.busy_us / self.extent_us if self.extent_us > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "process": self.process,
+            "thread": self.thread,
+            "busy_us": self.busy_us,
+            "extent_us": self.extent_us,
+            "busy_fraction": self.busy_fraction,
+            "peak_overlap": self.peak_overlap,
+        }
+
+
+def track_utilization(
+    model: TraceModel, extent_us: Optional[float] = None
+) -> List[TrackUtilization]:
+    """Per-track busy time (union of top-level spans) over the run.
+
+    ``extent_us`` defaults to the capture's full extent so fractions
+    are comparable across tracks.
+    """
+    horizon = extent_us if extent_us is not None else model.end_us
+    rows: List[TrackUtilization] = []
+    for track in model.tracks:
+        if not track.spans:
+            continue
+        profile = overlap_profile(
+            [(s.start_us, s.end_us) for s in track.spans]
+        )
+        rows.append(
+            TrackUtilization(
+                process=track.process,
+                thread=track.thread,
+                busy_us=sum(profile.values()),
+                extent_us=horizon,
+                peak_overlap=max(profile, default=0),
+            )
+        )
+    return rows
+
+
+@dataclass
+class MeasuredParallelism:
+    """α / β measured from the trace of one machine process.
+
+    Field names mirror :class:`repro.analysis.parallelism.ParallelismStats`
+    so the cross-check is a direct comparison.
+    """
+
+    process: str
+    alpha_min: int = 0
+    alpha_max: int = 0
+    alpha_mean: float = 0.0
+    propagates: int = 0
+    beta_max: int = 0
+    beta_mean: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "process": self.process,
+            "alpha_min": self.alpha_min,
+            "alpha_max": self.alpha_max,
+            "alpha_mean": round(self.alpha_mean, 1),
+            "propagates": self.propagates,
+            "beta_max": self.beta_max,
+            "beta_mean": round(self.beta_mean, 2),
+        }
+
+
+def measured_parallelism(
+    model: TraceModel, process: str
+) -> MeasuredParallelism:
+    """α from PROPAGATE span args, β from lane overlap depth."""
+    spans = _lane_instruction_spans(model, process)
+    alphas = [
+        int(s.args["alpha"])
+        for s in spans
+        if s.args.get("opcode") == "PROPAGATE" and "alpha" in s.args
+    ]
+    profile = overlap_profile([(s.start_us, s.end_us) for s in spans])
+    busy = sum(profile.values())
+    result = MeasuredParallelism(process=process)
+    if alphas:
+        result.alpha_min = min(alphas)
+        result.alpha_max = max(alphas)
+        result.alpha_mean = sum(alphas) / len(alphas)
+        result.propagates = len(alphas)
+    if profile:
+        result.beta_max = max(profile)
+        result.beta_mean = (
+            sum(depth * time for depth, time in profile.items()) / busy
+        )
+    return result

@@ -1,0 +1,120 @@
+"""Critical-path extraction over reconstructed span trees.
+
+The question a Perfetto timeline cannot answer programmatically:
+*which activity actually determined the end time?*  Given a root span
+and its (possibly cross-track) children, the critical path is built
+by walking backwards from the root's end:
+
+* the child that finishes **last** at or before the current cursor is
+  the activity the parent was waiting on — its interval joins the
+  path and the cursor jumps to that child's start;
+* gaps not covered by any child are the parent's **self time**
+  (dispatch decisions, queue management, barrier cost booked on the
+  parent);
+* recursion descends into each on-path child with the same rule.
+
+The resulting segments partition ``[root.start, root.end]`` exactly —
+no overlaps, no holes — so the path duration equals the root span's
+duration (and can never exceed it), which is the invariant the
+property tests pin.
+
+Children whose intervals poke outside the root (possible for
+cross-track children like replica attempt spans joined onto a query
+tree) are clamped to the root's interval first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .reader import Span
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One interval of the critical path, attributed to a span name."""
+
+    name: str
+    start_us: float
+    end_us: float
+    #: Nesting depth (0 = the root span's own self time).
+    depth: int = 0
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+def critical_path(
+    root: Span,
+    children_of: Optional[Callable[[Span], Sequence[Span]]] = None,
+) -> List[PathSegment]:
+    """The segments that determined ``root``'s end time, in time order.
+
+    ``children_of`` supplies each span's children; the default is the
+    tree built by the reader (``span.children``).  Pass a custom
+    callable to graft cross-track children (e.g. a query's replica
+    attempt spans) into the walk.
+    """
+    if children_of is None:
+        children_of = lambda span: span.children  # noqa: E731
+    segments: List[PathSegment] = []
+    _walk(root, root.start_us, root.end_us, 0, children_of, segments)
+    segments.reverse()
+    return segments
+
+
+def _walk(
+    span: Span,
+    start_us: float,
+    end_us: float,
+    depth: int,
+    children_of: Callable[[Span], Sequence[Span]],
+    out: List[PathSegment],
+) -> None:
+    """Emit ``span``'s path segments over ``[start_us, end_us]``,
+    latest first (the caller reverses once at the end)."""
+    cursor = end_us
+    ordered = sorted(
+        (c for c in children_of(span) if c.end_us > start_us
+         and c.start_us < cursor),
+        key=lambda c: c.end_us,
+    )
+    while ordered and cursor > start_us:
+        child = ordered.pop()
+        if child.start_us >= cursor:
+            # Fully covered by an already-walked (later-ending) sibling.
+            continue
+        child_end = min(child.end_us, cursor)
+        child_start = max(child.start_us, start_us)
+        if child_end < cursor:
+            out.append(PathSegment(span.name, child_end, cursor, depth))
+        _walk(child, child_start, child_end, depth + 1, children_of, out)
+        cursor = child_start
+    if cursor > start_us:
+        out.append(PathSegment(span.name, start_us, cursor, depth))
+
+
+def path_duration_us(segments: Sequence[PathSegment]) -> float:
+    """Total time on the path (== the root duration, by construction)."""
+    return sum(s.duration_us for s in segments)
+
+
+def summarize_path(
+    segments: Sequence[PathSegment],
+    rename: Optional[Callable[[str], str]] = None,
+) -> Dict[str, float]:
+    """Time on the path per segment name, largest share first.
+
+    ``rename`` normalizes names before grouping (e.g. ``attempt q17``
+    and ``attempt q29`` both to ``attempt``) so paths aggregate across
+    queries or instructions.
+    """
+    totals: Dict[str, float] = {}
+    for segment in segments:
+        key = rename(segment.name) if rename is not None else segment.name
+        totals[key] = totals.get(key, 0.0) + segment.duration_us
+    return dict(
+        sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    )

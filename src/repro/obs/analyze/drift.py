@@ -1,0 +1,287 @@
+"""Metric-drift gating and structural anomaly detection.
+
+**Snapshots.**  A snapshot is a flat ``{dotted.key: number}`` view of
+a run's metrics (or any nested numeric record — the bench and the
+experiments runner emit theirs through the same flattener), wrapped
+with a tolerance policy::
+
+    {
+      "kind": "repro-metrics-snapshot",
+      "workload": "overload",
+      "tolerance": {"default_rel": 0.02, "overrides": {"host.queue": 0.1}},
+      "values": {"counters.host.queries": 150, ...}
+    }
+
+The simulator is deterministic, so a byte-identical re-capture
+compares equal; the tolerance band exists for *intentional* changes —
+it defines how much a PR may move each metric before the CI gate
+demands a golden regeneration (``docs/OBSERVABILITY.md``).
+
+**Comparison.**  Every golden key must be present and within
+``max(rel · |golden|, abs_floor)`` of its golden value.  Keys only in
+the current run are reported as informational (new instrumentation
+must not fail the gate).  Override patterns are prefix matches on the
+flattened key, longest prefix wins.
+
+**Anomalies.**  Structural smells a schema-valid trace can still
+carry: spans force-closed at end of capture (``open_at_eof``),
+circuit-breaker flapping, and monotone admission-queue growth.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from .reader import TraceModel
+
+#: Relative tolerance applied when a golden names no override.
+DEFAULT_REL_TOLERANCE = 0.02
+
+#: Snapshot document marker (so `analyze` can sniff snapshot inputs).
+SNAPSHOT_KIND = "repro-metrics-snapshot"
+
+
+def flatten_numeric(record: Any, prefix: str = "") -> Dict[str, float]:
+    """Flatten nested dicts/lists to ``{dotted.key: number}``.
+
+    Non-numeric leaves (strings, None) and booleans are dropped; list
+    items are keyed by index.  Gauge sample series (lists of pairs)
+    are deliberately excluded upstream — snapshots carry summaries,
+    not timelines.
+    """
+    flat: Dict[str, float] = {}
+    if isinstance(record, Mapping):
+        for key, value in record.items():
+            flat.update(flatten_numeric(value, f"{prefix}{key}."))
+    elif isinstance(record, (list, tuple)):
+        for index, value in enumerate(record):
+            flat.update(flatten_numeric(value, f"{prefix}{index}."))
+    elif isinstance(record, numbers.Real) and not isinstance(record, bool):
+        flat[prefix[:-1]] = float(record)
+    return flat
+
+
+def snapshot_from_metrics(
+    metrics: Mapping[str, Any],
+    workload: Optional[str] = None,
+    default_rel: float = DEFAULT_REL_TOLERANCE,
+    overrides: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """Snapshot of a ``MetricsRegistry.as_dict()`` dump.
+
+    Counters flatten as-is; gauges keep only ``last``/``peak``;
+    histograms keep counts/total/sum/mean/percentiles (everything the
+    registry emits except gauge sample series).
+    """
+    values: Dict[str, Any] = {}
+    for name, value in (metrics.get("counters") or {}).items():
+        values[f"counters.{name}"] = value
+    for name, gauge in (metrics.get("gauges") or {}).items():
+        values[f"gauges.{name}.last"] = gauge.get("last")
+        values[f"gauges.{name}.peak"] = gauge.get("peak")
+    for name, hist in (metrics.get("histograms") or {}).items():
+        values[f"histograms.{name}"] = {
+            k: v for k, v in hist.items() if k != "bounds"
+        }
+    return make_snapshot(
+        values, workload=workload, default_rel=default_rel,
+        overrides=overrides,
+    )
+
+
+def make_snapshot(
+    values: Mapping[str, Any],
+    workload: Optional[str] = None,
+    default_rel: float = DEFAULT_REL_TOLERANCE,
+    overrides: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """Wrap (and flatten) a numeric record as a snapshot document."""
+    return {
+        "kind": SNAPSHOT_KIND,
+        "workload": workload,
+        "tolerance": {
+            "default_rel": default_rel,
+            "overrides": dict(overrides or {}),
+        },
+        "values": flatten_numeric(dict(values)),
+    }
+
+
+def is_snapshot(document: Any) -> bool:
+    """True when ``document`` is a snapshot (vs a trace)."""
+    return (
+        isinstance(document, dict)
+        and document.get("kind") == SNAPSHOT_KIND
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class DriftFinding:
+    """One key's comparison against the golden."""
+
+    key: str
+    golden: Optional[float]
+    current: Optional[float]
+    allowed: float
+    #: "ok" | "drift" | "missing" | "new"
+    verdict: str
+
+    def describe(self) -> str:
+        if self.verdict == "missing":
+            return f"{self.key}: missing (golden {self.golden:g})"
+        if self.verdict == "new":
+            return f"{self.key}: new metric (current {self.current:g})"
+        delta = (self.current or 0.0) - (self.golden or 0.0)
+        return (
+            f"{self.key}: golden {self.golden:g} -> current "
+            f"{self.current:g} (delta {delta:+g}, allowed "
+            f"±{self.allowed:g})"
+        )
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one snapshot-vs-golden comparison."""
+
+    workload: Optional[str]
+    checked: int = 0
+    failures: List[DriftFinding] = field(default_factory=list)
+    new_keys: List[DriftFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> List[str]:
+        lines = [
+            f"compared {self.checked} metric(s)"
+            + (f" for workload {self.workload!r}" if self.workload else "")
+        ]
+        for finding in self.failures:
+            lines.append(f"DRIFT {finding.describe()}")
+        for finding in self.new_keys:
+            lines.append(f"note  {finding.describe()}")
+        if self.ok:
+            lines.append("no drift beyond tolerance")
+        return lines
+
+
+def _tolerance_for(key: str, tolerance: Mapping[str, Any]) -> float:
+    """Relative tolerance for a key: longest matching override prefix,
+    else the default."""
+    overrides = tolerance.get("overrides") or {}
+    best: Optional[str] = None
+    for prefix in overrides:
+        if key.startswith(prefix) and (best is None or len(prefix) > len(best)):
+            best = prefix
+    if best is not None:
+        return float(overrides[best])
+    return float(tolerance.get("default_rel", DEFAULT_REL_TOLERANCE))
+
+
+def compare_snapshots(
+    current: Mapping[str, Any],
+    golden: Mapping[str, Any],
+    abs_floor: float = 0.0,
+) -> DriftReport:
+    """Compare a current snapshot against a golden one.
+
+    The *golden's* tolerance policy governs (it is the checked-in
+    contract).  ``abs_floor`` widens every band additively — useful
+    when a caller compares records with legitimate noise.
+    """
+    golden_values = golden.get("values") or {}
+    current_values = current.get("values") or {}
+    tolerance = golden.get("tolerance") or {}
+    report = DriftReport(workload=golden.get("workload"))
+    for key in sorted(golden_values):
+        want = float(golden_values[key])
+        report.checked += 1
+        rel = _tolerance_for(key, tolerance)
+        allowed = max(rel * abs(want), abs_floor)
+        have = current_values.get(key)
+        if have is None:
+            report.failures.append(
+                DriftFinding(key, want, None, allowed, "missing")
+            )
+        elif abs(float(have) - want) > allowed:
+            report.failures.append(
+                DriftFinding(key, want, float(have), allowed, "drift")
+            )
+    for key in sorted(set(current_values) - set(golden_values)):
+        report.new_keys.append(
+            DriftFinding(key, None, float(current_values[key]), 0.0, "new")
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Structural anomaly checks
+# ----------------------------------------------------------------------
+@dataclass
+class Anomaly:
+    """One structural smell found in a trace."""
+
+    kind: str
+    where: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.kind}] {self.where}: {self.detail}"
+
+
+#: Breaker opens on one replica at or above this count = flapping.
+BREAKER_FLAP_THRESHOLD = 3
+
+#: Minimum queue-depth samples before the monotone-growth check fires.
+QUEUE_TREND_MIN_SAMPLES = 8
+
+
+def find_anomalies(model: TraceModel) -> List[Anomaly]:
+    """Structural checks over the reconstructed capture."""
+    anomalies: List[Anomaly] = []
+    for track in model.tracks:
+        where = f"{track.process}/{track.thread}"
+        open_spans = [s for s in track.all_spans() if s.open_at_eof]
+        if open_spans:
+            names = ", ".join(sorted({s.name for s in open_spans})[:5])
+            anomalies.append(
+                Anomaly(
+                    "open-span", where,
+                    f"{len(open_spans)} span(s) still open at end of "
+                    f"capture ({names}) — aborted or unterminated work",
+                )
+            )
+        opens = sum(
+            1 for i in track.instants if i.name == "breaker-open"
+        )
+        if opens >= BREAKER_FLAP_THRESHOLD:
+            anomalies.append(
+                Anomaly(
+                    "breaker-flapping", where,
+                    f"circuit breaker opened {opens} times — the "
+                    "replica oscillates between probe and trip",
+                )
+            )
+        for series, samples in track.counters.items():
+            if "queue" not in series:
+                continue
+            if len(samples) < QUEUE_TREND_MIN_SAMPLES:
+                continue
+            depths = [value for _, value in samples]
+            nondecreasing = all(
+                b >= a for a, b in zip(depths, depths[1:])
+            )
+            if nondecreasing and depths[-1] > depths[0]:
+                anomalies.append(
+                    Anomaly(
+                        "queue-growth", where,
+                        f"counter {series!r} grows monotonically "
+                        f"({depths[0]:g} -> {depths[-1]:g} over "
+                        f"{len(depths)} samples) — unbounded backlog",
+                    )
+                )
+    return anomalies

@@ -239,11 +239,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--smoke", action="store_true",
         help="small sizes for CI smoke runs",
     )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="also dump the run's MetricsRegistry as standalone JSON "
+             "(snapshots can then be diffed without the trace)",
+    )
     args = parser.parse_args(argv)
     document = capture(args.workload, smoke=args.smoke)
     with open(args.out, "w") as handle:
         json.dump(document, handle)
         handle.write("\n")
+    if args.metrics_out:
+        # The standalone dump carries the capture envelope too, so a
+        # metrics file is self-describing (workload, sizes) on its own.
+        standalone = {
+            "capture": document["capture"],
+            "metrics": document["metrics"],
+        }
+        with open(args.metrics_out, "w") as handle:
+            json.dump(standalone, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.metrics_out} (metrics registry dump)")
     events = len(document["traceEvents"])
     for key, value in document["capture"].items():
         print(f"  {key}: {value}")

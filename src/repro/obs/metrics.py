@@ -108,6 +108,34 @@ class Histogram:
         """Mean of all observations (0.0 when empty)."""
         return self.sum / self.total if self.total else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``q`` in [0, 100]).
+
+        Linear interpolation within the fixed buckets (the
+        ``histogram_quantile`` convention): the target rank is located
+        in its bucket's cumulative count and positioned proportionally
+        between the bucket's bounds.  The first bucket interpolates
+        from 0; the +inf overflow bucket cannot be interpolated and
+        clamps to the last finite bound.  Returns 0.0 when empty.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100]: {q}")
+        if self.total == 0:
+            return 0.0
+        rank = q / 100.0 * self.total
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cumulative + count >= rank:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                low = self.bounds[index - 1] if index > 0 else 0.0
+                high = self.bounds[index]
+                return low + (high - low) * (rank - cumulative) / count
+            cumulative += count
+        return self.bounds[-1]
+
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict view (JSON-friendly)."""
         return {
@@ -116,6 +144,9 @@ class Histogram:
             "total": self.total,
             "sum": self.sum,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
 
 

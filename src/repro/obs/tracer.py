@@ -163,12 +163,18 @@ class Tracer:
 
         Returns the number of spans closed.  Aborted runs (budget
         cut-offs, cancelled attempts) can leave spans open; the
-        exporter requires every span to have an end.
+        exporter requires every span to have an end.  Force-closed
+        spans are marked with an ``open_at_eof`` arg so a trace
+        consumer (:mod:`repro.obs.analyze`) can still tell a clean
+        close from an end-of-capture sweep.
         """
         closed = 0
         for handle in self.spans:
             if handle[3] is None:
                 handle[3] = max(ts, handle[2])
+                merged = handle[4] or {}
+                merged["open_at_eof"] = True
+                handle[4] = merged
                 closed += 1
         return closed
 

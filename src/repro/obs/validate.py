@@ -9,7 +9,10 @@ in Perfetto, without requiring any external schema library:
   ``name``, integer ``pid``/``tid``, and (except metadata events) a
   non-negative numeric ``ts``;
 * complete (``"X"``) events carry a non-negative ``dur``;
-* counter (``"C"``) events carry numeric ``args``;
+* counter (``"C"``) events carry numeric ``args`` — a dict-valued
+  series (nesting one level too deep) is called out by name;
+* ``process_name``/``thread_name`` metadata is declared at most once
+  per ``pid`` / ``(pid, tid)``;
 * per ``(pid, tid)`` track, ``ts`` is monotone non-decreasing — the
   exporter sorts by timestamp, and a violation means interleaved or
   corrupted tracks.
@@ -48,6 +51,8 @@ def validation_errors(document: Any) -> List[str]:
         return [f"trace must be an array or object, got {type(document).__name__}"]
 
     last_ts: Dict[tuple, float] = {}
+    named_threads: Dict[tuple, str] = {}
+    named_processes: Dict[Any, str] = {}
     for index, event in enumerate(events):
         where = f"event[{index}]"
         if not isinstance(event, dict):
@@ -64,6 +69,31 @@ def validation_errors(document: Any) -> List[str]:
             if not isinstance(event.get(key), int):
                 errors.append(f"{where}: {key} must be an int")
         if phase == "M":
+            # Track-naming metadata must be unambiguous: a second
+            # process_name for a pid or thread_name for a (pid, tid)
+            # would leave consumers (Perfetto, repro.obs.analyze)
+            # guessing which label a track carries.
+            declared = (event.get("args") or {}).get("name")
+            if name == "process_name":
+                pid = event.get("pid")
+                if pid in named_processes:
+                    errors.append(
+                        f"{where}: duplicate process_name metadata for "
+                        f"pid={pid} (already named "
+                        f"{named_processes[pid]!r}, renamed {declared!r})"
+                    )
+                else:
+                    named_processes[pid] = declared
+            elif name == "thread_name":
+                track = (event.get("pid"), event.get("tid"))
+                if track in named_threads:
+                    errors.append(
+                        f"{where}: duplicate thread_name metadata for "
+                        f"pid={track[0]} tid={track[1]} (already named "
+                        f"{named_threads[track]!r}, renamed {declared!r})"
+                    )
+                else:
+                    named_threads[track] = declared
             continue  # metadata: no timestamp requirement
         ts = event.get("ts")
         if not isinstance(ts, numbers.Real) or isinstance(ts, bool):
@@ -81,11 +111,26 @@ def validation_errors(document: Any) -> List[str]:
             args = event.get("args")
             if not isinstance(args, dict) or not args:
                 errors.append(f"{where}: C event needs non-empty args")
-            elif not all(
-                isinstance(v, numbers.Real) and not isinstance(v, bool)
-                for v in args.values()
-            ):
-                errors.append(f"{where}: C event args must be numeric")
+            else:
+                for series, value in args.items():
+                    if isinstance(value, dict):
+                        # The most common producer bug: a dict-of-series
+                        # value nested one level too deep.  Name the
+                        # offending series rather than failing generically.
+                        errors.append(
+                            f"{where}: counter series "
+                            f"{name}.{series} has a dict value; nested "
+                            "series are not allowed — flatten each into "
+                            "its own numeric args key"
+                        )
+                    elif not isinstance(value, numbers.Real) or isinstance(
+                        value, bool
+                    ):
+                        errors.append(
+                            f"{where}: C event args must be numeric "
+                            f"(series {name}.{series} is "
+                            f"{type(value).__name__})"
+                        )
         track = (event.get("pid"), event.get("tid"))
         previous = last_ts.get(track)
         if previous is not None and ts < previous:

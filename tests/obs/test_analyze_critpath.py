@@ -1,0 +1,142 @@
+"""Tests for critical-path extraction (`repro.obs.analyze.critpath`).
+
+The load-bearing invariant (also a hypothesis property here): the
+segments exactly partition the root interval — no overlaps, no holes —
+so the path duration equals the root duration and can never exceed it.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.analyze import (
+    Span,
+    critical_path,
+    path_duration_us,
+    summarize_path,
+)
+
+
+def _span(name, start, end, children=()):
+    return Span(name, start, end, children=list(children))
+
+
+class TestKnownPaths:
+    def test_leaf_span_is_its_own_path(self):
+        (segment,) = critical_path(_span("root", 0.0, 10.0))
+        assert (segment.name, segment.start_us, segment.end_us) == \
+            ("root", 0.0, 10.0)
+
+    def test_latest_ending_child_wins(self):
+        # Two children; the later-ending one determined the end time.
+        root = _span("root", 0.0, 100.0, [
+            _span("short", 5.0, 20.0),
+            _span("long", 10.0, 80.0),
+        ])
+        segments = critical_path(root)
+        assert [(s.name, s.start_us, s.end_us) for s in segments] == [
+            ("root", 0.0, 5.0),      # before any child ran
+            ("short", 5.0, 10.0),    # waiting on `short` until `long` took over
+            ("long", 10.0, 80.0),
+            ("root", 80.0, 100.0),   # tail after the last child
+        ]
+        # `short`'s overlap with `long` is credited to `long` (it ends later).
+        assert path_duration_us(segments) == pytest.approx(100.0)
+
+    def test_sequential_children_chain(self):
+        root = _span("root", 0.0, 30.0, [
+            _span("a", 0.0, 10.0),
+            _span("b", 10.0, 30.0),
+        ])
+        assert [(s.name, s.start_us, s.end_us)
+                for s in critical_path(root)] == [
+            ("a", 0.0, 10.0), ("b", 10.0, 30.0),
+        ]
+
+    def test_recursion_descends_into_on_path_child(self):
+        root = _span("root", 0.0, 50.0, [
+            _span("child", 10.0, 40.0, [_span("grand", 30.0, 40.0)]),
+        ])
+        segments = critical_path(root)
+        assert [(s.name, s.depth) for s in segments] == [
+            ("root", 0), ("child", 1), ("grand", 2), ("root", 0),
+        ]
+        assert path_duration_us(segments) == pytest.approx(50.0)
+
+    def test_overlapping_children_covered_sibling_skipped(self):
+        # `inner` is entirely covered by `outerlap` from the walk's
+        # point of view (it starts after the cursor has moved past it).
+        root = _span("root", 0.0, 20.0, [
+            _span("outerlap", 2.0, 18.0),
+            _span("inner", 5.0, 15.0),
+        ])
+        segments = critical_path(root)
+        assert {s.name for s in segments} == {"root", "outerlap"}
+        assert path_duration_us(segments) == pytest.approx(20.0)
+
+    def test_cross_track_children_clamped(self):
+        # A grafted child poking outside the root is clamped.
+        root = _span("root", 10.0, 20.0)
+        extra = [_span("attempt", 5.0, 25.0)]
+        segments = critical_path(
+            root, children_of=lambda s: extra if s is root else []
+        )
+        assert [(s.name, s.start_us, s.end_us) for s in segments] == [
+            ("attempt", 10.0, 20.0),
+        ]
+
+    def test_summarize_groups_and_renames(self):
+        root = _span("query 7", 0.0, 30.0, [
+            _span("attempt q7", 5.0, 15.0),
+            _span("attempt q7", 15.0, 25.0),
+        ])
+        summary = summarize_path(
+            critical_path(root),
+            rename=lambda n: "self" if n == "query 7" else n.split()[0],
+        )
+        assert summary == {"attempt": 20.0, "self": 10.0}
+        # Largest share first.
+        assert list(summary) == ["attempt", "self"]
+
+
+# ----------------------------------------------------------------------
+# Property: the path partitions the root interval exactly.
+# ----------------------------------------------------------------------
+@st.composite
+def span_trees(draw, depth=0):
+    start = draw(st.floats(0, 1000, allow_nan=False))
+    length = draw(st.floats(0.1, 500, allow_nan=False))
+    end = start + length
+    children = []
+    if depth < 3:
+        for _ in range(draw(st.integers(0, 3))):
+            lo = draw(st.floats(0, 1, allow_nan=False))
+            hi = draw(st.floats(0, 1, allow_nan=False))
+            lo, hi = min(lo, hi), max(lo, hi)
+            child = draw(span_trees(depth=depth + 1))
+            # Scale the child into the parent's interval (containment,
+            # as the reader guarantees for same-track children).
+            span = length
+            child = Span(
+                f"n{depth}",
+                start + lo * span,
+                start + hi * span,
+                children=child.children,
+            )
+            if child.duration_us > 0:
+                children.append(child)
+    return Span(f"n{depth}", start, end, children=children)
+
+
+class TestPathProperties:
+    @given(span_trees())
+    @settings(max_examples=200, deadline=None)
+    def test_path_partitions_root_exactly(self, root):
+        segments = critical_path(root)
+        # Never exceeds the root duration...
+        assert path_duration_us(segments) <= root.duration_us + 1e-6
+        # ...and in fact equals it: contiguous, in order, no holes.
+        assert segments[0].start_us == pytest.approx(root.start_us)
+        assert segments[-1].end_us == pytest.approx(root.end_us)
+        for a, b in zip(segments, segments[1:]):
+            assert a.end_us == pytest.approx(b.start_us)
+        assert all(s.duration_us > 0 for s in segments)

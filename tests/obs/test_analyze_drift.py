@@ -1,0 +1,166 @@
+"""Tests for drift gating and anomaly detection
+(`repro.obs.analyze.drift`)."""
+
+import pytest
+
+from repro.obs.analyze import (
+    compare_snapshots,
+    find_anomalies,
+    flatten_numeric,
+    from_tracer,
+    is_snapshot,
+    make_snapshot,
+    snapshot_from_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class TestFlatten:
+    def test_nested_dicts_and_lists(self):
+        flat = flatten_numeric(
+            {"a": {"b": 1, "c": [10, 20]}, "d": 2.5}
+        )
+        assert flat == {"a.b": 1.0, "a.c.0": 10.0, "a.c.1": 20.0, "d": 2.5}
+
+    def test_non_numeric_leaves_dropped(self):
+        flat = flatten_numeric(
+            {"s": "text", "n": None, "b": True, "x": 3}
+        )
+        assert flat == {"x": 3.0}
+
+
+class TestSnapshots:
+    def test_make_and_sniff(self):
+        snapshot = make_snapshot({"k": 1}, workload="unit")
+        assert is_snapshot(snapshot)
+        assert not is_snapshot({"traceEvents": []})
+        assert snapshot["workload"] == "unit"
+        assert snapshot["values"] == {"k": 1.0}
+
+    def test_snapshot_from_metrics_drops_series_and_bounds(self):
+        metrics = MetricsRegistry()
+        metrics.counter("host.queries").inc(5)
+        gauge = metrics.gauge("queue.depth")
+        gauge.set(1.0, 3)
+        gauge.set(2.0, 7)
+        metrics.histogram("latency_us", bounds=[10, 100]).observe(42)
+        snapshot = snapshot_from_metrics(
+            metrics.as_dict(), workload="unit"
+        )
+        values = snapshot["values"]
+        assert values["counters.host.queries"] == 5.0
+        assert values["gauges.queue.depth.last"] == 7.0
+        assert values["gauges.queue.depth.peak"] == 7.0
+        assert not any("samples" in key for key in values)
+        assert not any("bounds" in key for key in values)
+        assert values["histograms.latency_us.total"] == 1.0
+
+
+class TestCompare:
+    def _golden(self, **overrides):
+        return make_snapshot(
+            {"a": 100.0, "b": 10.0}, workload="unit",
+            overrides=overrides or None,
+        )
+
+    def test_identical_is_ok(self):
+        golden = self._golden()
+        report = compare_snapshots(golden, golden)
+        assert report.ok
+        assert report.checked == 2
+
+    def test_within_default_tolerance_ok(self):
+        current = make_snapshot({"a": 101.0, "b": 10.0})
+        report = compare_snapshots(current, self._golden())
+        assert report.ok  # 1% move < 2% default band
+
+    def test_beyond_tolerance_fails(self):
+        current = make_snapshot({"a": 110.0, "b": 10.0})
+        report = compare_snapshots(current, self._golden())
+        assert not report.ok
+        (finding,) = report.failures
+        assert finding.key == "a"
+        assert finding.verdict == "drift"
+        assert "golden 100" in finding.describe()
+
+    def test_missing_key_fails(self):
+        current = make_snapshot({"a": 100.0})
+        report = compare_snapshots(current, self._golden())
+        assert not report.ok
+        assert report.failures[0].verdict == "missing"
+
+    def test_new_key_is_informational(self):
+        current = make_snapshot({"a": 100.0, "b": 10.0, "new": 1.0})
+        report = compare_snapshots(current, self._golden())
+        assert report.ok
+        assert [f.key for f in report.new_keys] == ["new"]
+
+    def test_longest_prefix_override_wins(self):
+        golden = make_snapshot(
+            {"host.queue.depth": 100.0},
+            overrides={"host": 0.0, "host.queue": 0.5},
+        )
+        current = make_snapshot({"host.queue.depth": 140.0})
+        assert compare_snapshots(current, golden).ok  # 40% < 50% band
+        tight = make_snapshot(
+            {"host.queue.depth": 100.0},
+            overrides={"host": 0.5, "host.queue": 0.0},
+        )
+        assert not compare_snapshots(current, tight).ok
+
+    def test_abs_floor_widens_band(self):
+        golden = make_snapshot({"count": 2.0})
+        current = make_snapshot({"count": 3.0})
+        assert not compare_snapshots(current, golden).ok
+        assert compare_snapshots(current, golden, abs_floor=1.5).ok
+
+    def test_golden_tolerance_governs(self):
+        golden = make_snapshot({"a": 100.0}, default_rel=0.5)
+        # The current snapshot's (tight) policy must be ignored.
+        current = make_snapshot({"a": 140.0}, default_rel=0.0)
+        assert compare_snapshots(current, golden).ok
+
+
+class TestAnomalies:
+    def test_open_span_at_eof(self):
+        tracer = Tracer()
+        track = tracer.track("host", "replica 00")
+        tracer.begin(track, "attempt q3", 1.0)
+        tracer.instant(track, "tick", 50.0)
+        anomalies = find_anomalies(from_tracer(tracer))
+        (anomaly,) = [a for a in anomalies if a.kind == "open-span"]
+        assert anomaly.where == "host/replica 00"
+        assert "attempt q3" in anomaly.detail
+
+    def test_breaker_flapping(self):
+        tracer = Tracer()
+        track = tracer.track("host", "replica 01")
+        for i in range(3):
+            tracer.instant(track, "breaker-open", float(i * 10))
+        anomalies = find_anomalies(from_tracer(tracer))
+        assert any(a.kind == "breaker-flapping" for a in anomalies)
+        # Two opens: below the flap threshold.
+        tracer2 = Tracer()
+        track2 = tracer2.track("host", "replica 01")
+        for i in range(2):
+            tracer2.instant(track2, "breaker-open", float(i * 10))
+        assert not find_anomalies(from_tracer(tracer2))
+
+    def test_monotone_queue_growth(self):
+        tracer = Tracer()
+        track = tracer.track("host", "queue")
+        for i in range(10):
+            tracer.counter(track, "queue_depth", float(i), i + 1)
+        anomalies = find_anomalies(from_tracer(tracer))
+        (anomaly,) = anomalies
+        assert anomaly.kind == "queue-growth"
+        assert "queue_depth" in anomaly.detail
+
+    def test_draining_queue_is_fine(self):
+        tracer = Tracer()
+        track = tracer.track("host", "queue")
+        depths = [1, 3, 5, 7, 6, 4, 2, 0, 1, 0]
+        for i, depth in enumerate(depths):
+            tracer.counter(track, "queue_depth", float(i), depth)
+        assert not find_anomalies(from_tracer(tracer))

@@ -134,3 +134,67 @@ class TestValidator:
                 [{"ph": "X", "name": "", "pid": "x", "tid": 1, "ts": -1,
                   "dur": 1}]
             )
+
+
+class TestValidatorHardening:
+    """The explicit-message checks: dict-valued counter series and
+    duplicate track-naming metadata are named, not failed generically."""
+
+    def test_dict_valued_counter_series_named(self):
+        errors = validation_errors([
+            {"ph": "C", "name": "occupancy", "pid": 1, "tid": 1, "ts": 0,
+             "args": {"mu": {"busy": 1, "idle": 2}}},
+        ])
+        (error,) = errors
+        assert "occupancy.mu" in error
+        assert "dict value" in error
+        assert "flatten" in error
+
+    def test_dict_valued_series_distinct_from_plain_non_numeric(self):
+        errors = validation_errors([
+            {"ph": "C", "name": "c", "pid": 1, "tid": 1, "ts": 0,
+             "args": {"good": 1, "bad": "high", "worse": {"x": 1}}},
+        ])
+        assert len(errors) == 2
+        assert any("c.bad is str" in e for e in errors)
+        assert any("c.worse has a dict value" in e for e in errors)
+
+    def test_duplicate_thread_name_metadata(self):
+        errors = validation_errors([
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 2,
+             "args": {"name": "queue"}},
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 2,
+             "args": {"name": "renamed"}},
+        ])
+        (error,) = errors
+        assert "duplicate thread_name" in error
+        assert "pid=1 tid=2" in error
+        assert "'queue'" in error and "'renamed'" in error
+
+    def test_duplicate_process_name_metadata(self):
+        errors = validation_errors([
+            {"ph": "M", "name": "process_name", "pid": 3, "tid": 0,
+             "args": {"name": "host"}},
+            {"ph": "M", "name": "process_name", "pid": 3, "tid": 0,
+             "args": {"name": "other"}},
+        ])
+        (error,) = errors
+        assert "duplicate process_name" in error
+        assert "pid=3" in error
+
+    def test_same_name_on_different_tracks_is_fine(self):
+        errors = validation_errors([
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1,
+             "args": {"name": "controller"}},
+            {"ph": "M", "name": "thread_name", "pid": 2, "tid": 1,
+             "args": {"name": "controller"}},
+            {"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+             "args": {"name": "replica 00"}},
+            {"ph": "M", "name": "process_name", "pid": 2, "tid": 0,
+             "args": {"name": "replica 01"}},
+        ])
+        assert errors == []
+
+    def test_exported_captures_have_unique_metadata(self):
+        document = export_chrome_json(_small_capture())
+        assert validation_errors(document) == []

@@ -84,6 +84,52 @@ class TestHistogram:
         assert dump["total"] == 1
 
 
+class TestPercentile:
+    def test_empty_histogram_is_zero(self):
+        assert Histogram("h", bounds=(10.0,)).percentile(99) == 0.0
+
+    def test_out_of_range_raises(self):
+        hist = Histogram("h", bounds=(10.0,))
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(100.5)
+
+    def test_linear_interpolation_within_bucket(self):
+        # 10 observations all landing in the 0..10 bucket: the rank
+        # interpolates linearly across the bucket's width.
+        hist = Histogram("h", bounds=(10.0, 20.0))
+        for _ in range(10):
+            hist.observe(5.0)
+        assert hist.percentile(50) == pytest.approx(5.0)
+        assert hist.percentile(100) == pytest.approx(10.0)
+        assert hist.percentile(10) == pytest.approx(1.0)
+
+    def test_rank_spans_buckets(self):
+        hist = Histogram("h", bounds=(10.0, 20.0))
+        for _ in range(5):
+            hist.observe(5.0)    # bucket 0..10
+        for _ in range(5):
+            hist.observe(15.0)   # bucket 10..20
+        assert hist.percentile(50) == pytest.approx(10.0)
+        assert hist.percentile(75) == pytest.approx(15.0)
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        hist = Histogram("h", bounds=(10.0,))
+        hist.observe(1e9)
+        # Estimates cannot exceed the largest finite bound.
+        assert hist.percentile(99) == 10.0
+
+    def test_as_dict_includes_percentiles(self):
+        hist = Histogram("h", bounds=(10.0, 20.0))
+        for _ in range(100):
+            hist.observe(5.0)
+        dump = hist.as_dict()
+        assert dump["p50"] == pytest.approx(5.0)
+        assert dump["p95"] == pytest.approx(9.5)
+        assert dump["p99"] == pytest.approx(9.9)
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
         registry = MetricsRegistry()
