@@ -22,9 +22,9 @@ Commands
     ``--trace`` additionally writes a Chrome-trace-event/Perfetto
     JSON timeline of the run.
 ``trace WORKLOAD [--out trace.json] [--smoke] [--metrics-out PATH]``
-    Capture a canonical workload (``propagate``, ``faults``, or
-    ``overload``) as a validated Perfetto trace with the metrics
-    registry embedded; open the file in ``ui.perfetto.dev``.  See
+    Capture a canonical workload (``propagate``, ``faults``,
+    ``overload``, or ``chaos``) as a validated Perfetto trace with the
+    metrics registry embedded; open the file in ``ui.perfetto.dev``.  See
     ``docs/OBSERVABILITY.md``.  ``--metrics-out`` additionally dumps
     the metrics registry as a standalone JSON document.
 ``analyze TRACE [--report out.md] [--compare golden.json]``
@@ -290,7 +290,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace", help="capture a workload as a Perfetto trace"
     )
     p.add_argument("workload",
-                   choices=["propagate", "faults", "overload"],
+                   choices=["propagate", "faults", "overload", "chaos"],
                    help="scenario to capture")
     p.add_argument("--out", default="trace.json",
                    help="output path (default: trace.json)")

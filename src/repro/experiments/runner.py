@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 
 # Importing the modules populates the registry.
 from . import (  # noqa: F401
+    chaos,
     fault_degradation,
     fig06_instruction_profile,
     fig08_marker_traffic,
@@ -38,7 +39,7 @@ from .common import REGISTRY, ExperimentResult
 DEFAULT_ORDER = (
     "fig06", "fig08", "table04", "fig15", "fig16", "fig17",
     "fig18", "fig19", "fig20", "fig21", "textstats", "scaling",
-    "speech", "faultdeg", "overload",
+    "speech", "faultdeg", "overload", "chaos",
 )
 
 

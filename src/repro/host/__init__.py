@@ -25,8 +25,20 @@ from .breaker import (
     BreakerTransition,
     CircuitBreaker,
 )
-from .config import HostConfig, HostConfigError, default_replica_faults
+from .config import (
+    HostConfig,
+    HostConfigError,
+    ReplicaFaultEvent,
+    default_replica_faults,
+)
 from .executor import AttemptResult, Replica, ReplicaArray
+from .health import (
+    HealthError,
+    HealthState,
+    HealthTransition,
+    PhiAccrualDetector,
+    ReplicaHealth,
+)
 from .host import ServingHost, run_serial
 from .query import HostError, Query, QueryOutcome, QueryStatus
 from .report import ReplicaSummary, ServingReport, percentile
@@ -35,8 +47,11 @@ __all__ = [
     "AdmissionError", "AdmissionQueue",
     "REJECT_NEWEST", "REJECT_OVER_DEADLINE", "SHED_POLICIES",
     "BreakerError", "BreakerState", "BreakerTransition", "CircuitBreaker",
-    "HostConfig", "HostConfigError", "default_replica_faults",
+    "HostConfig", "HostConfigError", "ReplicaFaultEvent",
+    "default_replica_faults",
     "AttemptResult", "Replica", "ReplicaArray",
+    "HealthError", "HealthState", "HealthTransition",
+    "PhiAccrualDetector", "ReplicaHealth",
     "ServingHost", "run_serial",
     "HostError", "Query", "QueryOutcome", "QueryStatus",
     "ReplicaSummary", "ServingReport", "percentile",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import FrozenSet, Optional
+from typing import FrozenSet, Optional, Tuple
 
 from ..machine.faults import FaultConfig, RetryPolicy
 from .admission import SHED_POLICIES, REJECT_NEWEST
@@ -23,6 +23,33 @@ from .admission import SHED_POLICIES, REJECT_NEWEST
 
 class HostConfigError(ValueError):
     """Raised for inconsistent serving-host configurations."""
+
+
+@dataclass(frozen=True)
+class ReplicaFaultEvent:
+    """One entry of a replica-level fault timeline.
+
+    From ``time_us`` on (host clock), attempts dispatched to
+    ``replica`` run against a machine built with ``faults``; ``None``
+    means the replica is healthy from that instant (repair).  Work
+    already in flight on the replica finishes under the old regime —
+    the switch applies to the next dispatched attempt, matching how a
+    real repair only helps queries that arrive after it.
+    """
+
+    time_us: float
+    replica: int
+    faults: Optional[FaultConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.time_us < 0:
+            raise HostConfigError(
+                f"replica fault event time must be >= 0: {self.time_us}"
+            )
+        if self.replica < 0:
+            raise HostConfigError(
+                f"replica id must be >= 0: {self.replica}"
+            )
 
 
 def default_replica_faults() -> FaultConfig:
@@ -82,6 +109,32 @@ class HostConfig:
     replica_fault_template: Optional[FaultConfig] = None
     #: Root seed for replica selection and per-replica fault seeds.
     fault_seed: int = 0
+    #: Mid-run regime changes: each event swaps one replica's fault
+    #: pattern at a host-clock instant (``None`` faults = repaired).
+    replica_timeline: Tuple[ReplicaFaultEvent, ...] = ()
+    # -- health lifecycle --------------------------------------------------
+    #: Enable the phi-accrual health detector + quarantine lifecycle.
+    health_enabled: bool = False
+    #: Sliding-window length of the phi detector.
+    health_window: int = 12
+    #: Observations before the detector may accuse.
+    health_min_samples: int = 4
+    #: Spread floor so steady degradation still accrues suspicion.
+    health_sigma_floor: float = 0.08
+    #: Score added per unit of query-visible damage.
+    health_damage_weight: float = 0.5
+    #: Phi level at which a replica is quarantined.
+    health_phi_quarantine: float = 8.0
+    #: Simulated µs quarantined before probing begins.
+    health_probe_after_us: float = 30_000.0
+    #: Consecutive healthy probes required to readmit.
+    health_probe_successes: int = 2
+    #: Service ratio a probe must stay under to count as healthy.
+    health_readmit_ratio: float = 1.5
+    # -- answer-integrity auditing ----------------------------------------
+    #: Shadow-re-execute every Nth served answer on a healthy replica
+    #: and compare results (``None`` disables auditing).
+    audit_interval: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name in ("num_replicas", "clusters_per_replica",
@@ -113,6 +166,48 @@ class HostConfig:
             raise HostConfigError(
                 "faulty_replica_fraction must be in [0, 1]: "
                 f"{self.faulty_replica_fraction}"
+            )
+        bad = sorted(
+            {e.replica for e in self.replica_timeline
+             if e.replica >= self.num_replicas}
+        )
+        if bad:
+            raise HostConfigError(
+                "replica_timeline names replicas outside the "
+                f"{self.num_replicas}-replica array: {bad}"
+            )
+        if self.health_window < 2:
+            raise HostConfigError(
+                f"health_window must be >= 2: {self.health_window}"
+            )
+        if not 1 <= self.health_min_samples <= self.health_window:
+            raise HostConfigError(
+                "health_min_samples must be in [1, health_window]: "
+                f"{self.health_min_samples}"
+            )
+        for name in ("health_sigma_floor", "health_phi_quarantine",
+                     "health_readmit_ratio"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise HostConfigError(f"{name} must be > 0: {value}")
+        if self.health_damage_weight < 0:
+            raise HostConfigError(
+                "health_damage_weight must be >= 0: "
+                f"{self.health_damage_weight}"
+            )
+        if self.health_probe_after_us < 0:
+            raise HostConfigError(
+                "health_probe_after_us must be >= 0: "
+                f"{self.health_probe_after_us}"
+            )
+        if self.health_probe_successes < 1:
+            raise HostConfigError(
+                "health_probe_successes must be >= 1: "
+                f"{self.health_probe_successes}"
+            )
+        if self.audit_interval is not None and self.audit_interval < 1:
+            raise HostConfigError(
+                f"audit_interval must be >= 1: {self.audit_interval}"
             )
 
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..machine.config import MachineConfig, Timing
+from ..machine.faults import FaultConfig
 from ..machine.machine import SnapMachine
 from ..network.graph import SemanticNetwork
 from ..obs.tracer import NULL_TRACER
@@ -73,18 +74,12 @@ class ReplicaArray:
         timing: Optional[Timing] = None,
     ) -> None:
         self.config = config
+        self._network = network
+        self._timing = timing or Timing()
         faulty = config.faulty_replicas()
         self.replicas: List[Replica] = []
         for rid in range(config.num_replicas):
-            machine_cfg = MachineConfig(
-                num_clusters=config.clusters_per_replica,
-                mus_per_cluster=config.mus_per_cluster,
-                partition_policy=config.partition_policy,
-                timing=timing or Timing(),
-                faults=config.fault_config_for(rid),
-            )
-            machine = SnapMachine(network, machine_cfg)
-            machine.trace_name = f"replica {rid:02d}"
+            machine = self._build_machine(rid, config.fault_config_for(rid))
             self.replicas.append(
                 Replica(
                     replica_id=rid,
@@ -98,8 +93,54 @@ class ReplicaArray:
                     faulty=rid in faulty,
                 )
             )
-        self._cache: Dict[Tuple[str, int], AttemptResult] = {}
+        # Replica-level fault timeline: per replica, the sequence of
+        # (start_us, fault pattern) regimes.  Phase 0 is the built-in
+        # pattern; later phases come from ``config.replica_timeline``
+        # and take effect on the first attempt dispatched at or after
+        # their start (the host clock is passed into ``execute``).
+        self._has_timeline = bool(config.replica_timeline)
+        self._phases: List[List[Tuple[float, Optional[FaultConfig]]]] = [
+            [(0.0, config.fault_config_for(rid))]
+            for rid in range(config.num_replicas)
+        ]
+        for event in sorted(config.replica_timeline, key=lambda e: e.time_us):
+            self._phases[event.replica].append((event.time_us, event.faults))
+        self._phase_machines: Dict[Tuple[int, int], SnapMachine] = {
+            (r.replica_id, 0): r.machine for r in self.replicas
+        }
+        self._cache: Dict[Tuple[str, int, int], AttemptResult] = {}
         self._healthy_cache: Dict[str, float] = {}
+        self._reference_cache: Dict[str, List[Any]] = {}
+
+    def _build_machine(
+        self, rid: int, faults: Optional[FaultConfig]
+    ) -> SnapMachine:
+        machine_cfg = MachineConfig(
+            num_clusters=self.config.clusters_per_replica,
+            mus_per_cluster=self.config.mus_per_cluster,
+            partition_policy=self.config.partition_policy,
+            timing=self._timing,
+            faults=faults,
+        )
+        machine = SnapMachine(self._network, machine_cfg)
+        machine.trace_name = f"replica {rid:02d}"
+        return machine
+
+    def _phase_index(self, rid: int, now: float) -> int:
+        """The regime in force on a replica at host time ``now``."""
+        phases = self._phases[rid]
+        index = 0
+        for i in range(1, len(phases)):
+            if phases[i][0] <= now:
+                index = i
+        return index
+
+    def _machine_for(self, rid: int, phase: int) -> SnapMachine:
+        machine = self._phase_machines.get((rid, phase))
+        if machine is None:
+            machine = self._build_machine(rid, self._phases[rid][phase][1])
+            self._phase_machines[(rid, phase)] = machine
+        return machine
 
     # ------------------------------------------------------------------
     @property
@@ -115,6 +156,7 @@ class ReplicaArray:
         tracer=None,
         metrics=None,
         trace_offset_us: float = 0.0,
+        now: float = 0.0,
     ) -> AttemptResult:
         """Run the query on a replica; cached per (template, replica).
 
@@ -123,20 +165,33 @@ class ReplicaArray:
         queries, where simulating past the deadline would be wasted
         work.
 
+        ``now`` (host clock) selects the fault regime when a
+        :attr:`HostConfig.replica_timeline` is configured: the cache
+        is keyed per (template, replica, regime), so the same template
+        re-simulates when — and only when — the replica's world has
+        changed.
+
         When a tracer is active, only the *first* execution of each
         ``(template, replica)`` pair emits machine-level tracks (cache
         hits replay the cached timing without re-simulating); the host
         still draws a span for every attempt, so the timeline stays
         complete.
         """
+        phase = (
+            self._phase_index(replica.replica_id, now)
+            if self._has_timeline else 0
+        )
         key = None
         if query.template is not None:
-            key = (query.template, replica.replica_id)
+            key = (query.template, replica.replica_id, phase)
             hit = self._cache.get(key)
             if hit is not None:
                 return hit
             budget_us = None  # cache entries must be run-to-completion
-        machine = replica.machine
+        machine = (
+            self._machine_for(replica.replica_id, phase)
+            if self._has_timeline else replica.machine
+        )
         machine.reset_markers()
         report = machine.run(
             query.program, budget_us=budget_us,
@@ -188,3 +243,22 @@ class ReplicaArray:
         if query.template is not None:
             self._healthy_cache[query.template] = estimate
         return estimate
+
+    def reference_results(self, query: Query) -> List[Any]:
+        """Ground-truth answer for integrity auditing (cached).
+
+        Shadow re-execution on a replica's *built-in* (phase 0)
+        machine — healthy if any replica was built healthy.  Audit
+        probes run under the null tracer like the service estimates:
+        they are oracle reads, not serving activity.
+        """
+        if query.template is not None:
+            hit = self._reference_cache.get(query.template)
+            if hit is not None:
+                return hit
+        healthy = self.healthy_replicas
+        target = healthy[0] if healthy else self.replicas[0]
+        results = self.execute(target, query, tracer=NULL_TRACER).results
+        if query.template is not None:
+            self._reference_cache[query.template] = results
+        return results

@@ -24,6 +24,12 @@ Resilience mechanisms, in the order a query meets them:
 5. **Circuit breakers** — per replica, fed by the fault reports of
    completed attempts (:mod:`repro.host.breaker`); open breakers take
    a replica out of dispatch until its cooldown and probe succeed.
+6. **Health lifecycle** (optional) — a phi-accrual detector over
+   attempt latencies and damage (:mod:`repro.host.health`) that
+   quarantines gray replicas the breaker cannot see, probes them
+   after a hold-off, and readmits on sustained healthy probes; plus
+   sampled answer-integrity audits (shadow re-execution on a healthy
+   replica) that catch silently-incomplete answers.
 
 Determinism: the host draws no randomness of its own — arrivals are
 given, nested executions are deterministic, and the DES breaks ties
@@ -33,7 +39,7 @@ FIFO — so a serving run is bit-reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, List, Optional, Sequence, Set
+from typing import Any, List, Optional, Sequence, Set, Tuple
 
 from ..machine.config import Timing
 from ..machine.des import Simulator
@@ -43,6 +49,7 @@ from .admission import REJECT_NEWEST, AdmissionQueue
 from .breaker import BreakerState
 from .config import HostConfig
 from .executor import AttemptResult, Replica, ReplicaArray
+from .health import HealthState, ReplicaHealth
 from .query import HostError, Query, QueryOutcome, QueryStatus
 from .report import ReplicaSummary, ServingReport
 
@@ -54,6 +61,7 @@ _TIMED_OUT = QueryStatus.TIMED_OUT
 _FAILED = QueryStatus.FAILED
 _CLOSED = BreakerState.CLOSED
 _OPEN = BreakerState.OPEN
+_QUARANTINED = HealthState.QUARANTINED
 
 
 @dataclass(slots=True)
@@ -131,6 +139,29 @@ class ServingHost:
         # per-query/per-attempt paths never allocate a bound method.
         self._buffer = self.queue.buffer
         self._replicas = self.array.replicas
+        # Health lifecycle + integrity auditing (both default-off; an
+        # empty self._health keeps every hot-path check one truthiness
+        # test, preserving byte-identical behaviour when disabled).
+        self._health: List[ReplicaHealth] = []
+        if self.config.health_enabled:
+            self._health = [
+                ReplicaHealth(
+                    window=self.config.health_window,
+                    min_samples=self.config.health_min_samples,
+                    sigma_floor=self.config.health_sigma_floor,
+                    damage_weight=self.config.health_damage_weight,
+                    phi_quarantine=self.config.health_phi_quarantine,
+                    probe_after_us=self.config.health_probe_after_us,
+                    probe_successes=self.config.health_probe_successes,
+                    readmit_ratio=self.config.health_readmit_ratio,
+                )
+                for _ in self._replicas
+            ]
+        self._audit_interval = self.config.audit_interval
+        self._served_count = 0
+        self.audit_checks = 0
+        self.audit_mismatches = 0
+        self._audit_log: List[Tuple[float, int, int, bool]] = []
         self._hopeless_cb = self._hopeless
         self._attempt_done_cb = self._attempt_done
         self._maybe_hedge_cb = self._maybe_hedge
@@ -436,6 +467,39 @@ class ServingHost:
                     self._metrics.counter("host.breaker.transitions").inc()
                     if t.to_state is open_state:
                         self._metrics.counter("host.breaker.opens").inc()
+        for rid, health in enumerate(self._health):
+            for t in health.transitions:
+                if self._tr is not None:
+                    self._tr.instant(
+                        self._tk_replica[rid],
+                        f"health-{t.to_state.value}",
+                        t.time_us, from_state=t.from_state.value,
+                        phi=round(t.phi, 3), reason=t.reason,
+                    )
+                if self._metrics is not None:
+                    m = self._metrics
+                    m.counter("host.health.transitions").inc()
+                    if t.to_state is _QUARANTINED:
+                        m.counter("host.health.quarantines").inc()
+                    elif t.to_state is HealthState.ACTIVE:
+                        m.counter("host.health.readmissions").inc()
+        if self._health and self._metrics is not None:
+            probes = sum(h.probes for h in self._health)
+            if probes:
+                self._metrics.counter("host.health.probes").inc(probes)
+        for when, qid, rid, ok in self._audit_log:
+            if self._tr is not None and 0 <= rid < len(self._tk_replica):
+                self._tr.instant(
+                    self._tk_replica[rid],
+                    "audit-ok" if ok else "audit-mismatch",
+                    when, query=qid,
+                )
+        if self._audit_log and self._metrics is not None:
+            self._metrics.counter("host.audit.checks").inc(self.audit_checks)
+            if self.audit_mismatches:
+                self._metrics.counter("host.audit.mismatches").inc(
+                    self.audit_mismatches
+                )
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -449,6 +513,7 @@ class ServingHost:
         """
         now = self.sim.now
         tried = state.tried
+        health = self._health
         best: Optional[Replica] = None
         best_key: Optional[tuple] = None
         # Single allocation-free pass: minimizing (already-tried,
@@ -456,6 +521,8 @@ class ServingHost:
         # exactly what the old untried-pool-then-sort selection did.
         for r in self._replicas:
             if r.busy or not r.breaker.allow(now):
+                continue
+            if health and not health[r.replica_id].allow(now):
                 continue
             rid = r.replica_id
             if rid not in tried and r.breaker.state is _CLOSED:
@@ -496,6 +563,8 @@ class ServingHost:
     ) -> None:
         now = self.sim.now
         replica.breaker.acquire(now)
+        if self._health:
+            self._health[replica.replica_id].acquire(now)
         replica.busy = True
         replica.serving = state.query.query_id
         replica.attempts += 1
@@ -515,10 +584,12 @@ class ServingHost:
             result = self.array.execute(
                 replica, query, budget_us=budget,
                 tracer=self._tr, metrics=self._metrics,
-                trace_offset_us=now,
+                trace_offset_us=now, now=now,
             )
         else:
-            result = self.array.execute(replica, query, budget_us=budget)
+            result = self.array.execute(
+                replica, query, budget_us=budget, now=now
+            )
         attempt = _Attempt(state, replica, now, result, hedged)
         attempt.completion_event = self.sim.schedule(
             result.service_us, self._attempt_done_cb, attempt
@@ -584,6 +655,8 @@ class ServingHost:
                     max(0.0, replica.breaker.open_until_us - now),
                     self._dispatch_loop,
                 )
+        if self._health:
+            self._health_record(replica, state, result, now)
         if not state.terminal:
             if result.ok:
                 self._cancel_in_flight(state)
@@ -598,6 +671,25 @@ class ServingHost:
                 self._after_failed_attempt(state, replica)
         if self._buffer:
             self._dispatch_loop()
+
+    def _health_record(
+        self,
+        replica: Replica,
+        state: _QueryState,
+        result: AttemptResult,
+        now: float,
+    ) -> None:
+        """Feed one completed attempt into the replica's health score."""
+        health = self._health[replica.replica_id]
+        was_quarantined = health.state is _QUARANTINED
+        ratio = result.service_us / max(
+            self.array.healthy_service_us(state.query), 1e-9
+        )
+        health.record_attempt(now, ratio, result.damage)
+        if not was_quarantined and health.state is _QUARANTINED:
+            # Wake the dispatcher when the hold-off expires so an
+            # all-quarantined array cannot strand the queue.
+            self.sim.schedule(health.probe_after_us, self._dispatch_loop)
 
     def _after_failed_attempt(
         self, state: _QueryState, replica: Replica
@@ -645,8 +737,11 @@ class ServingHost:
             replica.serving = None
             replica.cancelled += 1
             replica.busy_us += now - attempt.start_us
-            # A cancelled attempt renders no verdict for the breaker.
+            # A cancelled attempt renders no verdict for the breaker
+            # (or the health lifecycle's probe slot).
             replica.breaker.release()
+            if self._health:
+                self._health[replica.replica_id].release()
             if self._observed:
                 self._note_attempt_end(attempt, cancelled=True)
         state.in_flight.clear()
@@ -664,6 +759,10 @@ class ServingHost:
         shed_reason: Optional[str] = None,
     ) -> None:
         state.terminal = True
+        if status is _SERVED and self._audit_interval is not None:
+            self._served_count += 1
+            if self._served_count % self._audit_interval == 0:
+                self._run_audit(state, replica, results)
         if self._observed:
             self._note_finalize(state, status, shed_reason)
         watchdog = state.watchdog
@@ -695,7 +794,38 @@ class ServingHost:
             )
         )
 
+    def _run_audit(
+        self,
+        state: _QueryState,
+        replica: Optional[Replica],
+        results: Optional[List[Any]],
+    ) -> None:
+        """Shadow re-execute a served answer and compare results.
+
+        The only detection path for gray marker drop: the serving
+        attempt completed "successfully" (no query-visible damage),
+        so neither the breaker nor the latency signal fires — but the
+        answer is missing activation the reference run produces.
+        """
+        now = self.sim.now
+        self.audit_checks += 1
+        ok = results == self.array.reference_results(state.query)
+        rid = replica.replica_id if replica is not None else -1
+        self._audit_log.append((now, state.query.query_id, rid, ok))
+        if ok:
+            return
+        self.audit_mismatches += 1
+        if self._health and replica is not None:
+            health = self._health[rid]
+            was_quarantined = health.state is _QUARANTINED
+            health.record_audit_failure(now)
+            if not was_quarantined and health.state is _QUARANTINED:
+                self.sim.schedule(
+                    health.probe_after_us, self._dispatch_loop
+                )
+
     def _build_report(self) -> ServingReport:
+        health = self._health
         report = ServingReport(
             outcomes=list(self.outcomes),
             total_time_us=max(
@@ -712,11 +842,22 @@ class ServingHost:
                     busy_us=r.busy_us,
                     breaker_state=r.breaker.state.value,
                     breaker_opens=r.breaker.times_opened,
+                    health_state=(
+                        health[r.replica_id].state.value if health else None
+                    ),
+                    health_quarantines=(
+                        health[r.replica_id].quarantines if health else 0
+                    ),
+                    health_readmissions=(
+                        health[r.replica_id].readmissions if health else 0
+                    ),
                 )
                 for r in self.array.replicas
             ],
             queue_max_depth=self.queue.max_depth,
             queue_admitted=self.queue.admitted,
+            audit_checks=self.audit_checks,
+            audit_mismatches=self.audit_mismatches,
         )
         if not report.accounted():
             raise RuntimeError(

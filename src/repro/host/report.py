@@ -45,10 +45,18 @@ class ReplicaSummary:
     busy_us: float
     breaker_state: str
     breaker_opens: int
+    #: Lifecycle state when health management is on (``None`` = off).
+    health_state: Optional[str] = None
+    health_quarantines: int = 0
+    health_readmissions: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
-        """Plain-dict view (JSON-friendly)."""
-        return {
+        """Plain-dict view (JSON-friendly).
+
+        Health keys appear only when the lifecycle ran, so reports
+        from health-off runs stay byte-identical to earlier versions.
+        """
+        out = {
             "replica_id": self.replica_id,
             "faulty": self.faulty,
             "attempts": self.attempts,
@@ -59,6 +67,11 @@ class ReplicaSummary:
             "breaker_state": self.breaker_state,
             "breaker_opens": self.breaker_opens,
         }
+        if self.health_state is not None:
+            out["health_state"] = self.health_state
+            out["health_quarantines"] = self.health_quarantines
+            out["health_readmissions"] = self.health_readmissions
+        return out
 
 
 @dataclass
@@ -71,6 +84,9 @@ class ServingReport:
     replicas: List[ReplicaSummary] = field(default_factory=list)
     queue_max_depth: int = 0
     queue_admitted: int = 0
+    #: Answer-integrity audit tallies (0/0 when auditing is off).
+    audit_checks: int = 0
+    audit_mismatches: int = 0
     #: Memoised sorted served-latency sample, keyed by the outcome
     #: count it was built from (reports can gain outcomes after
     #: construction, e.g. in tests that assemble them by hand).
@@ -173,8 +189,12 @@ class ServingReport:
         return None
 
     def as_dict(self) -> Dict[str, Any]:
-        """Plain-dict view (JSON-friendly)."""
-        return {
+        """Plain-dict view (JSON-friendly).
+
+        Audit keys appear only when at least one audit ran, keeping
+        audit-off reports byte-identical to earlier versions.
+        """
+        out = {
             "submitted": self.submitted,
             "served": self.served,
             "shed": self.shed,
@@ -188,6 +208,10 @@ class ServingReport:
             "replicas": [r.as_dict() for r in self.replicas],
             "outcomes": [o.as_dict() for o in self.outcomes],
         }
+        if self.audit_checks:
+            out["audit_checks"] = self.audit_checks
+            out["audit_mismatches"] = self.audit_mismatches
+        return out
 
     def summary(self) -> Dict[str, Any]:
         """Headline numbers for experiment tables."""

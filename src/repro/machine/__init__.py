@@ -26,9 +26,12 @@ from .des import (
     utilization,
 )
 from .faults import (
+    EVENT_KINDS,
     FaultConfig,
     FaultConfigError,
+    FaultEvent,
     FaultInjector,
+    FaultSchedule,
     FaultStats,
     RetryPolicy,
     failed_clusters_for,
@@ -70,7 +73,8 @@ __all__ = [
     "processor_sweep", "snap1_16cluster", "snap1_full", "uniprocessor",
     "Job", "Server", "ServerPool", "SimulationError", "Simulator",
     "Timeout", "utilization",
-    "FaultConfig", "FaultConfigError", "FaultInjector", "FaultStats",
+    "EVENT_KINDS", "FaultConfig", "FaultConfigError", "FaultEvent",
+    "FaultInjector", "FaultSchedule", "FaultStats",
     "RetryPolicy", "failed_clusters_for",
     "HypercubeTopology", "IcnStats", "TopologyError", "link_key",
     "BoundedQueue", "ClusterArbiter", "MemoryError_", "MultiportMemory",

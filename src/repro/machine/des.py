@@ -435,6 +435,8 @@ class ServerPool:
         self.sim = sim
         self.name = name
         self.num_servers = servers
+        #: Largest capacity the pool ever had (resize() can grow it).
+        self.peak_servers = servers
         self._queue: Deque[Job] = deque()
         self._busy = 0
         self.busy_time = 0.0
@@ -486,6 +488,24 @@ class ServerPool:
                 self.max_queue = len(queue)
             if self._busy < num_servers:
                 self._start_next()
+
+    def resize(self, servers: int) -> None:
+        """Change pool capacity mid-run (fault-timeline MU loss/restore).
+
+        Shrinking never preempts jobs already in service — the pool
+        just stops starting new work until occupancy falls below the
+        new capacity.  Growing immediately starts queued jobs in FIFO
+        order, exactly as if the extra servers had been idle.
+        ``peak_servers`` tracks the largest capacity the pool ever
+        had, so utilization accounting stays bounded by real capacity.
+        """
+        if servers < 1:
+            raise SimulationError("pool needs at least one server")
+        self.num_servers = servers
+        if servers > self.peak_servers:
+            self.peak_servers = servers
+        while self._queue and self._busy < self.num_servers:
+            self._start_next()
 
     def _start_next(self) -> None:
         if not self._queue or self._busy >= self.num_servers:

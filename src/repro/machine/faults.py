@@ -44,6 +44,127 @@ class FaultConfigError(ValueError):
     """Raised for inconsistent fault configurations."""
 
 
+#: Timeline event kinds understood by :class:`FaultInjector.apply_event`.
+#: ``*-fail``/``*-repair`` pairs flip hard state; ``mu-slowdown``,
+#: ``corrupt-rate``, and ``marker-drop`` are the *gray* modes — the
+#: component keeps answering, just slower or silently wrong.
+EVENT_KINDS = frozenset({
+    "cluster-fail", "cluster-repair",
+    "link-fail", "link-repair",
+    "mu-fail", "mu-repair",
+    "mu-slowdown", "corrupt-rate", "marker-drop",
+})
+
+#: Kinds that name a cluster.
+_CLUSTER_KINDS = frozenset({
+    "cluster-fail", "cluster-repair", "mu-fail", "mu-repair",
+    "mu-slowdown",
+})
+
+#: Kinds whose ``value`` is a probability in [0, 1].
+_PROB_KINDS = frozenset({"corrupt-rate", "marker-drop"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timestamped arrival or repair on the fault timeline.
+
+    ``time_us`` is simulated machine time.  Which operand fields are
+    required depends on ``kind``:
+
+    * ``cluster-fail`` / ``cluster-repair`` — ``cluster``;
+    * ``link-fail`` / ``link-repair`` — ``link`` (an undirected
+      cluster pair);
+    * ``mu-fail`` — ``cluster``, optional ``value`` = MUs lost
+      (default 1; the cluster always keeps at least one MU);
+    * ``mu-repair`` — ``cluster``, optional ``value`` = MUs restored
+      (default: back to the configured count);
+    * ``mu-slowdown`` — ``cluster``, ``value`` = service multiplier
+      (``>= 1``; ``1.0`` repairs the slowdown);
+    * ``corrupt-rate`` / ``marker-drop`` — ``value`` = new probability
+      in [0, 1] (replaces the static config rate from this instant).
+    """
+
+    time_us: float
+    kind: str
+    cluster: Optional[int] = None
+    link: Optional[Tuple[int, int]] = None
+    value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time_us < 0:
+            raise FaultConfigError(
+                f"event time_us must be >= 0: {self.time_us}"
+            )
+        if self.kind not in EVENT_KINDS:
+            raise FaultConfigError(
+                f"unknown fault-event kind {self.kind!r}; "
+                f"known: {sorted(EVENT_KINDS)}"
+            )
+        if self.kind in _CLUSTER_KINDS:
+            if self.cluster is None or self.cluster < 0:
+                raise FaultConfigError(
+                    f"{self.kind} needs a cluster id >= 0: {self.cluster}"
+                )
+        if self.kind in ("link-fail", "link-repair"):
+            if (
+                self.link is None
+                or len(self.link) != 2
+                or any(c < 0 for c in self.link)
+                or self.link[0] == self.link[1]
+            ):
+                raise FaultConfigError(
+                    f"{self.kind} needs a (a, b) cluster pair with "
+                    f"a != b and ids >= 0: {self.link}"
+                )
+        if self.kind == "mu-slowdown":
+            if self.value is None or self.value < 1.0:
+                raise FaultConfigError(
+                    f"mu-slowdown needs a factor >= 1: {self.value}"
+                )
+        if self.kind in _PROB_KINDS:
+            if self.value is None or not 0.0 <= self.value <= 1.0:
+                raise FaultConfigError(
+                    f"{self.kind} needs a probability in [0, 1]: "
+                    f"{self.value}"
+                )
+        if self.kind in ("mu-fail", "mu-repair") and self.value is not None:
+            if self.value < 1 or int(self.value) != self.value:
+                raise FaultConfigError(
+                    f"{self.kind} value must be a positive MU count: "
+                    f"{self.value}"
+                )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A time-ordered sequence of :class:`FaultEvent` deliveries.
+
+    Events are sorted by ``time_us`` at construction (stably, so
+    same-instant events apply in the order given).  The empty schedule
+    is the default everywhere and adds no behavior: a config whose
+    only non-default field is an empty schedule stays *disabled* and
+    byte-identical to the pre-timeline fault layer.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: e.time_us))
+        object.__setattr__(self, "events", ordered)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @classmethod
+    def empty(cls) -> "FaultSchedule":
+        """The no-op schedule."""
+        return cls()
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Capped exponential backoff for detected-corruption retries.
@@ -106,6 +227,14 @@ class FaultConfig:
     link_fail_prob: float = 0.0
     #: Per-hop probability of a detected memory-port transfer corruption.
     transfer_corrupt_prob: float = 0.0
+    #: Per-delivery probability an ICN message is *silently* dropped at
+    #: its destination (gray: no parity error, no retry, no replay —
+    #: the answer is simply incomplete and only an integrity audit can
+    #: tell).
+    marker_drop_prob: float = 0.0
+    #: Uniform MU service multiplier (gray slow-but-alive mode);
+    #: ``1.0`` = full speed.
+    mu_slowdown_factor: float = 1.0
     #: Per-broadcast probability of a transient SCP/global-bus timeout.
     scp_timeout_prob: float = 0.0
     #: Recovery penalty of one SCP/bus timeout, in µs.
@@ -118,11 +247,15 @@ class FaultConfig:
     max_replay_rounds: int = 2
     #: Evict semantic-network nodes off failed clusters onto survivors.
     remap_nodes: bool = True
+    #: Timed arrival/repair events delivered mid-run (see
+    #: :class:`FaultSchedule`; empty = the static-only behavior).
+    schedule: FaultSchedule = field(default_factory=FaultSchedule)
 
     def __post_init__(self) -> None:
         for name in (
             "failed_cluster_fraction", "mu_loss_prob", "link_fail_prob",
-            "transfer_corrupt_prob", "scp_timeout_prob",
+            "transfer_corrupt_prob", "marker_drop_prob",
+            "scp_timeout_prob",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -142,6 +275,15 @@ class FaultConfig:
             raise FaultConfigError(
                 f"failed_clusters ids must be >= 0: {self.failed_clusters}"
             )
+        if self.mu_slowdown_factor < 1.0:
+            raise FaultConfigError(
+                "mu_slowdown_factor must be >= 1: "
+                f"{self.mu_slowdown_factor}"
+            )
+        if not isinstance(self.schedule, FaultSchedule):
+            raise FaultConfigError(
+                f"schedule must be a FaultSchedule: {self.schedule!r}"
+            )
 
     @classmethod
     def disabled(cls) -> "FaultConfig":
@@ -157,7 +299,10 @@ class FaultConfig:
             or self.mu_loss_prob > 0
             or self.link_fail_prob > 0
             or self.transfer_corrupt_prob > 0
+            or self.marker_drop_prob > 0
+            or self.mu_slowdown_factor > 1.0
             or self.scp_timeout_prob > 0
+            or self.schedule.events
         )
 
 
@@ -173,10 +318,22 @@ def failed_clusters_for(
 
     Shared by the allocator-level remap (at machine construction) and
     the simulator (at run time) so both agree on which clusters are
-    dead.  At least one cluster always survives.
+    dead.  At least one cluster always survives.  Explicit ids outside
+    ``[0, num_clusters)`` are a configuration error — silently
+    dropping them would realize a different pattern than the one the
+    caller asked for.
     """
     if config.failed_clusters is not None:
-        bad = {c for c in config.failed_clusters if 0 <= c < num_clusters}
+        out_of_range = sorted(
+            c for c in config.failed_clusters
+            if not 0 <= c < num_clusters
+        )
+        if out_of_range:
+            raise FaultConfigError(
+                f"failed_clusters ids out of range for a "
+                f"{num_clusters}-cluster machine: {out_of_range}"
+            )
+        bad = set(config.failed_clusters)
     else:
         count = int(round(config.failed_cluster_fraction * num_clusters))
         if count <= 0:
@@ -206,10 +363,35 @@ class FaultStats:
     replays: int = 0
     replayed_messages: int = 0
     messages_lost: int = 0
+    # -- timeline counters (PR 6) -----------------------------------------
+    #: Schedule events actually applied during the run.
+    timeline_events: int = 0
+    clusters_repaired: int = 0
+    links_repaired: int = 0
+    mus_restored: int = 0
+    #: Messages silently dropped at delivery (gray — see
+    #: :meth:`query_visible_failures`, which excludes them).
+    markers_dropped: int = 0
+    #: Extra MU service charged by gray slowdown factors, in µs.
+    slowdown_us: float = 0.0
+
+    #: Fields emitted by :meth:`as_dict` only when nonzero, so reports
+    #: of schedule-free runs stay byte-identical to pre-timeline
+    #: builds.  Every non-legacy field added to this dataclass must be
+    #: listed here (a sync test enforces it).
+    _CONDITIONAL_FIELDS = (
+        "timeline_events", "clusters_repaired", "links_repaired",
+        "mus_restored", "markers_dropped", "slowdown_us",
+    )
 
     def as_dict(self) -> Dict[str, float]:
-        """Plain-dict view (JSON-friendly)."""
-        return {
+        """Plain-dict view (JSON-friendly).
+
+        The original (static-era) counters are always present; the
+        timeline counters appear only when nonzero, so a run without
+        schedule or gray activity dumps exactly the legacy record.
+        """
+        record = {
             "clusters_failed": self.clusters_failed,
             "mus_lost": self.mus_lost,
             "links_failed": self.links_failed,
@@ -224,6 +406,11 @@ class FaultStats:
             "replayed_messages": self.replayed_messages,
             "messages_lost": self.messages_lost,
         }
+        for name in self._CONDITIONAL_FIELDS:
+            value = getattr(self, name)
+            if value:
+                record[name] = value
+        return record
 
     def total_injected(self) -> int:
         """Aggregate count of fault events that actually occurred."""
@@ -241,6 +428,12 @@ class FaultStats:
         markers never arrived: the answer is silently incomplete.  The
         serving host's circuit breakers treat any nonzero value as a
         failed attempt on that replica.
+
+        ``markers_dropped`` is deliberately **excluded**: a silent drop
+        produces no error signal of any kind (that is what makes it
+        gray), so neither the query nor the breaker can see it — only
+        the host's answer-integrity audit can
+        (:mod:`repro.host.health`).
         """
         return (
             self.messages_lost
@@ -253,11 +446,20 @@ class FaultInjector:
     """Realized fault pattern for one machine + runtime sampling.
 
     Construction fixes the *static* pattern (failed clusters, lost MUs,
-    dead links) from the config seed; :meth:`transfer_corrupted` and
-    :meth:`scp_timeout` sample the *transient* faults from independent
-    streams.  Because the DES is deterministic, the sampling order —
-    and therefore the full event trace — is bit-reproducible for a
-    given seed.
+    dead links) from the config seed; :meth:`transfer_corrupted`,
+    :meth:`scp_timeout`, and :meth:`marker_dropped` sample the
+    *transient* faults from independent streams.  Because the DES is
+    deterministic, the sampling order — and therefore the full event
+    trace — is bit-reproducible for a given seed.
+
+    On top of the static pattern the injector carries the **live world
+    state** the fault timeline mutates: the currently offline clusters
+    and dead links (:attr:`blocked_clusters` / :attr:`blocked_links`,
+    initialized from the static pattern), the current MU counts, the
+    per-cluster gray slowdown factors, and the current corruption/drop
+    probabilities.  :meth:`apply_event` advances that state one
+    :class:`FaultEvent` at a time; with an empty schedule nothing ever
+    mutates and the injector behaves exactly like the static-era one.
     """
 
     def __init__(
@@ -271,7 +473,23 @@ class FaultInjector:
             raise FaultConfigError(
                 "mu_counts must provide one entry per cluster"
             )
+        for event in config.schedule.events:
+            referenced = []
+            if event.cluster is not None:
+                referenced.append(event.cluster)
+            if event.link is not None:
+                referenced.extend(event.link)
+            bad = sorted(
+                c for c in referenced if not 0 <= c < num_clusters
+            )
+            if bad:
+                raise FaultConfigError(
+                    f"schedule event {event.kind!r} at "
+                    f"t={event.time_us} names cluster ids out of range "
+                    f"for a {num_clusters}-cluster machine: {bad}"
+                )
         self.cfg = config
+        self.num_clusters = num_clusters
         self.stats = FaultStats()
         self.failed_clusters: FrozenSet[int] = failed_clusters_for(
             config, num_clusters
@@ -320,6 +538,40 @@ class FaultInjector:
 
         self._transfer_rng = _stream(config, "transfer")
         self._scp_rng = _stream(config, "scp")
+
+        # -- live world state (mutated only by apply_event) ---------------
+        self.schedule = config.schedule
+        self._offline: Set[int] = set(self.failed_clusters)
+        self._dead: Set[Tuple[int, int]] = set(self.dead_links)
+        # Routing keys: with an empty schedule these stay the *same*
+        # frozenset objects as the static pattern for the whole run.
+        self._blocked_clusters: FrozenSet[int] = self.failed_clusters
+        self._blocked_links: FrozenSet[Tuple[int, int]] = self.dead_links
+        self._mu_current: List[int] = list(self.effective_mu_counts)
+        self._slowdowns: Dict[int, float] = {}
+        self._corrupt_prob = config.transfer_corrupt_prob
+        self._drop_prob = config.marker_drop_prob
+        # The drop stream is constructed only when a drop can ever
+        # happen, preserving the zero-RNG contract for configs that
+        # never sample it.
+        self._drop_rng: Optional[random.Random] = None
+        events = config.schedule.events
+        #: Whether transfer corruption can occur at any point of the
+        #: run (static rate or a corrupt-rate event raising it) — the
+        #: simulator keys per-transfer recovery records on this.
+        self.corruption_possible = config.transfer_corrupt_prob > 0 or any(
+            e.kind == "corrupt-rate" and e.value > 0 for e in events
+        )
+        #: Whether a silent marker drop can ever occur.
+        self.drops_possible = config.marker_drop_prob > 0 or any(
+            e.kind == "marker-drop" and e.value > 0 for e in events
+        )
+        if self.drops_possible:
+            self._drop_rng = _stream(config, "drop")
+        #: Whether any MU slowdown can ever apply.
+        self.slowdown_possible = config.mu_slowdown_factor > 1.0 or any(
+            e.kind == "mu-slowdown" and e.value > 1.0 for e in events
+        )
         if topology is not None:
             # Defense in depth for shared route caches: a *different*
             # fault pattern than the last one routed through this
@@ -351,13 +603,117 @@ class FaultInjector:
 
     # -- runtime sampling -------------------------------------------------
     def transfer_corrupted(self) -> bool:
-        """Sample one memory-port transfer: corrupted in flight?"""
-        if self.cfg.transfer_corrupt_prob <= 0:
+        """Sample one memory-port transfer: corrupted in flight?
+
+        Uses the *current* corruption rate (the static config rate
+        until a ``corrupt-rate`` event replaces it).  A zero rate
+        draws nothing, so sample sequences stay aligned across runs
+        that share a seed and schedule.
+        """
+        if self._corrupt_prob <= 0:
             return False
-        return self._transfer_rng.random() < self.cfg.transfer_corrupt_prob
+        return self._transfer_rng.random() < self._corrupt_prob
+
+    def marker_dropped(self) -> bool:
+        """Sample one ICN delivery: silently dropped?"""
+        if self._drop_prob <= 0:
+            return False
+        return self._drop_rng.random() < self._drop_prob
 
     def scp_timeout(self) -> bool:
         """Sample one broadcast: transient SCP/bus timeout?"""
         if self.cfg.scp_timeout_prob <= 0:
             return False
         return self._scp_rng.random() < self.cfg.scp_timeout_prob
+
+    # -- live world state -------------------------------------------------
+    @property
+    def blocked_clusters(self) -> FrozenSet[int]:
+        """Clusters routing must avoid *right now*."""
+        return self._blocked_clusters
+
+    @property
+    def blocked_links(self) -> FrozenSet[Tuple[int, int]]:
+        """Links routing must avoid *right now*."""
+        return self._blocked_links
+
+    @property
+    def current_mu_counts(self) -> Tuple[int, ...]:
+        """Per-cluster MU counts as of the last applied event."""
+        return tuple(self._mu_current)
+
+    def slowdown_for(self, cluster: int) -> float:
+        """Current gray service multiplier for one cluster's MUs."""
+        return self._slowdowns.get(cluster, self.cfg.mu_slowdown_factor)
+
+    def apply_event(self, event: FaultEvent) -> bool:
+        """Advance the live world state by one timeline event.
+
+        Idempotent per state bit (failing an offline cluster or
+        repairing a healthy one is a no-op), and a ``cluster-fail``
+        that would take the *last* online cluster down is ignored —
+        the machine always keeps one survivor, mirroring
+        :func:`failed_clusters_for`.
+
+        Returns ``True`` when the routing-visible state (offline
+        clusters or dead links) changed, so the caller can refresh
+        route caches and dispatch sets.
+        """
+        self.stats.timeline_events += 1
+        kind = event.kind
+        routing_changed = False
+        if kind == "cluster-fail":
+            cid = event.cluster
+            if (
+                cid not in self._offline
+                and len(self._offline) < self.num_clusters - 1
+            ):
+                self._offline.add(cid)
+                self.stats.clusters_failed += 1
+                routing_changed = True
+        elif kind == "cluster-repair":
+            if event.cluster in self._offline:
+                self._offline.discard(event.cluster)
+                self.stats.clusters_repaired += 1
+                routing_changed = True
+        elif kind == "link-fail":
+            key = link_key(*event.link)
+            if key not in self._dead:
+                self._dead.add(key)
+                self.stats.links_failed += 1
+                routing_changed = True
+        elif kind == "link-repair":
+            key = link_key(*event.link)
+            if key in self._dead:
+                self._dead.discard(key)
+                self.stats.links_repaired += 1
+                routing_changed = True
+        elif kind == "mu-fail":
+            cid = event.cluster
+            lost = 1 if event.value is None else int(event.value)
+            current = self._mu_current[cid]
+            new = max(1, current - lost)
+            if new != current:
+                self.stats.mus_lost += current - new
+                self._mu_current[cid] = new
+        elif kind == "mu-repair":
+            cid = event.cluster
+            current = self._mu_current[cid]
+            configured = self.configured_mu_counts[cid]
+            if event.value is None:
+                new = configured
+            else:
+                new = min(configured, current + int(event.value))
+            if new > current:
+                self.stats.mus_restored += new - current
+                self._mu_current[cid] = new
+        elif kind == "mu-slowdown":
+            self._slowdowns[event.cluster] = event.value
+        elif kind == "corrupt-rate":
+            self._corrupt_prob = event.value
+        elif kind == "marker-drop":
+            self._drop_prob = event.value
+        if routing_changed:
+            self._blocked_clusters = frozenset(self._offline)
+            self._blocked_links = frozenset(self._dead)
+        return routing_changed

@@ -140,6 +140,22 @@ class SnapSimulation:
         self.controller = Server(self.sim, name="controller")
         if self.faults is not None and self.faults.cfg.scp_timeout_prob > 0:
             self.controller.penalty_hook = self._scp_penalty
+        # Fault timeline: events are chain-scheduled one at a time (the
+        # heap holds at most one pending fault event), and gray hooks
+        # are installed only when the config can ever exercise them —
+        # schedule-free faulty runs take none of these branches.
+        self._fault_cursor = 0
+        self._fault_event_handle = None
+        self._drops_possible = False
+        if self.faults is not None:
+            self._drops_possible = self.faults.drops_possible
+            if self.faults.slowdown_possible:
+                for cluster in self.clusters:
+                    cluster.mus.penalty_hook = self._make_mu_slowdown(
+                        cluster.cluster_id
+                    )
+            if self.faults.schedule.events:
+                self._schedule_next_fault_event()
         self._program: Optional[SnapProgram] = None
         self._pc = 0
         self._in_flight: Dict[int, _InstrState] = {}
@@ -282,6 +298,82 @@ class SnapSimulation:
                 )
             return self.faults.cfg.scp_timeout_penalty_us
         return 0.0
+
+    def _make_mu_slowdown(self, cid: int):
+        """Gray slow-MU penalty hook for one cluster's pool.
+
+        Stretches each task's service by the cluster's *current*
+        slowdown factor, so a ``mu-slowdown`` event takes effect on
+        the next task to enter service and a factor of 1.0 restores
+        full speed.
+        """
+        faults = self.faults
+
+        def penalty(job: Job) -> float:
+            extra = (faults.slowdown_for(cid) - 1.0) * job.service_time
+            if extra > 0.0:
+                faults.stats.slowdown_us += extra
+            return extra
+
+        return penalty
+
+    # ------------------------------------------------------------------
+    # Fault timeline delivery
+    # ------------------------------------------------------------------
+    def _schedule_next_fault_event(self) -> None:
+        """Put the next schedule entry on the event heap (chained)."""
+        events = self.faults.schedule.events
+        cursor = self._fault_cursor
+        if cursor >= len(events):
+            self._fault_event_handle = None
+            return
+        delay = events[cursor].time_us - self.sim.now
+        self._fault_event_handle = self.sim.schedule(
+            delay if delay > 0.0 else 0.0, self._apply_fault_event
+        )
+
+    def _apply_fault_event(self) -> None:
+        """Deliver one timeline event to the live world.
+
+        Routing, dispatch (``alive_clusters``), MU-pool capacity, and
+        the gray sampling rates all observe the change from this
+        instant on; work already in service on an affected component
+        runs to completion (committed service cannot be retracted).
+        """
+        faults = self.faults
+        event = faults.schedule.events[self._fault_cursor]
+        self._fault_cursor += 1
+        routing_changed = faults.apply_event(event)
+        if routing_changed:
+            blocked = faults.blocked_clusters
+            for cluster in self.clusters:
+                cluster.failed = cluster.cluster_id in blocked
+            self.alive_clusters = [
+                c for c in self.clusters if not c.failed
+            ]
+            self.topology.note_fault_state(blocked, faults.blocked_links)
+        if event.kind in ("mu-fail", "mu-repair"):
+            cid = event.cluster
+            count = faults.current_mu_counts[cid]
+            pool = self.clusters[cid].mus
+            if count != pool.num_servers:
+                pool.resize(count)
+                # Report capacity = the largest pool this cluster ever
+                # had, so utilization stays bounded by real capacity.
+                self.clusters[cid].num_mus = pool.peak_servers
+        if self._tr is not None:
+            detail = {}
+            if event.cluster is not None:
+                detail["cluster"] = event.cluster
+            if event.link is not None:
+                detail["link"] = f"{event.link[0]}-{event.link[1]}"
+            if event.value is not None:
+                detail["value"] = event.value
+            self._tr.instant(
+                self._tk_faults, f"fault-{event.kind}",
+                self._off + self.sim.now, **detail,
+            )
+        self._schedule_next_fault_event()
 
     # ------------------------------------------------------------------
     # Tracing helpers (called only behind `self._tr is not None`)
@@ -496,7 +588,7 @@ class SnapSimulation:
             )
         except Exception:
             home = 0
-        if self.faults is not None and home in self.faults.failed_clusters:
+        if self.faults is not None and home in self.faults.blocked_clusters:
             # Without node remap a table update may target an offline
             # cluster; the controller falls back to a survivor.
             home = self.alive_clusters[0].cluster_id
@@ -718,8 +810,8 @@ class SnapSimulation:
             path = self.topology.route_avoiding(
                 src,
                 msg.dest_cluster,
-                blocked_clusters=self.faults.failed_clusters,
-                blocked_links=self.faults.dead_links,
+                blocked_clusters=self.faults.blocked_clusters,
+                blocked_links=self.faults.blocked_links,
             )
             if path is None:
                 # No surviving route: the marker simply never arrives
@@ -778,7 +870,7 @@ class SnapSimulation:
         # only when corruption is possible, so the fault-free (and the
         # corruption-free faulty) transport path is untouched.
         rec: Optional[Dict[str, Any]] = None
-        if self.faults is not None and self.faults.cfg.transfer_corrupt_prob > 0:
+        if self.faults is not None and self.faults.corruption_possible:
             rec = {"attempts": 0, "alive": True, "watchdog": None, "src": src}
 
         job = Job(
@@ -963,6 +1055,24 @@ class SnapSimulation:
     def _deliver_message(
         self, st: _InstrState, producer_pe: int, msg: ActivationMessage
     ) -> None:
+        if self._drops_possible and self.faults.marker_dropped():
+            # Gray failure: the marker vanishes at the destination NIC
+            # without any CRC trip or timeout.  Sync counters still
+            # balance (the barrier sees a consume), so the propagation
+            # "completes" with silently missing activation — invisible
+            # to query_visible_failures, caught only by the host's
+            # answer-integrity audit.
+            self.faults.stats.markers_dropped += 1
+            if self._tr is not None:
+                self._tr.instant(
+                    self._tk_faults, "marker-dropped",
+                    self._off + self.sim.now,
+                    instr=st.index, dest=msg.dest_cluster,
+                )
+            self.syncer.consume(producer_pe, st.index)
+            st.pending -= 1
+            self._check_propagate_done(st)
+            return
         self.perf.record(
             self.sim.now, msg.dest_cluster, EventCode.MSG_RECV, st.index
         )
@@ -1093,6 +1203,15 @@ class SnapSimulation:
         if self._tr is not None:
             self._trace_complete(st)
         del self._in_flight[st.index]
+        if (
+            self._fault_event_handle is not None
+            and not self._in_flight
+            and self._pc >= len(self._program)
+        ):
+            # The program is done: drop any fault events still in the
+            # future so they don't stretch total_time_us.
+            self.sim.cancel(self._fault_event_handle)
+            self._fault_event_handle = None
         self._try_issue()
 
     # ------------------------------------------------------------------

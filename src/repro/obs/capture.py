@@ -1,8 +1,8 @@
 """Trace-capture workloads: ``python -m repro trace <workload>``.
 
-One-command Perfetto captures of the three canonical workloads (the
-same scenarios the wall-clock benchmark exercises, sized for a
-readable timeline rather than a stopwatch):
+One-command Perfetto captures of the canonical workloads (the same
+scenarios the wall-clock benchmark exercises, sized for a readable
+timeline rather than a stopwatch):
 
 ``propagate``
     Fan-out-heavy marker propagation on a healthy 16-cluster machine:
@@ -19,6 +19,14 @@ readable timeline rather than a stopwatch):
     open the trace in ``ui.perfetto.dev`` and look for the ``hedge
     q…`` span that finishes while its doomed primary is cancelled
     (the worked example in ``EXPERIMENTS.md``).
+``chaos``
+    Rolling gray failure and repair under sustained load: replicas
+    turn slow-and-lossy mid-stream (plus one mid-propagation cluster
+    flap from a machine-level ``FaultSchedule``) and are later
+    repaired; the timeline shows ``fault-*`` instants inside nested
+    runs, ``health-quarantined``/``health-active`` lifecycle
+    transitions on the replica tracks, and ``audit-mismatch`` marks
+    where shadow re-execution caught a silently-incomplete answer.
 
 The emitted file is Chrome trace-event JSON (object form) with the
 run's :class:`repro.obs.metrics.MetricsRegistry` dump under the extra
@@ -38,7 +46,7 @@ from .tracer import Tracer
 from .validate import validate_chrome_trace
 
 #: Workload ids, in help/display order.
-WORKLOADS = ("propagate", "faults", "overload")
+WORKLOADS = ("propagate", "faults", "overload", "chaos")
 
 
 def _propagate_setup(faulty: bool):
@@ -194,10 +202,51 @@ def capture_overload(smoke: bool = False):
     }
 
 
+def capture_chaos(smoke: bool = False):
+    """Live-fault capture: gray replicas, quarantine, readmit, audit.
+
+    The :mod:`repro.experiments.chaos` scenario under full tracing:
+    two replicas degrade *gray* (3x-slow MUs + silent marker drop)
+    and one suffers a mid-propagation cluster flap, each repaired
+    later in the run.  Look for ``health-quarantined`` instants on
+    the gray replica tracks shortly after their degradation point,
+    ``health-active`` (reason ``readmitted``) after their repair, and
+    ``audit-mismatch`` marks where the shadow re-execution caught a
+    silently-truncated answer the breaker never saw.
+    """
+    from ..experiments.chaos import build_scenario
+    from ..host import ServingHost
+
+    network, config, queries, profile = build_scenario(fast=True)
+    if smoke:
+        queries = queries[: len(queries) // 2]
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    host = ServingHost(network, config, tracer=tracer, metrics=metrics)
+    report = host.serve(queries)
+    return tracer, metrics, {
+        "queries": len(queries),
+        "served": report.served,
+        "shed": report.shed,
+        "timed_out": report.timed_out,
+        "failed": report.failed,
+        "quarantines": sum(
+            r.health_quarantines for r in report.replicas
+        ),
+        "readmissions": sum(
+            r.health_readmissions for r in report.replicas
+        ),
+        "audit_checks": report.audit_checks,
+        "audit_mismatches": report.audit_mismatches,
+        "simulated_us": round(report.total_time_us, 3),
+    }
+
+
 _RUNNERS = {
     "propagate": capture_propagate,
     "faults": capture_faults,
     "overload": capture_overload,
+    "chaos": capture_chaos,
 }
 
 

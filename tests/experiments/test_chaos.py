@@ -1,0 +1,93 @@
+"""Chaos experiment: rolling gray failure/repair acceptance criteria."""
+
+import pytest
+
+from repro.experiments.chaos import (
+    CHAOS_SEED,
+    build_scenario,
+    flap_faults,
+    gray_faults,
+    run,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(fast=True)
+
+
+class TestFaultRecipes:
+    def test_gray_is_silent(self):
+        faults = gray_faults(101)
+        assert faults.enabled
+        assert faults.mu_slowdown_factor == 3.0
+        assert faults.marker_drop_prob > 0
+        # No static failures: a gray replica looks structurally healthy.
+        assert faults.failed_cluster_fraction == 0.0
+        assert not faults.failed_clusters
+        assert faults.link_fail_prob == 0.0
+
+    def test_flap_is_a_pure_timeline(self):
+        faults = flap_faults(202, mean_service_us=400.0)
+        fail, repair = faults.schedule.events
+        assert fail.kind == "cluster-fail"
+        assert repair.kind == "cluster-repair"
+        assert fail.cluster == repair.cluster
+        assert 0 < fail.time_us < repair.time_us
+        # The flap is the only fault: no static or gray degradation.
+        assert faults.mu_slowdown_factor == 1.0
+        assert faults.marker_drop_prob == 0.0
+
+
+class TestScenarioShape:
+    def test_build_scenario(self):
+        network, config, queries, profile = build_scenario(fast=True)
+        assert config.health_enabled
+        assert config.audit_interval is not None
+        assert len(queries) == 140
+        assert profile["mean_service_us"] > 0
+        # Every replica but 0 is touched; each gets exactly one
+        # degradation and one repair event.
+        touched = sorted({e.replica for e in config.replica_timeline})
+        assert touched == [1, 2, 3]
+        for rid in touched:
+            events = sorted(
+                (e for e in config.replica_timeline if e.replica == rid),
+                key=lambda e: e.time_us,
+            )
+            assert len(events) == 2
+            assert events[0].faults is not None
+            assert events[1].faults is None  # repair: back to healthy
+
+    def test_arrival_stream_is_seeded(self):
+        _, _, a, _ = build_scenario(fast=True)
+        _, _, b, _ = build_scenario(fast=True)
+        assert [q.arrival_us for q in a] == [q.arrival_us for q in b]
+        assert CHAOS_SEED != 0
+
+
+class TestAcceptanceCriteria:
+    def test_all_queries_accounted(self, result):
+        data = result.data
+        assert data["submitted"] == 140
+        assert (
+            data["served"] + data["shed"] + data["timed_out"]
+            + data["failed"]
+        ) == data["submitted"]
+
+    def test_quarantine_fires_on_gray_replicas(self, result):
+        quarantines = result.data["quarantines"]
+        assert quarantines[1] + quarantines[3] >= 1
+        assert quarantines[0] == 0  # untouched replica stays active
+
+    def test_readmission_after_repair(self, result):
+        assert sum(result.data["readmissions"].values()) >= 1
+
+    def test_audit_catches_silent_truncation(self, result):
+        assert result.data["audit_checks"] > 0
+        assert result.data["audit_mismatches"] >= 1
+
+    def test_rendered_checks_all_ok(self, result):
+        text = result.render()
+        assert "[ok]" in text
+        assert "[FAIL]" not in text

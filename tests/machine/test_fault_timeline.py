@@ -1,0 +1,344 @@
+"""Fault timeline: schedule grammar, live-world events, gray modes."""
+
+import dataclasses
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import (
+    EVENT_KINDS,
+    FaultConfig,
+    FaultConfigError,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    FaultStats,
+    MachineConfig,
+    SnapMachine,
+    failed_clusters_for,
+    link_key,
+)
+from repro.network.generator import generate_hierarchy_kb
+
+PROGRAM = """
+SEARCH-NODE thing b0
+PROPAGATE b0 b1 chain(inverse:is-a)
+COLLECT-NODE b1
+"""
+
+
+def _machine(faults, num_nodes=120, num_clusters=8):
+    config = MachineConfig(
+        num_clusters=num_clusters, mus_per_cluster=2, faults=faults
+    )
+    return SnapMachine(
+        generate_hierarchy_kb(num_nodes, branching=3), config
+    )
+
+
+def _run(faults, num_nodes=120, num_clusters=8):
+    return _machine(faults, num_nodes, num_clusters).run(assemble(PROGRAM))
+
+
+def _injector(config, num_clusters=8, mus=2):
+    return FaultInjector(config, num_clusters, [mus] * num_clusters)
+
+
+def _fingerprint(report):
+    """Comparable digest of everything a run report observed."""
+    stats = report.fault_stats.as_dict() if report.fault_stats else {}
+    return json.dumps(
+        {
+            "total_time_us": report.total_time_us,
+            "events": report.events_processed,
+            "results": [sorted(map(str, r)) for r in report.results()],
+            "faults": stats,
+        },
+        sort_keys=True,
+    )
+
+
+class TestFaultEventValidation:
+    def test_known_kinds_construct(self):
+        FaultEvent(10.0, "cluster-fail", cluster=1)
+        FaultEvent(10.0, "link-fail", link=(0, 1))
+        FaultEvent(10.0, "mu-slowdown", cluster=2, value=2.0)
+        FaultEvent(10.0, "corrupt-rate", value=0.5)
+        FaultEvent(10.0, "marker-drop", value=0.0)
+        FaultEvent(10.0, "mu-fail", cluster=0, value=2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultConfigError, match="unknown"):
+            FaultEvent(1.0, "meteor-strike", cluster=0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultConfigError, match="time"):
+            FaultEvent(-1.0, "cluster-fail", cluster=0)
+
+    def test_cluster_kinds_require_cluster(self):
+        for kind in ("cluster-fail", "cluster-repair", "mu-fail",
+                     "mu-repair", "mu-slowdown"):
+            with pytest.raises(FaultConfigError, match="cluster"):
+                if kind == "mu-slowdown":
+                    FaultEvent(1.0, kind, value=2.0)
+                else:
+                    FaultEvent(1.0, kind)
+
+    def test_link_kinds_require_distinct_pair(self):
+        with pytest.raises(FaultConfigError):
+            FaultEvent(1.0, "link-fail")
+        with pytest.raises(FaultConfigError):
+            FaultEvent(1.0, "link-fail", link=(2, 2))
+        with pytest.raises(FaultConfigError):
+            FaultEvent(1.0, "link-repair", link=(-1, 2))
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(FaultConfigError):
+            FaultEvent(1.0, "mu-slowdown", cluster=0, value=0.5)
+
+    def test_probability_kinds_bounded(self):
+        with pytest.raises(FaultConfigError):
+            FaultEvent(1.0, "corrupt-rate", value=1.5)
+        with pytest.raises(FaultConfigError):
+            FaultEvent(1.0, "marker-drop", value=-0.1)
+
+    def test_event_kinds_constant_is_exhaustive(self):
+        for kind in EVENT_KINDS:
+            assert isinstance(kind, str)
+        assert "cluster-fail" in EVENT_KINDS
+        assert "marker-drop" in EVENT_KINDS
+
+
+class TestFaultSchedule:
+    def test_sorts_by_time_stably(self):
+        a = FaultEvent(30.0, "cluster-fail", cluster=1)
+        b = FaultEvent(10.0, "cluster-fail", cluster=2)
+        c = FaultEvent(10.0, "cluster-repair", cluster=2)
+        schedule = FaultSchedule((a, b, c))
+        # b and c share a timestamp: submission order is preserved.
+        assert schedule.events == (b, c, a)
+
+    def test_empty_is_falsy(self):
+        assert not FaultSchedule()
+        assert not FaultSchedule.empty()
+        assert len(FaultSchedule.empty()) == 0
+        assert FaultSchedule((FaultEvent(1.0, "cluster-fail", cluster=0),))
+
+    def test_schedule_alone_enables_config(self):
+        schedule = FaultSchedule(
+            (FaultEvent(5.0, "cluster-fail", cluster=0),)
+        )
+        assert not FaultConfig().enabled
+        assert FaultConfig(schedule=schedule).enabled
+
+    def test_config_rejects_non_schedule(self):
+        with pytest.raises(FaultConfigError, match="FaultSchedule"):
+            FaultConfig(schedule=[FaultEvent(1.0, "cluster-fail", cluster=0)])
+
+
+class TestIdValidation:
+    def test_failed_clusters_out_of_range_raises_naming_ids(self):
+        config = FaultConfig(failed_clusters=(2, 9, 17))
+        with pytest.raises(FaultConfigError) as err:
+            failed_clusters_for(config, 8)
+        assert "[9, 17]" in str(err.value)
+        assert "8-cluster" in str(err.value)
+
+    def test_failed_clusters_in_range_still_realized(self):
+        config = FaultConfig(failed_clusters=(2, 5))
+        assert failed_clusters_for(config, 8) == frozenset({2, 5})
+
+    def test_injector_surfaces_out_of_range_static_ids(self):
+        with pytest.raises(FaultConfigError):
+            _injector(FaultConfig(failed_clusters=(99,)))
+
+    def test_schedule_event_out_of_range_cluster(self):
+        schedule = FaultSchedule(
+            (FaultEvent(5.0, "cluster-fail", cluster=8),)
+        )
+        with pytest.raises(FaultConfigError) as err:
+            _injector(FaultConfig(schedule=schedule), num_clusters=8)
+        assert "[8]" in str(err.value)
+
+    def test_schedule_event_out_of_range_link(self):
+        schedule = FaultSchedule(
+            (FaultEvent(5.0, "link-fail", link=(0, 12)),)
+        )
+        with pytest.raises(FaultConfigError):
+            _injector(FaultConfig(schedule=schedule), num_clusters=8)
+
+
+class TestApplyEvent:
+    def test_cluster_fail_and_repair(self):
+        inj = _injector(FaultConfig(schedule=FaultSchedule((
+            FaultEvent(1.0, "cluster-fail", cluster=3),
+        ))))
+        assert inj.apply_event(FaultEvent(1.0, "cluster-fail", cluster=3))
+        assert inj.blocked_clusters == frozenset({3})
+        assert inj.stats.clusters_failed == 1
+        # Idempotent: failing an offline cluster changes nothing.
+        assert not inj.apply_event(
+            FaultEvent(2.0, "cluster-fail", cluster=3)
+        )
+        assert inj.stats.clusters_failed == 1
+        assert inj.apply_event(FaultEvent(3.0, "cluster-repair", cluster=3))
+        assert inj.blocked_clusters == frozenset()
+        assert inj.stats.clusters_repaired == 1
+
+    def test_last_survivor_guard(self):
+        inj = _injector(FaultConfig(), num_clusters=2)
+        assert inj.apply_event(FaultEvent(1.0, "cluster-fail", cluster=0))
+        # Taking down the only remaining cluster is refused.
+        assert not inj.apply_event(
+            FaultEvent(2.0, "cluster-fail", cluster=1)
+        )
+        assert inj.blocked_clusters == frozenset({0})
+
+    def test_link_flap(self):
+        inj = _injector(FaultConfig())
+        assert inj.apply_event(FaultEvent(1.0, "link-fail", link=(2, 0)))
+        assert inj.blocked_links == frozenset({link_key(0, 2)})
+        assert inj.apply_event(FaultEvent(2.0, "link-repair", link=(0, 2)))
+        assert inj.blocked_links == frozenset()
+        assert inj.stats.links_failed == 1
+        assert inj.stats.links_repaired == 1
+
+    def test_mu_loss_and_restore(self):
+        inj = _injector(FaultConfig(), mus=3)
+        inj.apply_event(FaultEvent(1.0, "mu-fail", cluster=2, value=2))
+        assert inj.current_mu_counts[2] == 1
+        assert inj.stats.mus_lost == 2
+        # Floor at one server: further losses cannot empty the pool.
+        inj.apply_event(FaultEvent(2.0, "mu-fail", cluster=2, value=5))
+        assert inj.current_mu_counts[2] == 1
+        inj.apply_event(FaultEvent(3.0, "mu-repair", cluster=2))
+        assert inj.current_mu_counts[2] == 3  # back to configured
+        assert inj.stats.mus_restored == 2
+
+    def test_gray_knobs(self):
+        inj = _injector(FaultConfig(marker_drop_prob=0.01))
+        assert inj.slowdown_for(4) == 1.0
+        inj.apply_event(FaultEvent(1.0, "mu-slowdown", cluster=4, value=2.5))
+        assert inj.slowdown_for(4) == 2.5
+        assert inj.slowdown_for(0) == 1.0
+        inj.apply_event(FaultEvent(2.0, "corrupt-rate", value=0.3))
+        assert inj._corrupt_prob == 0.3
+        inj.apply_event(FaultEvent(3.0, "marker-drop", value=0.0))
+        assert not inj.marker_dropped()
+
+    def test_timeline_events_counted(self):
+        inj = _injector(FaultConfig())
+        inj.apply_event(FaultEvent(1.0, "cluster-fail", cluster=1))
+        inj.apply_event(FaultEvent(2.0, "cluster-repair", cluster=1))
+        assert inj.stats.timeline_events == 2
+
+
+class TestTimelineRuns:
+    def test_mid_run_fail_and_repair_is_deterministic(self):
+        schedule = FaultSchedule((
+            FaultEvent(40.0, "cluster-fail", cluster=1),
+            FaultEvent(220.0, "cluster-repair", cluster=1),
+        ))
+        faults = FaultConfig(seed=5, remap_nodes=False, schedule=schedule)
+        r1 = _run(faults)
+        r2 = _run(faults)
+        assert r1.fault_stats.timeline_events == 2
+        assert r1.fault_stats.clusters_failed == 1
+        assert r1.fault_stats.clusters_repaired == 1
+        assert _fingerprint(r1) == _fingerprint(r2)
+
+    def test_marker_drop_is_gray(self):
+        clean = _run(FaultConfig.disabled())
+        dropped = _run(
+            FaultConfig(seed=9, marker_drop_prob=0.2, remap_nodes=False)
+        )
+        stats = dropped.fault_stats
+        assert stats.markers_dropped > 0
+        # No query-visible signal: the breaker can never see a drop.
+        assert stats.query_visible_failures() == 0
+        assert len(dropped.results()[0]) < len(clean.results()[0])
+
+    def test_mu_slowdown_stretches_service(self):
+        clean = _run(FaultConfig.disabled())
+        slow = _run(
+            FaultConfig(seed=9, mu_slowdown_factor=3.0, remap_nodes=False)
+        )
+        assert slow.fault_stats.slowdown_us > 0
+        assert slow.fault_stats.query_visible_failures() == 0
+        assert slow.total_time_us > clean.total_time_us
+        assert len(slow.results()[0]) == len(clean.results()[0])
+
+    def test_slowdown_event_mid_run(self):
+        schedule = FaultSchedule((
+            FaultEvent(30.0, "mu-slowdown", cluster=0, value=4.0),
+        ))
+        report = _run(FaultConfig(seed=9, schedule=schedule))
+        assert report.fault_stats.slowdown_us > 0
+
+    def test_mu_fail_event_resizes_pool(self):
+        schedule = FaultSchedule((
+            FaultEvent(20.0, "mu-fail", cluster=0, value=1),
+        ))
+        report = _run(FaultConfig(seed=9, schedule=schedule))
+        assert report.fault_stats.mus_lost >= 1
+        # Utilization stays a valid fraction after the resize.
+        assert 0.0 <= report.mu_utilization() <= 1.0
+
+    def test_far_future_event_does_not_inflate_runtime(self):
+        baseline = _run(FaultConfig.disabled())
+        schedule = FaultSchedule((
+            FaultEvent(1e9, "cluster-fail", cluster=1),
+        ))
+        report = _run(FaultConfig(seed=9, schedule=schedule))
+        # The leftover event is cancelled at program completion, so
+        # the clock never travels to t=1e9.
+        assert report.total_time_us < 1e6
+        assert report.total_time_us == pytest.approx(
+            baseline.total_time_us, rel=1e-9
+        )
+        assert report.fault_stats.timeline_events == 0
+
+    def test_empty_schedule_matches_static_behaviour(self):
+        static = FaultConfig(seed=5, failed_clusters=(2,), remap_nodes=False)
+        timeline = replace(static, schedule=FaultSchedule.empty())
+        assert _fingerprint(_run(static)) == _fingerprint(_run(timeline))
+
+
+class TestFaultStatsSync:
+    LEGACY_FIELDS = (
+        "clusters_failed", "mus_lost", "links_failed", "nodes_remapped",
+        "scp_timeouts", "transfer_retries", "transfer_failures",
+        "retry_time_us", "messages_rerouted", "messages_unreachable",
+        "replays", "replayed_messages", "messages_lost",
+    )
+
+    def test_every_field_reaches_as_dict(self):
+        """A field added to FaultStats without an as_dict entry must
+        fail here, not silently vanish from reports and goldens."""
+        stats = FaultStats()
+        for i, f in enumerate(dataclasses.fields(FaultStats)):
+            setattr(stats, f.name, i + 1)  # unique nonzero values
+        record = stats.as_dict()
+        for i, f in enumerate(dataclasses.fields(FaultStats)):
+            assert record.get(f.name) == i + 1, (
+                f"FaultStats.{f.name} missing from as_dict()"
+            )
+
+    def test_conditional_fields_cover_all_non_legacy(self):
+        names = {f.name for f in dataclasses.fields(FaultStats)}
+        conditional = set(FaultStats._CONDITIONAL_FIELDS)
+        assert conditional <= names
+        assert names - set(self.LEGACY_FIELDS) == conditional
+
+    def test_zero_timeline_counters_stay_out_of_dict(self):
+        record = FaultStats().as_dict()
+        assert set(record) == set(self.LEGACY_FIELDS)
+
+    def test_query_visible_failures_sees_losses_not_drops(self):
+        stats = FaultStats(
+            messages_lost=2, messages_unreachable=3, transfer_failures=1,
+            markers_dropped=50,
+        )
+        assert stats.query_visible_failures() == 6
