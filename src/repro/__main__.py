@@ -23,7 +23,8 @@ Commands
     JSON timeline of the run.
 ``trace WORKLOAD [--out trace.json] [--smoke] [--metrics-out PATH]``
     Capture a canonical workload (``propagate``, ``faults``,
-    ``overload``, or ``chaos``) as a validated Perfetto trace with the
+    ``overload``, ``chaos``, or ``fleetchaos``, the sharded fleet
+    through a regional outage) as a validated Perfetto trace with the
     metrics registry embedded; open the file in ``ui.perfetto.dev``.  See
     ``docs/OBSERVABILITY.md``.  ``--metrics-out`` additionally dumps
     the metrics registry as a standalone JSON document.
@@ -290,7 +291,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace", help="capture a workload as a Perfetto trace"
     )
     p.add_argument("workload",
-                   choices=["propagate", "faults", "overload", "chaos"],
+                   choices=["propagate", "faults", "overload", "chaos",
+                            "fleetchaos"],
                    help="scenario to capture")
     p.add_argument("--out", default="trace.json",
                    help="output path (default: trace.json)")

@@ -27,6 +27,7 @@ from . import (  # noqa: F401
     fig19_kb_sweep,
     fig20_propagation_counts,
     fig21_overheads,
+    fleetchaos,
     overload,
     scaling_projection,
     speech_robustness,
@@ -39,7 +40,7 @@ from .common import REGISTRY, ExperimentResult
 DEFAULT_ORDER = (
     "fig06", "fig08", "table04", "fig15", "fig16", "fig17",
     "fig18", "fig19", "fig20", "fig21", "textstats", "scaling",
-    "speech", "faultdeg", "overload", "chaos",
+    "speech", "faultdeg", "overload", "chaos", "fleetchaos",
 )
 
 
@@ -98,7 +99,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"error: unknown experiment(s): {', '.join(unknown)}\n"
             f"usage: python -m repro experiments [IDS...] [--full]\n"
-            f"known experiments: {known}",
+            f"known experiments: {known}\n"
+            f"(use --list to print registered ids one per line)",
             file=sys.stderr,
         )
         return 2

@@ -1,0 +1,62 @@
+"""repro.fleet: a sharded, replicated serving fleet.
+
+The scale-out layer above :mod:`repro.host` (ROADMAP item 2): one
+knowledge base community-sharded across shard groups, each shard
+replicated across distinct regional failure domains by consistent-hash
+placement, fronted by a router doing scatter-gather with explicit
+partial-result semantics (per-shard deadlines, quorum-or-degrade,
+stale-replica flagging) and event-driven failover.  A background
+rebalancer restores the replication factor after regional failures
+under a budgeted copy bandwidth.
+
+See ``docs/FLEET.md`` for the design walk-through and the
+``fleetchaos`` experiment for the regional-outage rescue.
+"""
+
+from .config import FleetConfig, FleetConfigError
+from .placement import (
+    HashRing,
+    PlacementMap,
+    PrimaryChange,
+    ReplicaState,
+    ShardReplica,
+)
+from .rebalance import CopyJob, Rebalancer
+from .report import (
+    ANSWERED_STATUSES,
+    FleetOutcome,
+    FleetReport,
+    FleetStatus,
+    ShardSummary,
+)
+from .router import FleetRouter
+from .sharding import (
+    FleetError,
+    Shard,
+    ShardAnswer,
+    ShardExecutor,
+    build_shards,
+)
+
+__all__ = [
+    "ANSWERED_STATUSES",
+    "CopyJob",
+    "FleetConfig",
+    "FleetConfigError",
+    "FleetError",
+    "FleetOutcome",
+    "FleetReport",
+    "FleetRouter",
+    "FleetStatus",
+    "HashRing",
+    "PlacementMap",
+    "PrimaryChange",
+    "Rebalancer",
+    "ReplicaState",
+    "Shard",
+    "ShardAnswer",
+    "ShardExecutor",
+    "ShardReplica",
+    "ShardSummary",
+    "build_shards",
+]

@@ -1,0 +1,156 @@
+"""Fleet configuration: shards × replicas × regions plus routing knobs.
+
+The fleet serves **one** knowledge base sharded across ``num_shards``
+shard groups (community partitioning aligns shards with query
+locality); each shard is replicated ``replication_factor`` times, with
+every replica placed in a **distinct region** (failure domain) chosen
+by consistent hashing.  A full-region outage therefore costs every
+shard at most one replica, never its last.
+
+Routing semantics configured here:
+
+* **per-shard deadlines** — each scatter-gather leg gets
+  ``shard_deadline_us`` (capped by the query's own deadline); a leg
+  that misses it is recorded as *shed* rather than stalling the
+  gather;
+* **quorum-or-degrade** — a query whose answered-shard count reaches
+  ``ceil(quorum_fraction * num_shards)`` returns a (possibly
+  stale-flagged) degraded answer instead of failing;
+* **failover** — serving moves to the next surviving replica in ring
+  preference order when a region dies, a replica's health lifecycle
+  quarantines it, or its breaker-style signal fires; cross-region
+  serving pays ``failover_penalty_us`` per answer;
+* **rebalance** — a background re-replication loop restores the
+  replication factor after failures under a budgeted copy bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..machine.faults import RegionSchedule
+from ..network.partition import PARTITIONERS
+
+
+class FleetConfigError(ValueError):
+    """Raised for inconsistent fleet configurations."""
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything the fleet layer needs beyond the KB itself."""
+
+    #: Failure domains replicas are spread across.
+    num_regions: int = 3
+    #: Shard groups the KB is partitioned into.
+    num_shards: int = 4
+    #: Replicas per shard, each in a distinct region.
+    replication_factor: int = 2
+    #: KB partition policy (see :data:`repro.network.partition.PARTITIONERS`).
+    partition_policy: str = "community"
+    # -- per-shard nested machine -----------------------------------------
+    #: Clusters in each shard's array slice.
+    clusters_per_shard: int = 4
+    #: Marker units per cluster within each shard machine.
+    mus_per_cluster: int = 2
+    # -- router -----------------------------------------------------------
+    #: Concurrent scatter-gathers admitted; ``None`` = unbounded.
+    queue_capacity: Optional[int] = 64
+    #: Deadline applied to queries that carry none (``None`` = none).
+    default_deadline_us: Optional[float] = None
+    #: Per-leg deadline of one shard attempt (``None`` = the query's
+    #: own deadline governs every leg).
+    shard_deadline_us: Optional[float] = None
+    #: Fraction of shards that must answer for a degraded response.
+    quorum_fraction: float = 0.5
+    #: Extra latency per answer served by a non-home-region replica
+    #: (the inter-region hop of a failover).
+    failover_penalty_us: float = 200.0
+    #: Service time of a shard leg whose subgraph has no hit for the
+    #: query's search root (one name-table broadcast check).
+    name_miss_service_us: float = 5.0
+    # -- placement --------------------------------------------------------
+    #: Consistent-hash ring seed (placement is a pure function of it).
+    placement_seed: int = 0
+    #: Virtual nodes per region on the ring.
+    vnodes_per_region: int = 16
+    # -- region fault timeline -------------------------------------------
+    #: Scheduled regional outages / repairs / gray slowdowns.
+    region_schedule: RegionSchedule = field(default_factory=RegionSchedule)
+    # -- rebalance --------------------------------------------------------
+    #: Re-replication copy bandwidth, KB nodes per simulated µs.
+    rebalance_bandwidth_nodes_per_us: float = 0.01
+    #: Fixed per-copy setup cost (snapshot + stream start), µs.
+    rebalance_setup_us: float = 500.0
+    #: Concurrent copies the bandwidth budget admits.
+    rebalance_concurrency: int = 1
+    # -- replica health lifecycle (phi-accrual, as in repro.host) ---------
+    health_enabled: bool = False
+    health_window: int = 12
+    health_min_samples: int = 4
+    health_sigma_floor: float = 0.08
+    health_phi_quarantine: float = 8.0
+    health_probe_after_us: float = 30_000.0
+    health_probe_successes: int = 2
+    health_readmit_ratio: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name in ("num_regions", "num_shards", "replication_factor",
+                     "clusters_per_shard", "mus_per_cluster",
+                     "vnodes_per_region", "rebalance_concurrency"):
+            value = getattr(self, name)
+            if value < 1:
+                raise FleetConfigError(f"{name} must be >= 1: {value}")
+        if self.replication_factor > self.num_regions:
+            raise FleetConfigError(
+                f"replication_factor {self.replication_factor} exceeds "
+                f"num_regions {self.num_regions}: replicas must land in "
+                "distinct failure domains"
+            )
+        if self.partition_policy not in PARTITIONERS:
+            raise FleetConfigError(
+                f"unknown partition policy {self.partition_policy!r}; "
+                f"choose from {sorted(PARTITIONERS)}"
+            )
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise FleetConfigError(
+                f"queue_capacity must be >= 1: {self.queue_capacity}"
+            )
+        if (self.default_deadline_us is not None
+                and self.default_deadline_us <= 0):
+            raise FleetConfigError(
+                f"default_deadline_us must be > 0: "
+                f"{self.default_deadline_us}"
+            )
+        if self.shard_deadline_us is not None and self.shard_deadline_us <= 0:
+            raise FleetConfigError(
+                f"shard_deadline_us must be > 0: {self.shard_deadline_us}"
+            )
+        if not 0.0 < self.quorum_fraction <= 1.0:
+            raise FleetConfigError(
+                f"quorum_fraction must be in (0, 1]: {self.quorum_fraction}"
+            )
+        for name in ("failover_penalty_us", "name_miss_service_us",
+                     "rebalance_setup_us"):
+            value = getattr(self, name)
+            if value < 0:
+                raise FleetConfigError(f"{name} must be >= 0: {value}")
+        if self.rebalance_bandwidth_nodes_per_us <= 0:
+            raise FleetConfigError(
+                "rebalance_bandwidth_nodes_per_us must be > 0: "
+                f"{self.rebalance_bandwidth_nodes_per_us}"
+            )
+        bad = [r for r in self.region_schedule.regions()
+               if r >= self.num_regions]
+        if bad:
+            raise FleetConfigError(
+                "region_schedule names regions outside the "
+                f"{self.num_regions}-region fleet: {bad}"
+            )
+
+    @property
+    def quorum(self) -> int:
+        """Shards that must answer for a degraded response (>= 1)."""
+        return max(1, math.ceil(self.num_shards * self.quorum_fraction))

@@ -1,0 +1,300 @@
+"""Fleet reports: per-query outcomes with explicit partial-result
+semantics, shard summaries, and placement history.
+
+The fleet-level analogue of :class:`repro.host.report.ServingReport`.
+The key difference is the outcome record: a scatter-gather answer is
+not a single served/failed bit but a **per-shard ledger** — which
+shards answered fresh (from their home-region primary), which answered
+stale (a surviving non-home replica after failover), and which were
+shed (leg deadline missed or shard wholly unavailable).  The
+:class:`FleetStatus` is derived from that ledger against the quorum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..host.report import _percentile_sorted
+from .placement import PrimaryChange
+
+
+class FleetStatus(str, Enum):
+    """Terminal disposition of one fleet query."""
+
+    #: Every shard answered from its home-region primary.
+    COMPLETE = "complete"
+    #: Quorum answered, but some legs were stale or shed.
+    DEGRADED = "degraded"
+    #: All legs resolved, yet fewer than quorum answered.
+    FAILED = "failed"
+    #: Admission control rejected the query outright.
+    SHED = "shed"
+    #: The query deadline fired below quorum.
+    TIMED_OUT = "timed-out"
+
+
+#: Statuses that deliver an answer to the caller.
+ANSWERED_STATUSES = (FleetStatus.COMPLETE, FleetStatus.DEGRADED)
+
+
+@dataclass(slots=True)
+class FleetOutcome:
+    """One query's scatter-gather ledger."""
+
+    query_id: int
+    status: FleetStatus
+    arrival_us: float
+    finish_us: float
+    #: Arrival-to-terminal elapsed time, in µs.
+    latency_us: float
+    #: Shards that answered from their home-region primary.
+    shards_fresh: Tuple[int, ...] = ()
+    #: Shards that answered from a non-home (failover) replica.
+    shards_stale: Tuple[int, ...] = ()
+    #: Shards whose leg was shed (deadline, unavailable, or cut off
+    #: when the query-level deadline fired).
+    shards_shed: Tuple[int, ...] = ()
+    #: Failover hops paid by this query (= stale legs served).
+    failovers: int = 0
+    #: Whether every answered leg matched the shard's reference
+    #: answer (vacuously True for queries that answered no shard).
+    correct: bool = True
+    #: Why admission rejected the query (shed outcomes only).
+    shed_reason: Optional[str] = None
+    #: Answered-leg payloads by shard id (program-order result lists).
+    results: Optional[Dict[int, List[Any]]] = field(
+        default=None, repr=False
+    )
+
+    @property
+    def answered(self) -> int:
+        """Shards that produced an answer (fresh + stale)."""
+        return len(self.shards_fresh) + len(self.shards_stale)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (JSON-friendly; payloads omitted)."""
+        return {
+            "query_id": self.query_id,
+            "status": self.status.value,
+            "arrival_us": self.arrival_us,
+            "finish_us": self.finish_us,
+            "latency_us": self.latency_us,
+            "shards_fresh": list(self.shards_fresh),
+            "shards_stale": list(self.shards_stale),
+            "shards_shed": list(self.shards_shed),
+            "failovers": self.failovers,
+            "correct": self.correct,
+            "shed_reason": self.shed_reason,
+        }
+
+
+@dataclass
+class ShardSummary:
+    """Per-shard serving statistics for the report."""
+
+    shard_id: int
+    num_nodes: int
+    home_region: int
+    #: Region serving the shard when the run ended (None = dark).
+    serving_region: Optional[int]
+    #: Live replica count when the run ended.
+    replication: int
+    legs_fresh: int = 0
+    legs_stale: int = 0
+    legs_shed: int = 0
+    #: Legs answered with an empty result (query root not on shard).
+    legs_missed: int = 0
+    primary_changes: int = 0
+    rebuilds: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "num_nodes": self.num_nodes,
+            "home_region": self.home_region,
+            "serving_region": self.serving_region,
+            "replication": self.replication,
+            "legs_fresh": self.legs_fresh,
+            "legs_stale": self.legs_stale,
+            "legs_shed": self.legs_shed,
+            "legs_missed": self.legs_missed,
+            "primary_changes": self.primary_changes,
+            "rebuilds": self.rebuilds,
+        }
+
+
+@dataclass
+class FleetReport:
+    """Full measurement record of one fleet serving run."""
+
+    outcomes: List[FleetOutcome] = field(default_factory=list)
+    shards: List[ShardSummary] = field(default_factory=list)
+    #: Simulated time at which the last query reached a terminal state.
+    total_time_us: float = 0.0
+    #: Every serving-primary move, in time order.
+    primary_changes: List[PrimaryChange] = field(default_factory=list)
+    #: Re-replication copies completed / aborted (dead target region).
+    rebuilds_completed: int = 0
+    rebuilds_aborted: int = 0
+    #: Per-shard live replica counts at end of run.
+    final_replication: List[int] = field(default_factory=list)
+    #: Configured replication factor, for the R invariant check.
+    replication_factor: int = 0
+    _latency_cache: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    def count(self, status: FleetStatus) -> int:
+        """Queries that terminated in one bucket."""
+        return sum(1 for o in self.outcomes if o.status is status)
+
+    @property
+    def submitted(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def complete(self) -> int:
+        return self.count(FleetStatus.COMPLETE)
+
+    @property
+    def degraded(self) -> int:
+        return self.count(FleetStatus.DEGRADED)
+
+    @property
+    def failed(self) -> int:
+        return self.count(FleetStatus.FAILED)
+
+    @property
+    def shed(self) -> int:
+        return self.count(FleetStatus.SHED)
+
+    @property
+    def timed_out(self) -> int:
+        return self.count(FleetStatus.TIMED_OUT)
+
+    @property
+    def answered(self) -> int:
+        """Queries that returned an answer (complete + degraded)."""
+        return self.complete + self.degraded
+
+    @property
+    def answered_fraction(self) -> float:
+        """Answered share of all submitted queries."""
+        return self.answered / self.submitted if self.submitted else 0.0
+
+    @property
+    def correct_answered(self) -> int:
+        """Answered queries whose every leg matched the reference."""
+        return sum(
+            1 for o in self.outcomes
+            if o.status in ANSWERED_STATUSES and o.correct
+        )
+
+    def accounted(self) -> bool:
+        """Every submitted query in exactly one outcome bucket, and
+        every outcome's shard ledger disjoint."""
+        ids = [o.query_id for o in self.outcomes]
+        if len(ids) != len(set(ids)):
+            return False
+        buckets = (self.complete + self.degraded + self.failed
+                   + self.shed + self.timed_out)
+        if buckets != self.submitted:
+            return False
+        for o in self.outcomes:
+            ledger = o.shards_fresh + o.shards_stale + o.shards_shed
+            if len(ledger) != len(set(ledger)):
+                return False
+        return True
+
+    def replication_restored(self) -> bool:
+        """Whether every shard ended the run at full replication."""
+        return all(
+            count >= self.replication_factor
+            for count in self.final_replication
+        )
+
+    # ------------------------------------------------------------------
+    def answered_latencies(self) -> List[float]:
+        """Latencies of answered (complete or degraded) queries, µs."""
+        return [
+            o.latency_us for o in self.outcomes
+            if o.status in ANSWERED_STATUSES
+        ]
+
+    def _sorted_answered_latencies(self) -> List[float]:
+        cached = self._latency_cache
+        if cached is not None and cached[0] == len(self.outcomes):
+            return cached[1]
+        ordered = sorted(self.answered_latencies())
+        self._latency_cache = (len(self.outcomes), ordered)
+        return ordered
+
+    def latency_percentile(self, p: float) -> float:
+        """Answered-latency percentile, in µs."""
+        return _percentile_sorted(self._sorted_answered_latencies(), p)
+
+    def latency_summary(self) -> Dict[str, float]:
+        """Mean/p50/p95/p99 answered latency (µs), one sorted pass."""
+        ordered = self._sorted_answered_latencies()
+        return {
+            "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+            "p50": _percentile_sorted(ordered, 50),
+            "p95": _percentile_sorted(ordered, 95),
+            "p99": _percentile_sorted(ordered, 99),
+        }
+
+    def throughput_per_s(self) -> float:
+        """Answered queries per simulated second."""
+        if self.total_time_us <= 0:
+            return 0.0
+        return self.answered / (self.total_time_us / 1e6)
+
+    @property
+    def total_failovers(self) -> int:
+        """Failover hops paid across all answered queries."""
+        return sum(o.failovers for o in self.outcomes)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (JSON-friendly)."""
+        return {
+            "submitted": self.submitted,
+            "complete": self.complete,
+            "degraded": self.degraded,
+            "failed": self.failed,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "answered_fraction": self.answered_fraction,
+            "correct_answered": self.correct_answered,
+            "total_time_us": self.total_time_us,
+            "latency_us": self.latency_summary(),
+            "total_failovers": self.total_failovers,
+            "primary_changes": len(self.primary_changes),
+            "rebuilds_completed": self.rebuilds_completed,
+            "rebuilds_aborted": self.rebuilds_aborted,
+            "final_replication": list(self.final_replication),
+            "replication_factor": self.replication_factor,
+            "shards": [s.as_dict() for s in self.shards],
+            "outcomes": [o.as_dict() for o in self.outcomes],
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """Headline numbers for experiment tables."""
+        latency = self.latency_summary()
+        return {
+            "submitted": self.submitted,
+            "complete": self.complete,
+            "degraded": self.degraded,
+            "failed": self.failed,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "answered_fraction": round(self.answered_fraction, 4),
+            "p50_ms": round(latency["p50"] / 1e3, 3),
+            "p99_ms": round(latency["p99"] / 1e3, 3),
+            "failovers": self.total_failovers,
+            "rebuilds": self.rebuilds_completed,
+            "replication_restored": self.replication_restored(),
+        }

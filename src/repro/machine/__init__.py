@@ -27,12 +27,15 @@ from .des import (
 )
 from .faults import (
     EVENT_KINDS,
+    REGION_EVENT_KINDS,
     FaultConfig,
     FaultConfigError,
     FaultEvent,
     FaultInjector,
     FaultSchedule,
     FaultStats,
+    RegionEvent,
+    RegionSchedule,
     RetryPolicy,
     failed_clusters_for,
 )
@@ -73,8 +76,10 @@ __all__ = [
     "processor_sweep", "snap1_16cluster", "snap1_full", "uniprocessor",
     "Job", "Server", "ServerPool", "SimulationError", "Simulator",
     "Timeout", "utilization",
-    "EVENT_KINDS", "FaultConfig", "FaultConfigError", "FaultEvent",
+    "EVENT_KINDS", "REGION_EVENT_KINDS",
+    "FaultConfig", "FaultConfigError", "FaultEvent",
     "FaultInjector", "FaultSchedule", "FaultStats",
+    "RegionEvent", "RegionSchedule",
     "RetryPolicy", "failed_clusters_for",
     "HypercubeTopology", "IcnStats", "TopologyError", "link_key",
     "BoundedQueue", "ClusterArbiter", "MemoryError_", "MultiportMemory",

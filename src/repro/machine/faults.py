@@ -165,6 +165,90 @@ class FaultSchedule:
         return cls()
 
 
+#: Region-scoped timeline event kinds (fleet failure domains).
+#: ``region-fail``/``region-repair`` flip a whole failure domain;
+#: ``region-slowdown`` is the gray mode — every replica in the region
+#: keeps answering, ``value`` times slower (``1.0`` repairs it).
+REGION_EVENT_KINDS = frozenset({
+    "region-fail", "region-repair", "region-slowdown",
+})
+
+
+@dataclass(frozen=True)
+class RegionEvent:
+    """One timestamped event on a *region* (a fleet failure domain).
+
+    The machine-level :class:`FaultEvent` names clusters and links
+    inside one array; a :class:`RegionEvent` names an entire failure
+    domain of the serving fleet — every replica placed in ``region``
+    is affected at once.  ``time_us`` is fleet (router) clock time.
+    """
+
+    time_us: float
+    kind: str
+    region: int
+    #: ``region-slowdown`` only: service multiplier (>= 1; 1.0 repairs).
+    value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time_us < 0:
+            raise FaultConfigError(
+                f"event time_us must be >= 0: {self.time_us}"
+            )
+        if self.kind not in REGION_EVENT_KINDS:
+            raise FaultConfigError(
+                f"unknown region-event kind {self.kind!r}; "
+                f"known: {sorted(REGION_EVENT_KINDS)}"
+            )
+        if self.region < 0:
+            raise FaultConfigError(
+                f"{self.kind} needs a region id >= 0: {self.region}"
+            )
+        if self.kind == "region-slowdown":
+            if self.value is None or self.value < 1.0:
+                raise FaultConfigError(
+                    f"region-slowdown needs a factor >= 1: {self.value}"
+                )
+        elif self.value is not None:
+            raise FaultConfigError(
+                f"{self.kind} takes no value: {self.value}"
+            )
+
+
+@dataclass(frozen=True)
+class RegionSchedule:
+    """A time-ordered sequence of :class:`RegionEvent` deliveries.
+
+    Mirrors :class:`FaultSchedule`: events sort stably by ``time_us``
+    at construction, and the empty schedule is the no-op default.
+    """
+
+    events: Tuple[RegionEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: e.time_us))
+        object.__setattr__(self, "events", ordered)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @classmethod
+    def empty(cls) -> "RegionSchedule":
+        """The no-op schedule."""
+        return cls()
+
+    def regions(self) -> Tuple[int, ...]:
+        """Distinct region ids the schedule touches, ascending."""
+        return tuple(sorted({e.region for e in self.events}))
+
+    def for_region(self, region: int) -> Tuple[RegionEvent, ...]:
+        """The events of one region, in delivery order."""
+        return tuple(e for e in self.events if e.region == region)
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Capped exponential backoff for detected-corruption retries.

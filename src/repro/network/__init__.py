@@ -27,6 +27,8 @@ from .partition import (
     PARTITIONERS,
     PartitionError,
     Partitioning,
+    community_partition,
+    detect_communities,
     make_partition,
     round_robin_partition,
     semantic_partition,
@@ -82,6 +84,8 @@ __all__ = [
     "PARTITIONERS",
     "PartitionError",
     "Partitioning",
+    "community_partition",
+    "detect_communities",
     "make_partition",
     "round_robin_partition",
     "semantic_partition",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
 
 from .graph import SemanticNetwork
 
@@ -119,6 +119,8 @@ def sequential_partition(
     """Contiguous blocks of node ids per cluster."""
     n = network.num_nodes
     _check_capacity(n, num_clusters, capacity)
+    if n == 0:
+        return Partitioning([], num_clusters)
     block = -(-n // num_clusters)  # ceil division
     block = min(block, capacity) if block else 1
     if block * num_clusters < n:
@@ -152,6 +154,8 @@ def semantic_partition(
     """
     n = network.num_nodes
     _check_capacity(n, num_clusters, capacity)
+    if n == 0:
+        return Partitioning([], num_clusters)
     target = min(-(-n // num_clusters), capacity)
     assignment = [-1] * n
     # Undirected adjacency for region growing.
@@ -179,6 +183,143 @@ def semantic_partition(
             for nb in neighbors[nid]:
                 if assignment[nb] == -1:
                     queue.append(nb)
+    return Partitioning(assignment, num_clusters)
+
+
+#: Label-propagation rounds before the detector gives up on full
+#: convergence (asynchronous LPA converges in a handful of rounds on
+#: the KB generators' graphs; the cap only bounds adversarial inputs).
+MAX_LPA_ROUNDS = 16
+
+
+def detect_communities(network: SemanticNetwork) -> List[List[int]]:
+    """Deterministic community detection by label propagation.
+
+    Asynchronous label propagation over the undirected link structure
+    (the GraphRAG-style community-clustering recipe): every node starts
+    as its own community and repeatedly adopts the most frequent label
+    among its neighbours.  All tie-breaks are by **lowest label**, and
+    nodes are visited in ascending id order, so the result is a pure
+    function of the graph — no RNG is drawn and repeated runs (with or
+    without a seed anywhere upstream) produce identical communities.
+
+    Returns member lists (each ascending by node id), ordered largest
+    community first with ties broken by smallest member id.  An empty
+    network yields no communities; a fully connected one yields exactly
+    one (single-community inputs are legal — the partitioners split
+    them by BFS order instead of raising).
+    """
+    n = network.num_nodes
+    if n == 0:
+        return []
+    neighbors: List[List[int]] = [[] for _ in range(n)]
+    for link in network.links():
+        neighbors[link.source].append(link.dest)
+        neighbors[link.dest].append(link.source)
+    labels = list(range(n))
+    for _ in range(MAX_LPA_ROUNDS):
+        changed = False
+        for nid in range(n):
+            if not neighbors[nid]:
+                continue
+            tally: Dict[int, int] = {}
+            for nb in neighbors[nid]:
+                label = labels[nb]
+                tally[label] = tally.get(label, 0) + 1
+            # Most frequent neighbour label; ties -> lowest label (the
+            # deterministic tie-break that keeps partitions stable).
+            best = min(
+                tally, key=lambda label: (-tally[label], label)
+            )
+            if best != labels[nid]:
+                labels[nid] = best
+                changed = True
+        if not changed:
+            break
+    members: Dict[int, List[int]] = {}
+    for nid, label in enumerate(labels):
+        members.setdefault(label, []).append(nid)
+    return sorted(members.values(), key=lambda m: (-len(m), m[0]))
+
+
+def _bfs_order(members: List[int], neighbors: List[List[int]]) -> List[int]:
+    """Members of one community in BFS order from its lowest id.
+
+    Used to split an oversized community into locality-preserving
+    chunks: consecutive BFS positions are graph-adjacent, so a chunk
+    boundary cuts as few intra-community links as a greedy sweep can.
+    """
+    member_set = set(members)
+    order: List[int] = []
+    seen: Set[int] = set()
+    for seed in members:  # ascending; covers disconnected parts
+        if seed in seen:
+            continue
+        queue: deque = deque((seed,))
+        seen.add(seed)
+        while queue:
+            nid = queue.popleft()
+            order.append(nid)
+            for nb in sorted(neighbors[nid]):
+                if nb in member_set and nb not in seen:
+                    seen.add(nb)
+                    queue.append(nb)
+    return order
+
+
+def community_partition(
+    network: SemanticNetwork,
+    num_clusters: int,
+    capacity: int = MAX_NODES_PER_CLUSTER,
+) -> Partitioning:
+    """Community-aligned allocation (label propagation + bin packing).
+
+    Detects communities with :func:`detect_communities`, splits any
+    community larger than the balanced target into BFS-ordered chunks,
+    and packs chunks onto clusters largest-first, least-loaded-first
+    (ties by lowest cluster id).  A chunk that would overflow the
+    least-loaded cluster's remaining capacity is split at the
+    boundary, so packing always succeeds whenever
+    ``n <= num_clusters * capacity``.
+
+    Handles the degenerate inputs explicitly: an **empty network**
+    partitions into ``num_clusters`` empty clusters, and a
+    **single-community network** is split by BFS order rather than
+    raising.  Everything is deterministic — same graph, same
+    partition, run after run.
+    """
+    n = network.num_nodes
+    _check_capacity(n, num_clusters, capacity)
+    if n == 0:
+        return Partitioning([], num_clusters)
+    neighbors: List[List[int]] = [[] for _ in range(n)]
+    for link in network.links():
+        neighbors[link.source].append(link.dest)
+        neighbors[link.dest].append(link.source)
+    target = min(-(-n // num_clusters), capacity)
+    chunks: List[List[int]] = []
+    for community in detect_communities(network):
+        if len(community) <= target:
+            chunks.append(community)
+            continue
+        ordered = _bfs_order(community, neighbors)
+        chunks.extend(
+            ordered[i:i + target] for i in range(0, len(ordered), target)
+        )
+    chunks.sort(key=lambda chunk: (-len(chunk), chunk[0]))
+    assignment = [-1] * n
+    loads = [0] * num_clusters
+    for chunk in chunks:
+        rest = chunk
+        while rest:
+            cluster = min(
+                range(num_clusters), key=lambda c: (loads[c], c)
+            )
+            room = capacity - loads[cluster]
+            placed, rest = rest[:room], rest[room:]
+            for nid in placed:
+                assignment[nid] = cluster
+            loads[cluster] += len(placed)
     return Partitioning(assignment, num_clusters)
 
 
@@ -226,6 +367,7 @@ PARTITIONERS: Dict[str, Callable[..., Partitioning]] = {
     "sequential": sequential_partition,
     "round-robin": round_robin_partition,
     "semantic": semantic_partition,
+    "community": community_partition,
 }
 
 

@@ -236,6 +236,12 @@ class Anomaly:
 #: Breaker opens on one replica at or above this count = flapping.
 BREAKER_FLAP_THRESHOLD = 3
 
+#: Primary-region changes on one shard's track at or above this count
+#: = failover flapping.  A clean outage-and-repair cycle costs two
+#: changes (away from home, back home); three or more within one
+#: capture means serving is oscillating between replicas.
+FAILOVER_FLAP_THRESHOLD = 3
+
 #: Minimum queue-depth samples before the monotone-growth check fires.
 QUEUE_TREND_MIN_SAMPLES = 8
 
@@ -264,6 +270,18 @@ def find_anomalies(model: TraceModel) -> List[Anomaly]:
                     "breaker-flapping", where,
                     f"circuit breaker opened {opens} times — the "
                     "replica oscillates between probe and trip",
+                )
+            )
+        failovers = sum(
+            1 for i in track.instants if i.name == "failover"
+        )
+        if failovers >= FAILOVER_FLAP_THRESHOLD:
+            anomalies.append(
+                Anomaly(
+                    "failover-flapping", where,
+                    f"serving primary changed {failovers} times — the "
+                    "shard oscillates between replicas (a clean "
+                    "outage/repair cycle costs two changes)",
                 )
             )
         for series, samples in track.counters.items():

@@ -27,6 +27,13 @@ timeline rather than a stopwatch):
     runs, ``health-quarantined``/``health-active`` lifecycle
     transitions on the replica tracks, and ``audit-mismatch`` marks
     where shadow re-execution caught a silently-incomplete answer.
+``fleetchaos``
+    The sharded fleet through a full-region outage and a later gray
+    (3x-slow) region: per-query scatter-gather span trees on the
+    ``fleet-queries`` process, per-shard ``failover`` instants as
+    serving moves off the dead region, ``rebuild-done`` marks as the
+    rebalancer restores the replication factor, and the restore-home
+    moves after the repair.
 
 The emitted file is Chrome trace-event JSON (object form) with the
 run's :class:`repro.obs.metrics.MetricsRegistry` dump under the extra
@@ -46,7 +53,7 @@ from .tracer import Tracer
 from .validate import validate_chrome_trace
 
 #: Workload ids, in help/display order.
-WORKLOADS = ("propagate", "faults", "overload", "chaos")
+WORKLOADS = ("propagate", "faults", "overload", "chaos", "fleetchaos")
 
 
 def _propagate_setup(faulty: bool):
@@ -242,11 +249,49 @@ def capture_chaos(smoke: bool = False):
     }
 
 
+def capture_fleetchaos(smoke: bool = False):
+    """Fleet capture: regional outage, failover, rebalance, gray region.
+
+    The :mod:`repro.experiments.fleetchaos` scenario under full
+    tracing: region 0 dies at 30 ms and is repaired at 300 ms, then
+    region 2 turns 3x-slow for 70 ms.  Look for ``failover`` instants
+    on the shard tracks at the outage (serving moves to the surviving
+    replica), ``rebuild-done`` as the rebalancer restores R during the
+    outage, the restore-home ``failover`` instants after the repair,
+    and a second failover wave on the gray region's shards when the
+    phi-accrual health lifecycle quarantines their slowed replicas.
+    """
+    from ..experiments.fleetchaos import build_scenario
+    from ..fleet import FleetRouter
+
+    network, config, queries, profile = build_scenario(fast=True)
+    if smoke:
+        queries = queries[: len(queries) // 2]
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    router = FleetRouter(network, config, tracer=tracer, metrics=metrics)
+    report = router.serve(queries)
+    return tracer, metrics, {
+        "queries": len(queries),
+        "complete": report.complete,
+        "degraded": report.degraded,
+        "failed": report.failed,
+        "shed": report.shed,
+        "timed_out": report.timed_out,
+        "failovers": report.total_failovers,
+        "primary_changes": len(report.primary_changes),
+        "rebuilds_completed": report.rebuilds_completed,
+        "final_replication": list(report.final_replication),
+        "simulated_us": round(report.total_time_us, 3),
+    }
+
+
 _RUNNERS = {
     "propagate": capture_propagate,
     "faults": capture_faults,
     "overload": capture_overload,
     "chaos": capture_chaos,
+    "fleetchaos": capture_fleetchaos,
 }
 
 

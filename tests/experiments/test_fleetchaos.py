@@ -1,0 +1,93 @@
+"""Fleetchaos experiment: regional-outage acceptance criteria.
+
+These are the PR's headline invariants: with R=2 and one full-region
+outage, at least 99% of in-deadline queries return a correct (possibly
+degraded) answer, and post-rebalance replication returns to R.
+"""
+
+import pytest
+
+from repro.experiments.fleetchaos import (
+    FLEETCHAOS_SEED,
+    ROOTS,
+    build_fleet_queries,
+    build_scenario,
+    run,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(fast=True)
+
+
+class TestScenarioShape:
+    def test_build_scenario(self):
+        network, config, queries, profile = build_scenario(fast=True)
+        assert config.num_regions == 3
+        assert config.replication_factor == 2
+        assert config.partition_policy == "community"
+        assert config.health_enabled
+        kinds = [e.kind for e in config.region_schedule.events]
+        assert kinds == [
+            "region-fail", "region-repair",
+            "region-slowdown", "region-slowdown",
+        ]
+        fail, repair, gray_on, gray_off = config.region_schedule.events
+        assert fail.region == repair.region
+        assert gray_on.region == gray_off.region != fail.region
+        assert gray_on.value > 1.0 and gray_off.value == 1.0
+        # The stream spans the whole timeline.
+        assert queries[-1].arrival_us > gray_on.time_us
+
+    def test_arrival_stream_is_seeded(self):
+        a = build_fleet_queries(50, 2_000.0, 50_000.0, FLEETCHAOS_SEED)
+        b = build_fleet_queries(50, 2_000.0, 50_000.0, FLEETCHAOS_SEED)
+        assert [(q.arrival_us, q.template) for q in a] == \
+               [(q.arrival_us, q.template) for q in b]
+
+    def test_roots_cover_multiple_templates(self):
+        queries = build_fleet_queries(
+            80, 2_000.0, 50_000.0, FLEETCHAOS_SEED
+        )
+        assert len({q.template for q in queries}) == len(ROOTS)
+
+
+class TestAcceptanceCriteria:
+    def test_all_queries_accounted(self, result):
+        data = result.data
+        total = (
+            data["complete"] + data["degraded"] + data["failed"]
+            + data["shed"] + data["timed_out"]
+        )
+        assert total == data["submitted"] == 220
+
+    def test_99_percent_answered_correct(self, result):
+        data = result.data
+        assert data["answered_fraction"] >= 0.99
+        answered = data["complete"] + data["degraded"]
+        assert data["correct_answered"] == answered
+
+    def test_p99_within_deadline(self, result):
+        assert result.data["p99_latency_us"] <= result.data["deadline_us"]
+
+    def test_outage_actually_failed_over(self, result):
+        data = result.data
+        assert data["total_failovers"] >= 1
+        assert data["stale_legs"] >= 1
+        assert data["degraded"] >= 1
+
+    def test_replication_returns_to_r(self, result):
+        data = result.data
+        assert data["final_replication"] == [2, 2, 2, 2]
+        assert data["rebuilds_completed"] >= 1
+
+    def test_no_primary_flapping(self, result):
+        # 4 shards, each at most one away-and-back cycle (outage or
+        # gray quarantine): the ceiling is two moves per shard.
+        assert result.data["primary_changes"] <= 8
+
+    def test_rendered_checks_all_ok(self, result):
+        text = result.render()
+        assert "[ok]" in text
+        assert "[FAIL]" not in text

@@ -1,0 +1,55 @@
+"""FleetConfig validation and derived quantities."""
+
+import pytest
+
+from repro.fleet import FleetConfig, FleetConfigError
+from repro.machine.faults import RegionEvent, RegionSchedule
+
+
+class TestValidation:
+    def test_field_named_in_errors(self):
+        with pytest.raises(FleetConfigError, match="num_shards"):
+            FleetConfig(num_shards=0)
+        with pytest.raises(FleetConfigError, match="num_regions"):
+            FleetConfig(num_regions=0, replication_factor=1)
+        with pytest.raises(FleetConfigError, match="queue_capacity"):
+            FleetConfig(queue_capacity=0)
+        with pytest.raises(FleetConfigError, match="quorum_fraction"):
+            FleetConfig(quorum_fraction=0.0)
+        with pytest.raises(FleetConfigError, match="quorum_fraction"):
+            FleetConfig(quorum_fraction=1.5)
+        with pytest.raises(FleetConfigError, match="shard_deadline_us"):
+            FleetConfig(shard_deadline_us=0.0)
+        with pytest.raises(FleetConfigError, match="bandwidth"):
+            FleetConfig(rebalance_bandwidth_nodes_per_us=0.0)
+
+    def test_replication_cannot_exceed_regions(self):
+        with pytest.raises(FleetConfigError, match="distinct failure"):
+            FleetConfig(num_regions=2, replication_factor=3)
+
+    def test_unknown_partition_policy(self):
+        with pytest.raises(FleetConfigError, match="partition policy"):
+            FleetConfig(partition_policy="voodoo")
+
+    def test_region_schedule_bounds_checked(self):
+        schedule = RegionSchedule((RegionEvent(1.0, "region-fail", 7),))
+        with pytest.raises(FleetConfigError, match="outside"):
+            FleetConfig(num_regions=3, region_schedule=schedule)
+
+    def test_defaults_are_valid(self):
+        config = FleetConfig()
+        assert config.replication_factor <= config.num_regions
+
+
+class TestQuorum:
+    def test_half_of_four_is_two(self):
+        assert FleetConfig(num_shards=4, quorum_fraction=0.5).quorum == 2
+
+    def test_rounds_up(self):
+        assert FleetConfig(num_shards=5, quorum_fraction=0.5).quorum == 3
+
+    def test_never_below_one(self):
+        assert FleetConfig(num_shards=1, quorum_fraction=0.01).quorum == 1
+
+    def test_full_quorum(self):
+        assert FleetConfig(num_shards=4, quorum_fraction=1.0).quorum == 4

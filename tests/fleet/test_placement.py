@@ -1,0 +1,167 @@
+"""Consistent-hash placement: ring determinism, failure-domain
+spreading, and the live replica lifecycle through fail/repair."""
+
+from repro.fleet import (
+    FleetConfig,
+    HashRing,
+    PlacementMap,
+    ReplicaState,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(num_regions=3, num_shards=4, replication_factor=2)
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+class TestHashRing:
+    def test_preference_is_a_region_permutation(self):
+        ring = HashRing(num_regions=5, vnodes_per_region=16, seed=0)
+        for sid in range(40):
+            pref = ring.preference(sid)
+            assert sorted(pref) == list(range(5))
+
+    def test_deterministic_across_instances(self):
+        a = HashRing(num_regions=4, vnodes_per_region=8, seed=3)
+        b = HashRing(num_regions=4, vnodes_per_region=8, seed=3)
+        assert [a.preference(s) for s in range(20)] == \
+               [b.preference(s) for s in range(20)]
+
+    def test_seed_changes_placement(self):
+        a = HashRing(num_regions=4, vnodes_per_region=8, seed=0)
+        b = HashRing(num_regions=4, vnodes_per_region=8, seed=1)
+        prefs_a = [a.preference(s) for s in range(40)]
+        prefs_b = [b.preference(s) for s in range(40)]
+        assert prefs_a != prefs_b
+
+    def test_homes_spread_across_regions(self):
+        # With enough shards every region should be home to someone.
+        ring = HashRing(num_regions=3, vnodes_per_region=16, seed=0)
+        homes = {ring.preference(s)[0] for s in range(64)}
+        assert homes == {0, 1, 2}
+
+
+class TestInitialPlacement:
+    def test_replicas_in_distinct_regions(self):
+        placement = PlacementMap(small_config())
+        for sid in range(4):
+            regions = list(placement.replicas[sid])
+            assert len(regions) == len(set(regions)) == 2
+
+    def test_home_holds_a_replica(self):
+        placement = PlacementMap(small_config())
+        for sid in range(4):
+            home = placement.home_region(sid)
+            assert home in placement.replicas[sid]
+            assert placement.serving_region(sid) == home
+
+    def test_replication_counts_start_at_r(self):
+        placement = PlacementMap(small_config())
+        assert placement.replication_counts() == [2, 2, 2, 2]
+
+
+class TestFailRepair:
+    def test_region_fail_kills_resident_replicas(self):
+        placement = PlacementMap(small_config())
+        affected = placement.region_fail(0)
+        assert affected == [
+            sid for sid in range(4)
+            if 0 in placement.replicas[sid]
+        ]
+        for sid in affected:
+            assert placement.replicas[sid][0].state is ReplicaState.DEAD
+            assert placement.active_count(sid) == 1
+
+    def test_select_fails_over_in_preference_order(self):
+        placement = PlacementMap(small_config())
+        victims = placement.region_fail(0)
+        assert victims, "seed 0 must place something in region 0"
+        for sid in victims:
+            replica = placement.select(sid, now=0.0)
+            assert replica is not None
+            assert replica.region != 0
+            # The survivor is the next preference after any dead ones.
+            live_prefs = [
+                r for r in placement.preferences[sid] if r != 0
+            ]
+            assert replica.region == live_prefs[0]
+
+    def test_repair_garbage_collects_dead_copies(self):
+        placement = PlacementMap(small_config())
+        victims = placement.region_fail(0)
+        came_home = placement.region_repair(0)
+        # The repaired region returns empty: every dead copy is gone,
+        # and exactly the shards homed there need a restore.
+        for sid in victims:
+            assert 0 not in placement.replicas[sid]
+        assert came_home == [
+            sid for sid in victims if placement.home_region(sid) == 0
+        ]
+
+    def test_note_serving_records_changes_once(self):
+        placement = PlacementMap(small_config())
+        sid = 0
+        home = placement.home_region(sid)
+        other = next(
+            r for r in placement.preferences[sid] if r != home
+        )
+        assert placement.note_serving(sid, other, 5.0, "failover")
+        assert not placement.note_serving(sid, other, 6.0, "failover")
+        assert placement.note_serving(sid, home, 7.0, "restore-home")
+        changes = placement.primary_changes
+        assert [(c.from_region, c.to_region) for c in changes] == [
+            (home, other), (other, home),
+        ]
+        assert changes[0].reason == "failover"
+        assert changes[1].reason == "restore-home"
+
+
+class TestRebuild:
+    def test_rebuild_target_prefers_ring_order(self):
+        placement = PlacementMap(small_config())
+        sid = placement.region_fail(0)[0]
+        placement.region_repair(0)
+        target = placement.rebuild_target(sid)
+        missing = [
+            r for r in placement.preferences[sid]
+            if r not in placement.replicas[sid]
+        ]
+        assert target == missing[0]
+
+    def test_rebuilding_replica_not_selectable(self):
+        placement = PlacementMap(small_config())
+        sid = placement.region_fail(0)[0]
+        placement.region_repair(0)
+        replica = placement.begin_rebuild(sid, 0)
+        assert replica.state is ReplicaState.REBUILDING
+        chosen = placement.select(sid, now=0.0)
+        assert chosen is not None and chosen.region != 0
+        assert placement.finish_rebuild(replica)
+        assert replica.state is ReplicaState.ACTIVE
+
+    def test_finish_rebuild_aborts_into_dead_region(self):
+        placement = PlacementMap(small_config())
+        sid = placement.region_fail(0)[0]
+        placement.region_repair(0)
+        replica = placement.begin_rebuild(sid, 0)
+        placement.region_fail(0)  # target dies mid-copy
+        assert not placement.finish_rebuild(replica)
+        assert 0 not in placement.replicas[sid]
+
+    def test_trim_drops_least_preferred_never_home(self):
+        placement = PlacementMap(small_config())
+        sid = 0
+        # Build an emergency third copy, then trim back to R=2.
+        extra = next(
+            r for r in placement.preferences[sid]
+            if r not in placement.replicas[sid]
+        )
+        replica = placement.begin_rebuild(sid, extra)
+        placement.finish_rebuild(replica)
+        assert placement.active_count(sid) == 3
+        trimmed = placement.trim_to_replication_factor(sid)
+        assert placement.active_count(sid) == 2
+        assert placement.home_region(sid) in placement.replicas[sid]
+        # The trimmed copy is the least preferred of the three.
+        assert trimmed == [placement.preferences[sid][-1]]

@@ -1,0 +1,118 @@
+"""Rebalancer: budgeted copies, deficit chasing, aborts."""
+
+from repro.fleet import FleetConfig, PlacementMap, Rebalancer, build_shards
+from repro.machine.des import Simulator
+from repro.network.generator import generate_hierarchy_kb
+
+
+def build(config=None, **overrides):
+    defaults = dict(
+        num_regions=3, num_shards=4, replication_factor=2,
+        rebalance_setup_us=100.0,
+        rebalance_bandwidth_nodes_per_us=1.0,
+    )
+    defaults.update(overrides)
+    config = config or FleetConfig(**defaults)
+    network = generate_hierarchy_kb(120, branching=3)
+    shards = build_shards(network, config)
+    placement = PlacementMap(config)
+    sim = Simulator()
+    return sim, placement, shards, config
+
+
+class TestCopyCost:
+    def test_duration_is_setup_plus_streaming(self):
+        sim, placement, shards, config = build()
+        rebalancer = Rebalancer(sim, placement, shards, config)
+        sid = 0
+        expected = 100.0 + shards[sid].num_nodes / 1.0
+        assert rebalancer.copy_duration_us(sid) == expected
+
+
+class TestEnsureReplication:
+    def test_noop_when_whole(self):
+        sim, placement, shards, config = build()
+        rebalancer = Rebalancer(sim, placement, shards, config)
+        assert rebalancer.ensure_replication() == 0
+        assert rebalancer.idle
+
+    def test_restores_r_after_region_failure(self):
+        sim, placement, shards, config = build()
+        rebalancer = Rebalancer(sim, placement, shards, config)
+        victims = placement.region_fail(0)
+        queued = rebalancer.ensure_replication()
+        assert queued == len(victims)
+        sim.run()
+        assert rebalancer.completed == len(victims)
+        assert placement.replication_counts() == [2, 2, 2, 2]
+        # The new copies avoid the dead region.
+        for sid in victims:
+            live = [
+                r.region for r in placement.replicas[sid].values()
+                if r.state.value == "active"
+            ]
+            assert 0 not in live
+
+    def test_concurrency_cap_serialises_copies(self):
+        sim, placement, shards, config = build(rebalance_concurrency=1)
+        rebalancer = Rebalancer(sim, placement, shards, config)
+        victims = placement.region_fail(0)
+        assert len(victims) >= 2
+        rebalancer.ensure_replication()
+        sim.run()
+        # Serialized copies: total time is the sum of durations.
+        expected = sum(rebalancer.copy_duration_us(s) for s in victims)
+        assert sim.now == expected
+
+    def test_zero_active_shard_skipped(self):
+        sim, placement, shards, config = build()
+        rebalancer = Rebalancer(sim, placement, shards, config)
+        placement.region_fail(0)
+        placement.region_fail(1)
+        placement.region_fail(2)
+        assert rebalancer.ensure_replication() == 0
+
+    def test_duplicate_deficit_not_queued_twice(self):
+        sim, placement, shards, config = build()
+        rebalancer = Rebalancer(sim, placement, shards, config)
+        victims = placement.region_fail(0)
+        assert rebalancer.ensure_replication() == len(victims)
+        assert rebalancer.ensure_replication() == 0
+
+
+class TestAbort:
+    def test_target_region_dies_mid_copy(self):
+        sim, placement, shards, config = build()
+        rebalancer = Rebalancer(sim, placement, shards, config)
+        victims = placement.region_fail(0)
+        rebalancer.ensure_replication()
+        # Find where the first copy is heading and kill that region
+        # before any copy completes.
+        target = placement.rebuild_target(victims[0])
+        if target is None:  # already a placeholder: inspect replicas
+            target = next(
+                r.region
+                for r in placement.replicas[victims[0]].values()
+                if r.state.value == "rebuilding"
+            )
+        sim.schedule(1.0, placement.region_fail, target)
+        sim.run()
+        assert rebalancer.aborted >= 1
+
+
+class TestRestoreHome:
+    def test_home_copy_then_trim(self):
+        sim, placement, shards, config = build()
+        rebalancer = Rebalancer(sim, placement, shards, config)
+        victims = placement.region_fail(0)
+        rebalancer.ensure_replication()
+        sim.run()
+        came_home = placement.region_repair(0)
+        assert came_home  # some shard is homed in region 0
+        rebalancer.restore_home(came_home)
+        sim.run()
+        # Back to exactly R everywhere, with the home copy present.
+        assert placement.replication_counts() == [2, 2, 2, 2]
+        for sid in came_home:
+            assert 0 in placement.replicas[sid]
+            assert len(placement.replicas[sid]) == 2

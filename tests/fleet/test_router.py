@@ -1,0 +1,285 @@
+"""FleetRouter end to end: scatter-gather, quorum-or-degrade,
+regional failover, re-replication, and the health-driven gray path."""
+
+import pytest
+
+from repro.fleet import (
+    ANSWERED_STATUSES,
+    FleetConfig,
+    FleetError,
+    FleetRouter,
+    FleetStatus,
+)
+from repro.host import Query
+from repro.isa import assemble
+from repro.machine.faults import RegionEvent, RegionSchedule
+from repro.network.generator import generate_hierarchy_kb
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+ROOTS = ("thing", "c1", "c2", "c5", "c10", "c20")
+
+PROGRAMS = {
+    name: assemble(
+        f"SEARCH-NODE {name} b0\n"
+        "PROPAGATE b0 b1 chain(inverse:is-a)\n"
+        "COLLECT-NODE b1\n"
+    )
+    for name in ROOTS
+}
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_hierarchy_kb(120, branching=3)
+
+
+def make_queries(count, gap_us=2_000.0, deadline_us=50_000.0, start=0.0):
+    return [
+        Query(
+            query_id=i,
+            program=PROGRAMS[ROOTS[i % len(ROOTS)]],
+            arrival_us=start + i * gap_us,
+            deadline_us=deadline_us,
+            template=ROOTS[i % len(ROOTS)],
+        )
+        for i in range(count)
+    ]
+
+
+def fleet_config(**overrides):
+    defaults = dict(
+        num_regions=3, num_shards=4, replication_factor=2,
+    )
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+class TestHealthyServing:
+    def test_all_complete_and_correct(self, network):
+        report = FleetRouter(network, fleet_config()).serve(
+            make_queries(24)
+        )
+        assert report.submitted == 24
+        assert report.complete == 24
+        assert report.correct_answered == 24
+        assert report.accounted()
+        assert report.total_failovers == 0
+        assert report.primary_changes == []
+        assert report.replication_restored()
+
+    def test_fresh_legs_cover_every_shard(self, network):
+        report = FleetRouter(network, fleet_config()).serve(
+            make_queries(24)
+        )
+        for shard in report.shards:
+            assert shard.legs_fresh > 0
+            assert shard.legs_stale == 0
+            assert shard.legs_shed == 0
+            assert shard.serving_region == shard.home_region
+
+    def test_misses_counted_not_failed(self, network):
+        # A root lives on exactly one shard; the other legs are
+        # name-table misses that still answer (empty) fresh.
+        report = FleetRouter(network, fleet_config()).serve(
+            make_queries(6)
+        )
+        missed = sum(s.legs_missed for s in report.shards)
+        assert missed > 0
+
+    def test_serves_exactly_one_stream(self, network):
+        router = FleetRouter(network, fleet_config())
+        router.serve(make_queries(2))
+        with pytest.raises(FleetError, match="one stream"):
+            router.serve(make_queries(2))
+
+    def test_duplicate_query_id_rejected(self, network):
+        router = FleetRouter(network, fleet_config())
+        queries = make_queries(2)
+        queries[1] = Query(
+            query_id=queries[0].query_id,
+            program=queries[1].program,
+            arrival_us=queries[1].arrival_us,
+            template=queries[1].template,
+        )
+        with pytest.raises(FleetError, match="duplicate"):
+            router.serve(queries)
+
+    def test_deterministic(self, network):
+        config = fleet_config()
+        a = FleetRouter(network, config).serve(make_queries(24))
+        b = FleetRouter(network, config).serve(make_queries(24))
+        assert [(o.query_id, o.status, o.latency_us)
+                for o in a.outcomes] == \
+               [(o.query_id, o.status, o.latency_us)
+                for o in b.outcomes]
+
+
+class TestRegionalOutage:
+    @pytest.fixture(scope="class")
+    def outage_report(self, network):
+        config = fleet_config(
+            region_schedule=RegionSchedule((
+                RegionEvent(10_000.0, "region-fail", 0),
+                RegionEvent(120_000.0, "region-repair", 0),
+            )),
+        )
+        queries = make_queries(100)  # spans 0..198 ms
+        return FleetRouter(network, config).serve(queries)
+
+    def test_everything_still_answers(self, outage_report):
+        report = outage_report
+        assert report.accounted()
+        assert report.answered_fraction >= 0.99
+        assert report.correct_answered == report.answered
+
+    def test_outage_serves_stale(self, outage_report):
+        assert sum(s.legs_stale for s in outage_report.shards) > 0
+        assert outage_report.total_failovers > 0
+        assert outage_report.degraded > 0
+
+    def test_replication_restored_to_r(self, outage_report):
+        assert outage_report.replication_restored()
+        assert outage_report.final_replication == [2, 2, 2, 2]
+        assert outage_report.rebuilds_completed >= 1
+
+    def test_serving_returns_home(self, outage_report):
+        for shard in outage_report.shards:
+            assert shard.serving_region == shard.home_region
+
+    def test_exactly_one_move_cycle_per_victim(self, outage_report):
+        # Each shard homed in the dead region moves away once and
+        # back once — no flapping.
+        moved = [s for s in outage_report.shards if s.primary_changes]
+        assert moved
+        for shard in moved:
+            assert shard.primary_changes == 2
+
+    def test_outcomes_flag_stale_shards(self, outage_report):
+        degraded = [
+            o for o in outage_report.outcomes
+            if o.status is FleetStatus.DEGRADED
+        ]
+        assert degraded
+        for outcome in degraded:
+            assert outcome.shards_stale
+            assert outcome.failovers == len(outcome.shards_stale)
+
+
+class TestDeadlinesAndQuorum:
+    def test_tiny_shard_deadline_sheds_to_failure(self, network):
+        config = fleet_config(shard_deadline_us=0.5)
+        report = FleetRouter(network, config).serve(make_queries(4))
+        assert report.failed == 4
+        assert report.accounted()
+        for outcome in report.outcomes:
+            assert outcome.status not in ANSWERED_STATUSES
+            assert len(outcome.shards_shed) == 4
+
+    def test_tiny_query_deadline_times_out(self, network):
+        queries = make_queries(4, deadline_us=0.5)
+        report = FleetRouter(network, fleet_config()).serve(queries)
+        assert report.timed_out == 4
+        assert report.accounted()
+
+    def test_queue_capacity_sheds(self, network):
+        config = fleet_config(queue_capacity=1)
+        queries = make_queries(8, gap_us=0.0)  # all arrive at once
+        report = FleetRouter(network, config).serve(queries)
+        assert report.shed > 0
+        assert report.accounted()
+        shed = [
+            o for o in report.outcomes
+            if o.status is FleetStatus.SHED
+        ]
+        assert all(o.shed_reason == "queue-full" for o in shed)
+
+    def test_dark_fleet_fails_below_quorum(self, network):
+        # All regions die and never repair: legs shed as unavailable.
+        config = fleet_config(
+            region_schedule=RegionSchedule((
+                RegionEvent(1.0, "region-fail", 0),
+                RegionEvent(1.0, "region-fail", 1),
+                RegionEvent(1.0, "region-fail", 2),
+            )),
+        )
+        queries = make_queries(4, start=10.0)
+        report = FleetRouter(network, config).serve(queries)
+        assert report.answered == 0
+        assert report.accounted()
+
+
+class TestGrayRegion:
+    def test_slowdown_quarantine_fails_over_and_readmits(self, network):
+        config = fleet_config(
+            health_enabled=True,
+            health_window=8,
+            health_min_samples=3,
+            health_phi_quarantine=4.0,
+            health_probe_after_us=5_000.0,
+            health_probe_successes=1,
+            region_schedule=RegionSchedule((
+                RegionEvent(10_000.0, "region-slowdown", 2, 3.0),
+                RegionEvent(120_000.0, "region-slowdown", 2, 1.0),
+            )),
+        )
+        queries = make_queries(100)
+        report = FleetRouter(network, config).serve(queries)
+        assert report.accounted()
+        assert report.answered_fraction >= 0.99
+        assert report.correct_answered == report.answered
+        # Shards homed in the gray region fail over (stale serves)
+        # and return home after the slowdown clears.
+        gray_homed = [s for s in report.shards if s.home_region == 2]
+        assert gray_homed
+        assert sum(s.legs_stale for s in gray_homed) > 0
+        for shard in report.shards:
+            assert shard.serving_region == shard.home_region
+            # One move away, one move home — probes must not count.
+            assert shard.primary_changes in (0, 2)
+
+
+class TestObservability:
+    def test_trace_and_metrics_populated(self, network):
+        config = fleet_config(
+            region_schedule=RegionSchedule((
+                RegionEvent(10_000.0, "region-fail", 0),
+                RegionEvent(60_000.0, "region-repair", 0),
+            )),
+        )
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        router = FleetRouter(
+            network, config, tracer=tracer, metrics=metrics
+        )
+        report = router.serve(make_queries(40))
+        assert report.accounted()
+        counters = metrics.as_dict()["counters"]
+        assert counters["fleet.queries.complete"] == report.complete
+        assert counters["fleet.queries.degraded"] == report.degraded
+        assert counters["fleet.legs.fresh"] == sum(
+            s.legs_fresh for s in report.shards
+        )
+        assert counters["fleet.primary_changes"] == len(
+            report.primary_changes
+        )
+        assert counters["fleet.region_events"] == 2
+        assert counters["fleet.rebuilds.completed"] == \
+               report.rebuilds_completed
+        assert tracer.num_events > 0
+
+    def test_untraced_run_matches_traced(self, network):
+        config = fleet_config(
+            region_schedule=RegionSchedule((
+                RegionEvent(10_000.0, "region-fail", 0),
+                RegionEvent(60_000.0, "region-repair", 0),
+            )),
+        )
+        plain = FleetRouter(network, config).serve(make_queries(40))
+        traced = FleetRouter(
+            network, config, tracer=Tracer(), metrics=MetricsRegistry()
+        ).serve(make_queries(40))
+        assert [(o.query_id, o.status, o.latency_us)
+                for o in plain.outcomes] == \
+               [(o.query_id, o.status, o.latency_us)
+                for o in traced.outcomes]

@@ -195,6 +195,21 @@ class TestReplicaHealthLifecycle:
         assert health.audit_failures == 2
         assert health.quarantines == 1
 
+    def test_repeated_probe_failures_stay_quarantined(self):
+        # A replica that never recovers must never be readmitted, no
+        # matter how many probe cycles it burns.
+        health = fast_health()
+        now = quarantined(health)
+        for cycle in range(5):
+            now += 150.0  # hold-off expires, a probe slot opens
+            assert health.allow(now)
+            health.acquire(now)
+            health.record_attempt(now, 3.0, 0)  # probe still slow
+            assert health.state is HealthState.QUARANTINED
+            assert health.quarantines == cycle + 2
+        assert health.readmissions == 0
+        assert not health.allow(now + 1.0)
+
     def test_disabled_is_inert(self):
         health = ReplicaHealth(enabled=False)
         for _ in range(20):
@@ -296,3 +311,65 @@ class TestServingHostIntegration:
             assert "health_state" not in summary.as_dict()
         assert report.audit_checks == 0
         assert "audit_checks" not in report.as_dict()
+
+    def test_audit_disabled_never_shadow_executes(self, network):
+        # Health on, audit off: quarantine still works but no shadow
+        # re-execution ever runs (no audit checks, no audit reasons).
+        host = ServingHost(network, gray_config(audit_interval=None))
+        report = host.serve(make_queries(30))
+        assert report.audit_checks == 0
+        assert report.audit_mismatches == 0
+        for health in host._health:
+            assert all(
+                t.reason != "audit" for t in health.transitions
+            )
+
+
+class TestFleetIdentityAndExport:
+    def test_identity_defaults_off(self):
+        config = HostConfig()
+        assert config.group_id is None
+        assert config.region is None
+
+    def test_negative_region_rejected(self):
+        with pytest.raises(HostConfigError, match="region"):
+            HostConfig(region=-1)
+
+    def test_identity_does_not_change_serving(self, network):
+        plain = ServingHost(network, gray_config()).serve(
+            make_queries(20)
+        )
+        tagged_config = gray_config(group_id="shard-3", region=2)
+        tagged = ServingHost(network, tagged_config).serve(
+            make_queries(20)
+        )
+        assert plain.summary() == tagged.summary()
+
+    def test_health_export_carries_identity_and_state(self, network):
+        config = gray_config(group_id="shard-0", region=1)
+        host = ServingHost(network, config)
+        host.serve(make_queries(30))
+        export = host.health_export()
+        assert export["group_id"] == "shard-0"
+        assert export["region"] == 1
+        assert export["health_enabled"]
+        assert len(export["replicas"]) == config.num_replicas
+        by_id = {r["replica_id"]: r for r in export["replicas"]}
+        assert by_id[1]["quarantines"] >= 1
+        assert by_id[0]["quarantines"] == 0
+        for entry in export["replicas"]:
+            assert entry["state"] in (
+                "active", "quarantined", "probing"
+            )
+            assert entry["phi"] >= 0.0
+
+    def test_health_export_when_disabled(self, network):
+        config = gray_config(
+            health_enabled=False, audit_interval=None
+        )
+        host = ServingHost(network, config)
+        host.serve(make_queries(5))
+        export = host.health_export()
+        assert export["group_id"] is None
+        assert not export["health_enabled"]
+        assert export["replicas"] == []

@@ -7,6 +7,8 @@ from repro.network import (
     PartitionError,
     Partitioning,
     SemanticNetwork,
+    community_partition,
+    detect_communities,
     make_partition,
     round_robin_partition,
     semantic_partition,
@@ -37,7 +39,7 @@ def clustered_network(groups: int, size: int) -> SemanticNetwork:
     return net
 
 
-ALL_POLICIES = ["sequential", "round-robin", "semantic"]
+ALL_POLICIES = ["sequential", "round-robin", "semantic", "community"]
 
 
 class TestCoverage:
@@ -109,6 +111,72 @@ class TestLocality:
         net = clustered_network(groups=2, size=4)
         part = round_robin_partition(net, 1)
         assert part.cut_links(net) == 0
+
+
+class TestCommunityDetection:
+    def test_empty_network_yields_no_communities(self):
+        assert detect_communities(SemanticNetwork()) == []
+
+    def test_cliques_detected_exactly(self):
+        net = clustered_network(groups=3, size=5)
+        communities = detect_communities(net)
+        assert sorted(sorted(c) for c in communities) == [
+            list(range(g * 5, g * 5 + 5)) for g in range(3)
+        ]
+
+    def test_deterministic_run_to_run(self):
+        net = clustered_network(groups=4, size=6)
+        assert detect_communities(net) == detect_communities(net)
+
+    def test_ordering_largest_first_lowest_member_tiebreak(self):
+        net = clustered_network(groups=3, size=4)
+        communities = detect_communities(net)
+        sizes = [len(c) for c in communities]
+        assert sizes == sorted(sizes, reverse=True)
+        # Equal sizes: ordered by smallest member id.
+        firsts = [c[0] for c in communities]
+        assert firsts == sorted(firsts)
+
+
+class TestCommunityPartition:
+    def test_empty_network_partitions_cleanly(self):
+        part = community_partition(SemanticNetwork(), 4)
+        assert part.num_nodes == 0
+        assert part.sizes() == [0, 0, 0, 0]
+
+    def test_single_community_split_instead_of_raising(self):
+        # One fully connected component larger than any cluster: the
+        # BFS-order split must apportion it without error.
+        net = clustered_network(groups=1, size=12)
+        part = community_partition(net, 4)
+        seen = sorted(
+            nid for cid in range(4) for nid in part.members(cid)
+        )
+        assert seen == list(range(12))
+        assert max(part.sizes()) <= 3
+
+    def test_perfect_on_disconnected_cliques(self):
+        net = clustered_network(groups=4, size=5)
+        part = community_partition(net, 4)
+        assert part.cut_links(net) == 0
+
+    def test_beats_round_robin_on_clustered_graph(self):
+        net = clustered_network(groups=8, size=8)
+        community_cut = community_partition(net, 8).cut_links(net)
+        rr_cut = round_robin_partition(net, 8).cut_links(net)
+        assert community_cut < rr_cut
+
+    def test_deterministic_run_to_run(self):
+        net = clustered_network(groups=4, size=7)
+        a = community_partition(net, 3)
+        b = community_partition(net, 3)
+        assert [a.members(c) for c in range(3)] == \
+               [b.members(c) for c in range(3)]
+
+    def test_capacity_respected(self):
+        net = line_network(20)
+        part = community_partition(net, 4, capacity=5)
+        assert max(part.sizes()) <= 5
 
 
 class TestPartitioningObject:

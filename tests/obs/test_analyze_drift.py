@@ -147,6 +147,26 @@ class TestAnomalies:
             tracer2.instant(track2, "breaker-open", float(i * 10))
         assert not find_anomalies(from_tracer(tracer2))
 
+    def test_failover_flapping(self):
+        tracer = Tracer()
+        track = tracer.track("fleet", "shard 00")
+        for i in range(3):
+            tracer.instant(track, "failover", float(i * 10))
+        anomalies = find_anomalies(from_tracer(tracer))
+        (anomaly,) = [
+            a for a in anomalies if a.kind == "failover-flapping"
+        ]
+        assert anomaly.where == "fleet/shard 00"
+        assert "3 times" in anomaly.detail
+
+    def test_clean_outage_cycle_is_not_flapping(self):
+        # Away from home and back home: two moves, below threshold.
+        tracer = Tracer()
+        track = tracer.track("fleet", "shard 00")
+        tracer.instant(track, "failover", 10.0)
+        tracer.instant(track, "failover", 90.0)
+        assert not find_anomalies(from_tracer(tracer))
+
     def test_monotone_queue_growth(self):
         tracer = Tracer()
         track = tracer.track("host", "queue")
