@@ -53,7 +53,52 @@ class TestRunBench:
             run_bench(["no-such-workload"], smoke=True)
 
     def test_default_selection_covers_all_workloads(self):
-        assert set(WORKLOADS) == {"propagate", "faults", "overload"}
+        assert set(WORKLOADS) == {
+            "propagate", "propagate-vec", "faults", "overload", "dispatch",
+        }
+
+    def test_dispatch_smoke_counts_events(self):
+        row = run_bench(["dispatch"], smoke=True)["workloads"]["dispatch"]
+        assert row["events"] > 0
+        assert row["events_per_sec"] > 0
+
+    def test_propagate_backend_lane(self):
+        """--backend flips the propagate lane onto the functional
+        engine; both backends report identical event counts."""
+        rows = {
+            backend: run_bench(
+                ["propagate"], smoke=True, backend=backend
+            )["workloads"]["propagate"]
+            for backend in ("python", "vectorized")
+        }
+        assert rows["python"]["backend"] == "python"
+        assert rows["vectorized"]["backend"] == "vectorized"
+        assert rows["python"]["events"] == rows["vectorized"]["events"]
+        assert rows["python"]["events"] > 0
+
+    def test_propagate_vec_equivalence_and_speedup(self):
+        row = run_bench(["propagate-vec"], smoke=True)[
+            "workloads"]["propagate-vec"]
+        assert row["equivalent"] is True
+        assert set(row["backends"]) == {"python", "vectorized"}
+        for sub in row["backends"].values():
+            assert sub["events"] > 0
+        # Even at smoke sizes the vectorized backend should be well
+        # ahead; the 10x acceptance figure is measured at full size.
+        assert row["speedup"] >= 3.0
+
+    def test_unreliable_wall_flagged(self, monkeypatch):
+        """A lane finishing below the clock floor is flagged, not
+        reported as a confident events/sec figure."""
+        import repro.bench as bench
+
+        monkeypatch.setitem(
+            bench._RUNNERS, "propagate",
+            lambda smoke, backend: {"events": 5, "wall_s": 1e-7},
+        )
+        row = run_bench(["propagate"], smoke=True)["workloads"]["propagate"]
+        assert row["unreliable"] is True
+        assert row["events_per_sec"] > 0
 
 
 class TestCli:

@@ -33,10 +33,13 @@ Commands
     per-query latency attribution, measured α/β, structural
     anomalies, and (with ``--compare``) the metric-drift gate against
     a golden snapshot — exits non-zero on drift beyond tolerance.
-``bench [WORKLOADS...] [--smoke] [--out BENCH_PERF.json]``
-    Measure wall-clock events/sec of the simulator hot path on the
-    propagate-heavy, fault-recovery, and overload-serving workloads
-    and write the trajectory record to ``BENCH_PERF.json``.
+``bench [WORKLOADS...] [--smoke] [--backend B] [--out BENCH_PERF.json]``
+    Measure wall-clock events/sec of the simulator hot paths: the
+    propagate-heavy, fault-recovery, overload-serving, and
+    instruction-dispatch workloads, plus ``propagate-vec``, which runs
+    the large-KB functional lane on both propagation backends and
+    pins their bit-for-bit equivalence.  ``--backend
+    python|vectorized|both`` selects the backend for engine lanes.
 ``info``
     Print the machine configuration and knowledge-base statistics.
 """
@@ -107,6 +110,8 @@ def cmd_experiments(args) -> int:
     argv = list(args.ids)
     if args.full:
         argv.append("--full")
+    if args.backend:
+        argv.extend(["--backend", args.backend])
     if args.out:
         argv.extend(["--out", args.out])
     if args.list:
@@ -209,6 +214,8 @@ def cmd_bench(args) -> int:
     argv = list(args.workloads)
     if args.smoke:
         argv.append("--smoke")
+    if args.backend:
+        argv.extend(["--backend", args.backend])
     argv.extend(["--out", args.out])
     if args.snapshot:
         argv.extend(["--snapshot", args.snapshot])
@@ -259,6 +266,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p = sub.add_parser("experiments", help="regenerate paper artifacts")
     p.add_argument("ids", nargs="*")
     p.add_argument("--full", action="store_true")
+    p.add_argument("--backend", default=None,
+                   choices=["python", "vectorized"],
+                   help="process-wide propagation backend for all "
+                        "functional-engine runs")
     p.add_argument("--out")
     p.add_argument("--list", action="store_true",
                    help="list experiment ids and exit")
@@ -323,9 +334,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench", help="wall-clock events/sec on the simulator hot paths"
     )
     p.add_argument("workloads", nargs="*",
-                   help="workload ids (default: propagate faults overload)")
+                   help="workload ids (default: propagate propagate-vec "
+                        "faults overload dispatch)")
     p.add_argument("--smoke", action="store_true",
                    help="small sizes for CI smoke runs")
+    p.add_argument("--backend", default=None,
+                   choices=["python", "vectorized", "both"],
+                   help="propagation backend for the engine lanes; "
+                        "'both' also checks cross-backend equivalence")
     p.add_argument("--out", default="BENCH_PERF.json")
     p.add_argument("--snapshot", metavar="PATH",
                    help="write deterministic fields as a drift snapshot")

@@ -28,9 +28,10 @@ would execute marker propagation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
-from ..core.state import Arrival, MachineState
+from ..core.backends import PropagationBackend
+from ..core.state import MachineState
 from ..isa.instructions import Category, Instruction, Propagate
 from ..isa.program import SnapProgram
 from ..core.engine import FunctionalEngine
@@ -99,10 +100,12 @@ class SimdMachine:
         self,
         network: SemanticNetwork,
         timing: Optional[SimdTiming] = None,
+        backend: Union[None, str, PropagationBackend] = None,
     ) -> None:
         self.timing = timing or SimdTiming()
         # Single partition: the SIMD array is one flat address space.
-        self.engine = FunctionalEngine(network, num_clusters=1)
+        self.engine = FunctionalEngine(network, num_clusters=1,
+                                       backend=backend)
 
     @property
     def state(self) -> MachineState:
@@ -136,32 +139,14 @@ class SimdMachine:
 
     def _propagate(self, instruction: Propagate) -> tuple:
         """Level-synchronous propagation: one controller round-trip per
-        step, array work parallel within the step."""
-        state = self.state
-        ctx = state.make_context(instruction)
-        frontier: List[Arrival] = []
-        seeds, _ = state.seeds(ctx, 0)
-        for seed in seeds:
-            local_out, remote_out, _ = state.expand(ctx, seed)
-            frontier.extend(local_out)
-            frontier.extend(state.message_to_arrival(m) for m in remote_out)
+        step, array work parallel within the step.
 
-        steps = 0
-        while frontier:
-            steps += 1
-            next_frontier: List[Arrival] = []
-            max_slots_scanned = 0
-            for arrival in frontier:
-                should_expand, _ = state.deliver(ctx, arrival)
-                if not should_expand:
-                    continue
-                local_out, remote_out, work = state.expand(ctx, arrival)
-                max_slots_scanned = max(max_slots_scanned, work.slots)
-                next_frontier.extend(local_out)
-                next_frontier.extend(
-                    state.message_to_arrival(m) for m in remote_out
-                )
-            frontier = next_frontier
+        Execution goes through the engine's propagation backend, which
+        is wave-synchronous by construction; the FIFO golden model is
+        level-synchronous too, so ``max_hops`` is exactly the number of
+        controller-iterated steps the SIMD array would take."""
+        record = self.engine.execute(instruction)
+        steps = record.max_hops
         # Per-step cost: the controller round-trip dominates; array
         # work is parallel across the whole frontier, so only the
         # worst per-node slot scan matters, charged bit-serially.

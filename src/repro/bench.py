@@ -1,40 +1,53 @@
-"""Wall-clock benchmark harness for the simulator hot path.
+"""Wall-clock benchmark harness for the simulator hot paths.
 
-Measures **events per second of wall-clock time** — the number of DES
-kernel events processed divided by elapsed host time — on three
-workloads chosen to stress the three hot paths of the system:
+Measures **events per second of wall-clock time** — simulator events
+or marker deliveries divided by elapsed host time — on workloads
+chosen to stress the hot paths of the system:
 
 ``propagate``
-    Fan-out-heavy marker propagation on a healthy 16-cluster machine:
-    repeated inheritance sweeps whose PROPAGATE instructions fan out to
-    every cluster.  Stresses MU-pool job churn, ICN routing, and the
-    event heap.
+    Fan-out-heavy marker propagation.  With no ``--backend`` this is
+    the historical DES lane (inheritance sweeps through the 16-cluster
+    machine simulator).  With ``--backend`` it becomes the functional
+    engine on a large hierarchy KB (60 K nodes full, ~6 K smoke) run
+    through the selected propagation backend — the lane the vectorized
+    backend targets.
+``propagate-vec``
+    The large-KB functional lane on **both** backends back to back:
+    asserts bit-for-bit equivalence of final marker state, collect
+    results, and work reports via a state fingerprint, then reports
+    the vectorized/python speedup.
 ``faults``
-    The same propagation under an aggressive fault pattern (offline
-    clusters, dead links, transfer corruption): every message takes the
-    ``route_avoiding`` path and retries/watchdogs exercise event
+    DES propagation under an aggressive fault pattern (offline
+    clusters, dead links, transfer corruption): every message takes
+    the ``route_avoiding`` path and retries/watchdogs exercise event
     cancellation.
 ``overload``
     The serving host under sustained overload: thousands of queries
     with deadline watchdogs, hedged retries, and admission shedding.
-    Nested machine runs are pre-warmed into the replica cache so the
-    measurement isolates the host serving loop and the DES kernel —
-    the cancellation-heavy path that used to leak dead heap entries.
+``dispatch``
+    Instruction-dispatch micro-lane: a long stream of cheap non-
+    propagate instructions through ``FunctionalEngine.execute``,
+    guarding the table-driven dispatch against regressions back to
+    per-call isinstance scans.
 
 Because the simulator is deterministic, the event counts of a workload
 never change between runs or code versions (the byte-identical-reports
 guarantee); only the wall-clock denominator moves.  That makes
 ``events_per_sec`` a directly comparable trajectory across PRs —
-``python -m repro bench`` writes it to ``BENCH_PERF.json``.
+``python -m repro bench`` writes it to ``BENCH_PERF.json``.  A lane
+whose wall time is below :data:`MIN_RELIABLE_WALL_S` (coarse clocks,
+tiny smoke sizes) is tagged ``"unreliable": true`` rather than left to
+masquerade as a real measurement.
 """
 
 from __future__ import annotations
 
 import gc
+import hashlib
 import json
 import platform
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 
 def _start_clock() -> float:
@@ -50,7 +63,41 @@ def _start_clock() -> float:
 DEFAULT_OUT = "BENCH_PERF.json"
 
 #: Workload ids in report order.
-WORKLOADS = ("propagate", "faults", "overload")
+WORKLOADS = ("propagate", "propagate-vec", "faults", "overload", "dispatch")
+
+#: Backend choices accepted by ``--backend``.
+BACKEND_CHOICES = ("python", "vectorized", "both")
+
+#: Below this wall time the events/sec quotient is clock noise, not a
+#: measurement; such lanes are flagged ``"unreliable": true``.
+MIN_RELIABLE_WALL_S = 1e-4
+
+#: Keys that vary run to run and must never enter a drift snapshot.
+_NONDETERMINISTIC_KEYS = frozenset(
+    ("wall_s", "events_per_sec", "unreliable", "speedup")
+)
+
+
+def _finalize_rate(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Attach events/sec and the unreliable-wall flag to a lane row."""
+    wall = record.get("wall_s", 0.0)
+    record["events_per_sec"] = (
+        record["events"] / wall if wall > 0 else 0.0
+    )
+    if wall < MIN_RELIABLE_WALL_S:
+        record["unreliable"] = True
+    return record
+
+
+def _scrub_nondeterministic(value: Any) -> Any:
+    """Recursively drop timing-derived keys (nested lanes included)."""
+    if isinstance(value, dict):
+        return {
+            key: _scrub_nondeterministic(val)
+            for key, val in value.items()
+            if key not in _NONDETERMINISTIC_KEYS
+        }
+    return value
 
 
 def _propagate_programs():
@@ -76,8 +123,130 @@ def _propagate_programs():
     return [assemble(text) for text in texts]
 
 
-def bench_propagate(smoke: bool = False) -> Dict[str, Any]:
-    """Fan-out-heavy propagation on a healthy machine."""
+# ----------------------------------------------------------------------
+# Functional-engine large-KB lane (the backend comparison surface)
+# ----------------------------------------------------------------------
+def _functional_programs():
+    """Timed propagation sweeps.  Deliberately no COLLECT here: a
+    full-KB collect is the same pure-Python loop on every backend and
+    would dilute the propagation measurement; collects run once after
+    the clock stops (see ``_collect_program``) so their results still
+    feed the equivalence fingerprint."""
+    from .isa import assemble
+
+    texts = (
+        """
+        SEARCH-NODE thing b0
+        PROPAGATE b0 b1 chain(inverse:is-a)
+        """,
+        """
+        SEARCH-NODE thing m0 0.0
+        PROPAGATE m0 m1 chain(inverse:is-a) add-weight
+        """,
+        """
+        SEARCH-NODE c1 m2 0.0
+        PROPAGATE m2 m3 chain(inverse:is-a) count-hops
+        """,
+    )
+    return [assemble(text) for text in texts]
+
+
+def _collect_program():
+    from .isa import assemble
+
+    return assemble(
+        """
+        COLLECT-NODE b1
+        COLLECT-MARKER m1
+        COLLECT-NODE m3
+        """
+    )
+
+
+def _state_fingerprint(engine, results) -> str:
+    """Digest of final marker state + all reports: byte-identical
+    across backends iff they executed equivalently."""
+    digest = hashlib.sha256()
+    for tables in engine.state.clusters:
+        digest.update(tables.status.snapshot().tobytes())
+        digest.update(tables.node_table.value.tobytes())
+        digest.update(tables.node_table.origin.tobytes())
+    for result in results:
+        for record in result.records:
+            digest.update(repr((
+                record.opcode,
+                record.work.words, record.work.nodes, record.work.slots,
+                record.work.sets, record.work.fp_ops, record.work.messages,
+                record.work.links_made,
+                record.alpha, record.max_hops, record.remote_messages,
+                record.arrivals, record.result,
+            )).encode())
+    return digest.hexdigest()
+
+
+def _functional_propagate(
+    smoke: bool, backend: str, nodes: int
+) -> Tuple[Dict[str, Any], str]:
+    """Big-KB propagation through one backend; returns (row, digest)."""
+    from .core import FunctionalEngine
+    from .core.state import MachineState
+    from .network.generator import generate_hierarchy_kb
+
+    repeats = 2 if smoke else 3
+    num_clusters = 16
+    network = generate_hierarchy_kb(nodes, branching=3)
+    state = MachineState(
+        network, num_clusters, "round-robin", machine_capacity=2 * nodes
+    )
+    engine = FunctionalEngine(network, state=state, backend=backend)
+    programs = _functional_programs()
+    engine.run(programs[0])  # warm caches outside the clock
+    state.reset_markers()
+    events = 0
+    results = []
+    start = _start_clock()
+    for _ in range(repeats):
+        state.reset_markers()
+        results = [engine.run(program) for program in programs]
+        events += sum(
+            record.arrivals
+            for result in results
+            for record in result.records
+        )
+    wall = time.perf_counter() - start
+    # Collect results enter the fingerprint but not the clock (a
+    # full-KB collect is backend-independent Python).
+    results.append(engine.run(_collect_program()))
+    row = {
+        "events": events,
+        "wall_s": wall,
+        "runs": repeats * len(programs),
+        "nodes": nodes,
+        "clusters": num_clusters,
+        "backend": backend,
+    }
+    return row, _state_fingerprint(engine, results)
+
+
+def _lane_nodes(smoke: bool) -> int:
+    return 6000 if smoke else 60000
+
+
+def bench_propagate(
+    smoke: bool = False, backend: Optional[str] = None
+) -> Dict[str, Any]:
+    """Fan-out-heavy propagation.
+
+    Default (no backend): the DES machine-simulator lane.  With a
+    backend: the functional engine on a large hierarchy KB, the
+    surface where propagation backends compete.
+    """
+    if backend is not None and backend != "both":
+        row, _ = _functional_propagate(smoke, backend, _lane_nodes(smoke))
+        return row
+    if backend == "both":
+        return bench_propagate_vec(smoke, backend="both")
+
     from .machine import SnapMachine, snap1_16cluster
     from .network.generator import generate_hierarchy_kb
 
@@ -96,7 +265,47 @@ def bench_propagate(smoke: bool = False) -> Dict[str, Any]:
     return {"events": events, "wall_s": wall, "runs": repeats * len(programs)}
 
 
-def bench_faults(smoke: bool = False) -> Dict[str, Any]:
+def bench_propagate_vec(
+    smoke: bool = False, backend: Optional[str] = None
+) -> Dict[str, Any]:
+    """Backend comparison lane: both backends on the same large KB,
+    equivalence pinned by state fingerprint, speedup reported."""
+    choice = backend or "both"
+    names = (
+        ("python", "vectorized") if choice == "both" else (choice,)
+    )
+    nodes = _lane_nodes(smoke)
+    rows: Dict[str, Any] = {}
+    digests: Dict[str, str] = {}
+    for name in names:
+        row, digest = _functional_propagate(smoke, name, nodes)
+        rows[name] = _finalize_rate(row)
+        digests[name] = digest
+    record: Dict[str, Any] = {"nodes": nodes, "backends": rows}
+    primary = rows[names[-1]]
+    record["events"] = primary["events"]
+    record["wall_s"] = primary["wall_s"]
+    record["runs"] = primary["runs"]
+    if len(names) == 2:
+        record["equivalent"] = (
+            digests["python"] == digests["vectorized"]
+        )
+        if not record["equivalent"]:
+            raise RuntimeError(
+                "backend divergence: python and vectorized backends "
+                "produced different marker state or reports on the "
+                "propagate-vec workload"
+            )
+        python_rate = rows["python"]["events_per_sec"]
+        vec_rate = rows["vectorized"]["events_per_sec"]
+        if python_rate > 0 and vec_rate > 0:
+            record["speedup"] = vec_rate / python_rate
+    return record
+
+
+def bench_faults(
+    smoke: bool = False, backend: Optional[str] = None
+) -> Dict[str, Any]:
     """Propagation under faults: reroutes, retries, and watchdogs."""
     from .machine import SnapMachine
     from .machine.config import MachineConfig
@@ -127,7 +336,9 @@ def bench_faults(smoke: bool = False) -> Dict[str, Any]:
     return {"events": events, "wall_s": wall, "runs": repeats * len(programs)}
 
 
-def bench_overload(smoke: bool = False) -> Dict[str, Any]:
+def bench_overload(
+    smoke: bool = False, backend: Optional[str] = None
+) -> Dict[str, Any]:
     """Cancellation-heavy serving: watchdogs, hedges, shedding.
 
     Long deadlines relative to service time mean nearly every query's
@@ -189,15 +400,67 @@ def bench_overload(smoke: bool = False) -> Dict[str, Any]:
     }
 
 
+def bench_dispatch(
+    smoke: bool = False, backend: Optional[str] = None
+) -> Dict[str, Any]:
+    """Instruction-dispatch micro-lane.
+
+    Streams cheap marker-logic instructions through
+    ``FunctionalEngine.execute`` on an 8-cluster KB: per-instruction
+    work is a handful of word-wise numpy ops, so throughput here is
+    dominated by dispatch overhead — the path that used to rebuild
+    and linearly scan the primitive tables on every call.
+    """
+    from .core import FunctionalEngine
+    from .isa import assemble
+    from .network.generator import generate_hierarchy_kb
+
+    repeats = 600 if smoke else 6000
+    network = generate_hierarchy_kb(600, branching=3)
+    engine = FunctionalEngine(
+        network,
+        num_clusters=8,
+        backend=None if backend in (None, "both") else backend,
+    )
+    program = assemble(
+        """
+        SET-MARKER b0
+        AND-MARKER b0 b1 b2
+        OR-MARKER b0 b2 b3
+        NOT-MARKER b3 b4
+        CLEAR-MARKER b0
+        """
+    )
+    instructions = list(program)
+    engine.run(program)  # warm tables outside the clock
+    events = 0
+    start = _start_clock()
+    for _ in range(repeats):
+        for instruction in instructions:
+            engine.execute(instruction)
+        events += len(instructions)
+    wall = time.perf_counter() - start
+    return {
+        "events": events,
+        "wall_s": wall,
+        "runs": repeats,
+        "instructions": len(instructions),
+    }
+
+
 _RUNNERS = {
     "propagate": bench_propagate,
+    "propagate-vec": bench_propagate_vec,
     "faults": bench_faults,
     "overload": bench_overload,
+    "dispatch": bench_dispatch,
 }
 
 
 def run_bench(
-    workloads: Optional[List[str]] = None, smoke: bool = False
+    workloads: Optional[List[str]] = None,
+    smoke: bool = False,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the selected workloads; return the trajectory record."""
     selected = list(workloads) if workloads else list(WORKLOADS)
@@ -208,17 +471,29 @@ def run_bench(
         )
     results: Dict[str, Any] = {}
     for name in selected:
-        record = _RUNNERS[name](smoke=smoke)
-        record["events_per_sec"] = (
-            record["events"] / record["wall_s"] if record["wall_s"] > 0 else 0.0
-        )
+        record = _RUNNERS[name](smoke=smoke, backend=backend)
+        _finalize_rate(record)
         results[name] = record
     return {
         "bench": "snap1-hot-path",
         "smoke": smoke,
+        "backend": backend,
         "python": platform.python_version(),
         "workloads": results,
     }
+
+
+def _print_row(name: str, row: Dict[str, Any]) -> None:
+    tag = " [unreliable]" if row.get("unreliable") else ""
+    print(
+        f"{name:>13}: {row['events']:>9} events in "
+        f"{row['wall_s']:.2f}s wall = {row['events_per_sec']:,.0f} ev/s{tag}"
+    )
+    for sub_name, sub in row.get("backends", {}).items():
+        _print_row(f"{name}.{sub_name}", sub)
+    if "speedup" in row:
+        print(f"{name:>13}: vectorized speedup {row['speedup']:.1f}x "
+              f"(equivalent={row.get('equivalent')})")
 
 
 def main(argv=None) -> int:
@@ -238,6 +513,12 @@ def main(argv=None) -> int:
         help="small sizes for CI smoke runs",
     )
     parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None,
+        help="propagation backend for engine lanes; 'both' runs the "
+             "python and vectorized backends back to back and checks "
+             "equivalence (propagate/propagate-vec lanes)",
+    )
+    parser.add_argument(
         "--out", default=DEFAULT_OUT,
         help=f"output JSON path (default: {DEFAULT_OUT})",
     )
@@ -248,28 +529,20 @@ def main(argv=None) -> int:
              "for `python -m repro analyze --compare`",
     )
     args = parser.parse_args(argv)
-    record = run_bench(args.workloads or None, smoke=args.smoke)
+    record = run_bench(
+        args.workloads or None, smoke=args.smoke, backend=args.backend
+    )
     if args.snapshot:
         from .obs.analyze import make_snapshot
 
-        deterministic = {
-            name: {
-                key: value
-                for key, value in row.items()
-                if key not in ("wall_s", "events_per_sec")
-            }
-            for name, row in record["workloads"].items()
-        }
+        deterministic = _scrub_nondeterministic(record["workloads"])
         snapshot = make_snapshot(deterministic, workload="bench")
         with open(args.snapshot, "w") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.snapshot}")
     for name, row in record["workloads"].items():
-        print(
-            f"{name:>10}: {row['events']:>9} events in "
-            f"{row['wall_s']:.2f}s wall = {row['events_per_sec']:,.0f} ev/s"
-        )
+        _print_row(name, row)
     with open(args.out, "w") as handle:
         json.dump(record, handle, indent=2)
         handle.write("\n")

@@ -36,6 +36,16 @@ from .state import (
     PropagationContext,
     WorkReport,
 )
+from .backends import (
+    BACKENDS,
+    PropagationBackend,
+    PropagationOutcome,
+    PythonBackend,
+    VectorizedBackend,
+    get_default_backend,
+    make_backend,
+    set_default_backend,
+)
 from .engine import (
     ExecutionRecord,
     FunctionalEngine,
@@ -44,6 +54,9 @@ from .engine import (
 )
 
 __all__ = [
+    "BACKENDS", "PropagationBackend", "PropagationOutcome",
+    "PythonBackend", "VectorizedBackend", "get_default_backend",
+    "make_backend", "set_default_backend",
     "ClusterTables", "EMPTY_SLOT", "MACHINE_NODE_CAPACITY",
     "MarkerStatusTable", "NodeTable", "RelationEntry", "RelationTable",
     "TableError", "WORD_BITS", "build_tables",

@@ -6,13 +6,20 @@ time.  It is both the **serial baseline's** execution core and the
 property-tested: both drive the same :class:`~repro.core.state.
 MachineState` primitives, so final marker state must agree bit-for-bit
 for any program and any cluster count.
+
+PROPAGATE — the dominant instruction — executes through a pluggable
+:class:`~repro.core.backends.PropagationBackend`: the exact-Python
+worklist (``"python"``, the golden model) or the wave-synchronous
+numpy implementation (``"vectorized"``), selected per engine or
+process-wide via :func:`~repro.core.backends.set_default_backend`.
+Both produce identical machine state and reports; the equivalence
+suite pins this.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..isa.instructions import (
     AndMarker,
@@ -39,6 +46,7 @@ from ..isa.instructions import (
 )
 from ..isa.program import SnapProgram
 from ..network.graph import SemanticNetwork
+from .backends import PropagationBackend, make_backend
 from .state import ExecutionError, MachineState, WorkReport
 
 
@@ -95,6 +103,51 @@ class RunResult:
         return total
 
 
+# Instruction class -> (dispatch kind, unbound MachineState primitive).
+# Built once at import; execute() does a single dict probe per
+# instruction instead of rebuilding these tables and isinstance-scanning
+# them on every call (the old hot-path behavior).
+_KIND_PROPAGATE = "propagate"
+_KIND_GLOBAL = "global"
+_KIND_CLUSTER = "cluster"
+_KIND_COLLECT = "collect"
+
+_DISPATCH: Dict[type, Tuple[str, Optional[Callable]]] = {
+    Propagate: (_KIND_PROPAGATE, None),
+    Create: (_KIND_GLOBAL, MachineState.create),
+    Delete: (_KIND_GLOBAL, MachineState.delete),
+    SetColor: (_KIND_GLOBAL, MachineState.set_color),
+    SearchNode: (_KIND_CLUSTER, MachineState.search_node),
+    SearchRelation: (_KIND_CLUSTER, MachineState.search_relation),
+    SearchColor: (_KIND_CLUSTER, MachineState.search_color),
+    AndMarker: (_KIND_CLUSTER, MachineState.and_marker),
+    OrMarker: (_KIND_CLUSTER, MachineState.or_marker),
+    NotMarker: (_KIND_CLUSTER, MachineState.not_marker),
+    SetMarker: (_KIND_CLUSTER, MachineState.set_marker),
+    ClearMarker: (_KIND_CLUSTER, MachineState.clear_marker),
+    FuncMarker: (_KIND_CLUSTER, MachineState.func_marker),
+    MarkerCreate: (_KIND_CLUSTER, MachineState.marker_create),
+    MarkerDelete: (_KIND_CLUSTER, MachineState.marker_delete),
+    MarkerSetColor: (_KIND_CLUSTER, MachineState.marker_set_color),
+    CollectNode: (_KIND_COLLECT, MachineState.collect_node),
+    CollectMarker: (_KIND_COLLECT, MachineState.collect_marker),
+    CollectRelation: (_KIND_COLLECT, MachineState.collect_relation),
+    CollectColor: (_KIND_COLLECT, MachineState.collect_color),
+}
+
+
+def _dispatch_entry(cls: type) -> Optional[Tuple[str, Optional[Callable]]]:
+    """Dispatch entry for an instruction class, honoring subclasses."""
+    entry = _DISPATCH.get(cls)
+    if entry is None:
+        for base in cls.__mro__[1:]:
+            entry = _DISPATCH.get(base)
+            if entry is not None:
+                _DISPATCH[cls] = entry  # memoize the subclass
+                break
+    return entry
+
+
 class FunctionalEngine:
     """Untimed executor of SNAP programs over a partitioned KB."""
 
@@ -104,15 +157,22 @@ class FunctionalEngine:
         num_clusters: int = 1,
         partition_policy: str = "round-robin",
         state: Optional[MachineState] = None,
+        backend: Union[None, str, PropagationBackend] = None,
     ) -> None:
         self.state = state or MachineState(
             network, num_clusters, partition_policy
         )
+        self.backend = make_backend(backend)
 
     @property
     def num_clusters(self) -> int:
         """Number of clusters."""
         return self.state.num_clusters
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active propagation backend."""
+        return self.backend.name
 
     # ------------------------------------------------------------------
     def run(self, program: SnapProgram) -> RunResult:
@@ -124,97 +184,50 @@ class FunctionalEngine:
 
     def execute(self, instruction: Instruction) -> ExecutionRecord:
         """Execute one instruction with exact semantics."""
-        if isinstance(instruction, Propagate):
-            return self._propagate(instruction)
-        if isinstance(instruction, Create):
-            return ExecutionRecord(instruction, self.state.create(instruction))
-        if isinstance(instruction, Delete):
-            return ExecutionRecord(instruction, self.state.delete(instruction))
-        if isinstance(instruction, SetColor):
-            return ExecutionRecord(
-                instruction, self.state.set_color(instruction)
+        entry = _dispatch_entry(type(instruction))
+        if entry is None:
+            raise ExecutionError(
+                f"unsupported instruction: {instruction.opcode}"
             )
+        kind, primitive = entry
+        state = self.state
 
-        per_cluster = {
-            SearchNode: self.state.search_node,
-            SearchRelation: self.state.search_relation,
-            SearchColor: self.state.search_color,
-            AndMarker: self.state.and_marker,
-            OrMarker: self.state.or_marker,
-            NotMarker: self.state.not_marker,
-            SetMarker: self.state.set_marker,
-            ClearMarker: self.state.clear_marker,
-            FuncMarker: self.state.func_marker,
-            MarkerCreate: self.state.marker_create,
-            MarkerDelete: self.state.marker_delete,
-            MarkerSetColor: self.state.marker_set_color,
-        }
-        collectors = {
-            CollectNode: self.state.collect_node,
-            CollectMarker: self.state.collect_marker,
-            CollectRelation: self.state.collect_relation,
-            CollectColor: self.state.collect_color,
-        }
+        if kind == _KIND_CLUSTER:
+            work = WorkReport()
+            for cid in range(state.num_clusters):
+                work.merge(primitive(state, cid, instruction))
+            return ExecutionRecord(instruction, work)
 
-        for cls, primitive in per_cluster.items():
-            if isinstance(instruction, cls):
-                work = WorkReport()
-                for cid in range(self.state.num_clusters):
-                    work.merge(primitive(cid, instruction))
-                return ExecutionRecord(instruction, work)
+        if kind == _KIND_COLLECT:
+            work = WorkReport()
+            collected: List = []
+            for cid in range(state.num_clusters):
+                part, part_work = primitive(state, cid, instruction)
+                collected.extend(part)
+                work.merge(part_work)
+            # Full-tuple sort: ties on the leading global id (e.g.
+            # COLLECT-RELATION listing several links of one node) must
+            # not depend on cluster visit order, or results would vary
+            # across partition policies and backends.
+            collected.sort()
+            return ExecutionRecord(instruction, work, result=collected)
 
-        for cls, primitive in collectors.items():
-            if isinstance(instruction, cls):
-                work = WorkReport()
-                collected: List = []
-                for cid in range(self.state.num_clusters):
-                    part, part_work = primitive(cid, instruction)
-                    collected.extend(part)
-                    work.merge(part_work)
-                collected.sort(key=lambda item: item[0])
-                return ExecutionRecord(instruction, work, result=collected)
+        if kind == _KIND_PROPAGATE:
+            return self._propagate(instruction)
 
-        raise ExecutionError(
-            f"unsupported instruction: {instruction.opcode}"
-        )
+        return ExecutionRecord(instruction, primitive(state, instruction))
 
     # ------------------------------------------------------------------
     def _propagate(self, instruction: Propagate) -> ExecutionRecord:
-        """Breadth-first marker propagation over all partitions."""
-        state = self.state
-        ctx = state.make_context(instruction)
-        work = WorkReport()
-        queue = deque()
-
-        for cid in range(state.num_clusters):
-            seeds, seed_work = state.seeds(ctx, cid)
-            work.merge(seed_work)
-            # Seeds are expanded directly: the origin node re-emits the
-            # marker without receiving it.
-            for seed in seeds:
-                local_out, remote_out, expand_work = state.expand(ctx, seed)
-                work.merge(expand_work)
-                queue.extend(local_out)
-                queue.extend(state.message_to_arrival(m) for m in remote_out)
-
-        while queue:
-            arrival = queue.popleft()
-            should_expand, deliver_work = state.deliver(ctx, arrival)
-            work.merge(deliver_work)
-            if not should_expand:
-                continue
-            local_out, remote_out, expand_work = state.expand(ctx, arrival)
-            work.merge(expand_work)
-            queue.extend(local_out)
-            queue.extend(state.message_to_arrival(m) for m in remote_out)
-
+        """Marker propagation, delegated to the active backend."""
+        outcome = self.backend.propagate(self.state, instruction)
         return ExecutionRecord(
             instruction,
-            work,
-            alpha=ctx.alpha,
-            max_hops=ctx.max_hops,
-            remote_messages=ctx.remote_messages,
-            arrivals=ctx.total_arrivals,
+            outcome.work,
+            alpha=outcome.alpha,
+            max_hops=outcome.max_hops,
+            remote_messages=outcome.remote_messages,
+            arrivals=outcome.arrivals,
         )
 
 
@@ -223,7 +236,10 @@ def run_program(
     program: SnapProgram,
     num_clusters: int = 1,
     partition_policy: str = "round-robin",
+    backend: Union[None, str, PropagationBackend] = None,
 ) -> RunResult:
     """Convenience one-shot: build an engine and run a program."""
-    engine = FunctionalEngine(network, num_clusters, partition_policy)
+    engine = FunctionalEngine(
+        network, num_clusters, partition_policy, backend=backend
+    )
     return engine.run(program)

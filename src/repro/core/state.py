@@ -59,7 +59,12 @@ from ..network.graph import SemanticNetwork
 from ..network.node import Color
 from ..network.partition import Partitioning, make_partition
 from .activation import ActivationMessage
-from .tables import ClusterTables, RelationEntry, build_tables
+from .tables import (
+    MACHINE_NODE_CAPACITY,
+    ClusterTables,
+    RelationEntry,
+    build_tables,
+)
 
 
 class ExecutionError(RuntimeError):
@@ -118,6 +123,11 @@ class Arrival:
 #: Compiled rule: state -> ((relation id, next state), ...).
 CompiledRule = Dict[int, Tuple[Tuple[int, int], ...]]
 
+#: Per-(node, rule-state) expansion budget — the safety valve against
+#: pathological negative-cost cycles.  Shared by every propagation
+#: backend so cap semantics cannot drift between them.
+MAX_EXPANSIONS = 64
+
 
 @dataclass
 class PropagationContext:
@@ -132,7 +142,7 @@ class PropagationContext:
     expanded: Dict[Tuple[int, int, int], float] = field(default_factory=dict)
     expansions: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
     #: Safety valve for pathological negative-cost cycles.
-    max_expansions: int = 64
+    max_expansions: int = MAX_EXPANSIONS
     # statistics
     total_arrivals: int = 0
     remote_messages: int = 0
@@ -152,6 +162,7 @@ class MachineState:
         functions: Optional[FunctionRegistry] = None,
         node_capacity_per_cluster: Optional[int] = None,
         excluded_clusters: Optional[Iterable[int]] = None,
+        machine_capacity: Optional[int] = None,
     ) -> None:
         """``node_capacity_per_cluster``: pass 1024 to enforce the
         prototype's physical cluster memory limit; ``None`` (default)
@@ -161,7 +172,11 @@ class MachineState:
         ``excluded_clusters``: failed clusters that must host no nodes
         (fault injection); the partition is remapped so their region
         of the network is evicted onto survivors, and runtime node
-        creation never places nodes there."""
+        creation never places nodes there.
+
+        ``machine_capacity``: total node budget across all clusters;
+        defaults to the prototype's 32K.  Benchmarks and scale studies
+        pass a larger figure to model a bigger build of the machine."""
         self.network = preprocess_fanout(network)
         self.num_clusters = num_clusters
         self.functions = functions or FunctionRegistry()
@@ -185,8 +200,17 @@ class MachineState:
             )
         self.partitioning = partitioning
         self.clusters: List[ClusterTables] = build_tables(
-            self.network, partitioning
+            self.network,
+            partitioning,
+            capacity=(
+                machine_capacity
+                if machine_capacity is not None
+                else MACHINE_NODE_CAPACITY
+            ),
         )
+        #: Bumped whenever the link topology or node population
+        #: changes; backends key derived adjacency structures on it.
+        self.mutation_version = 0
         #: global node id -> (cluster, local id); maintained through
         #: runtime node creation.
         self.addr: Dict[int, Tuple[int, int]] = {}
@@ -265,6 +289,7 @@ class MachineState:
         cid = self._least_loaded_cluster()
         lid = self.clusters[cid].add_node(node.node_id, color)
         self.addr[node.node_id] = (cid, lid)
+        self.mutation_version += 1
         return node.node_id
 
     def garbage_collect(self) -> int:
@@ -335,6 +360,7 @@ class MachineState:
             src_l,
             RelationEntry(link.relation, dst_c, dst_l, dest_gid, weight),
         )
+        self.mutation_version += 1
         return WorkReport(links_made=1)
 
     def remove_link_runtime(
@@ -346,6 +372,8 @@ class MachineState:
         if removed and rid is not None:
             src_c, src_l = self.addr[source_gid]
             self.clusters[src_c].relations.remove(src_l, rid, dest_gid)
+        if removed:
+            self.mutation_version += 1
         return WorkReport(slots=1, links_made=1 if removed else 0)
 
     # ------------------------------------------------------------------

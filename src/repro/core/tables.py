@@ -143,6 +143,25 @@ class MarkerStatusTable:
                 word ^= low
         return out
 
+    # -- bulk operations (vectorized propagation backend) ---------------
+    def test_many(self, marker: int, locals_: np.ndarray) -> np.ndarray:
+        """Bit test for an array of local ids; returns a bool array."""
+        words = locals_ // WORD_BITS
+        bits = locals_ % WORD_BITS
+        return ((self._bits[marker][words] >> bits) & 1).astype(bool)
+
+    def set_many(self, marker: int, locals_: np.ndarray) -> None:
+        """Set the marker at every listed local id (duplicates fine)."""
+        words = locals_ // WORD_BITS
+        masks = (np.uint32(1) << (locals_ % WORD_BITS)).astype(np.uint32)
+        np.bitwise_or.at(self._bits[marker], words, masks)
+
+    def nodes_with_array(self, marker: int) -> np.ndarray:
+        """Like :meth:`nodes_with`, as an ascending int64 array."""
+        row = self._bits[marker].astype("<u4")
+        flat = np.unpackbits(row.view(np.uint8), bitorder="little")
+        return np.nonzero(flat[: self.num_nodes])[0].astype(np.int64)
+
     def nonzero_words(self, marker: int) -> int:
         """How many status words are nonzero (MU scan shortcut)."""
         return int(np.count_nonzero(self._bits[marker]))
@@ -331,6 +350,16 @@ class RelationTable:
     def slots_used(self, local: int) -> int:
         """Relation slots occupied (static + overflow)."""
         return int(self._fill[local]) + len(self._overflow.get(local, ()))
+
+    @property
+    def has_overflow(self) -> bool:
+        """Whether any node spilled past the 16 static slots."""
+        return bool(self._overflow)
+
+    def fill_counts(self) -> np.ndarray:
+        """Occupied static-slot count per node (read-only view)."""
+        view = self._fill[: self.num_nodes]
+        return view
 
     def entries(self, local: int) -> List[RelationEntry]:
         """Direct slots of one node (no continuation walking)."""

@@ -81,7 +81,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--list", action="store_true",
         help="list registered experiment ids and exit",
     )
+    parser.add_argument(
+        "--backend", choices=["python", "vectorized"], default=None,
+        help="process-wide propagation backend for every "
+             "functional-engine run in the selected experiments",
+    )
     args = parser.parse_args(argv)
+
+    if args.backend:
+        from ..core.backends import set_default_backend
+
+        set_default_backend(args.backend)
 
     if args.list:
         for experiment_id in DEFAULT_ORDER:

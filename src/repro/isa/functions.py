@@ -25,12 +25,24 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+import numpy as np
+
 #: Function tokens are a single byte (paper §III-B).
 MAX_FUNCTION_TOKENS = 256
 
 
 class FunctionError(ValueError):
     """Raised for unknown tokens or exhausted token space."""
+
+
+def always_alive(value: float) -> bool:
+    """Default liveness predicate: the marker never dies on a hop.
+
+    A module-level function (not a per-instance lambda) so backends can
+    recognise "no thresholding" by identity and skip the predicate
+    entirely on bulk paths.
+    """
+    return True
 
 
 @dataclass(frozen=True)
@@ -41,7 +53,13 @@ class HopFunction:
     combine: Callable[[float, float], float]
     #: Marker survives the hop only while this holds; used for cost
     #: thresholding during hypothesis evaluation.
-    alive: Callable[[float], bool] = staticmethod(lambda value: True)
+    alive: Callable[[float], bool] = always_alive
+    #: Optional bulk forms over float64 numpy arrays, used by the
+    #: vectorized propagation backend: ``vapply(values, weights)``
+    #: and ``valive(values)``.  The scalar forms stay authoritative;
+    #: a bulk form must be bit-identical to mapping the scalar one.
+    vapply: Optional[Callable] = None
+    valive: Optional[Callable] = None
 
     def apply(self, value: float, weight: float) -> float:
         """Apply the per-hop update: f(value, link weight)."""
@@ -160,25 +178,43 @@ class FunctionRegistry:
         concept sequence" cut-off.
         """
         name = f"add-weight<{'=' if below else '>'}{limit}"
+        # The comparisons broadcast over numpy arrays unchanged, so the
+        # scalar predicate doubles as the bulk form.
         predicate = (
             (lambda value: value <= limit)
             if below
             else (lambda value: value >= limit)
         )
         return self.register_hop(
-            HopFunction(name, lambda v, w: v + w, predicate)
+            HopFunction(
+                name,
+                lambda v, w: v + w,
+                predicate,
+                vapply=lambda v, w: v + w,
+                valive=predicate,
+            )
         )
 
 
-#: Hop functions available to every program.
+#: Hop functions available to every program.  ``min``/``max`` bulk
+#: forms use explicit ``np.where`` comparisons so argument-order
+#: semantics (which operand wins a tie, e.g. signed zeros) match the
+#: Python builtins exactly.
 STANDARD_HOP_FUNCTIONS = (
-    HopFunction("identity", lambda v, w: v),
-    HopFunction("add-weight", lambda v, w: v + w),
-    HopFunction("sub-weight", lambda v, w: v - w),
-    HopFunction("mul-weight", lambda v, w: v * w),
-    HopFunction("min-weight", lambda v, w: min(v, w)),
-    HopFunction("max-weight", lambda v, w: max(v, w)),
-    HopFunction("count-hops", lambda v, w: v + 1.0),
+    HopFunction("identity", lambda v, w: v,
+                vapply=lambda v, w: v),
+    HopFunction("add-weight", lambda v, w: v + w,
+                vapply=lambda v, w: v + w),
+    HopFunction("sub-weight", lambda v, w: v - w,
+                vapply=lambda v, w: v - w),
+    HopFunction("mul-weight", lambda v, w: v * w,
+                vapply=lambda v, w: v * w),
+    HopFunction("min-weight", lambda v, w: min(v, w),
+                vapply=lambda v, w: np.where(w < v, w, v)),
+    HopFunction("max-weight", lambda v, w: max(v, w),
+                vapply=lambda v, w: np.where(w > v, w, v)),
+    HopFunction("count-hops", lambda v, w: v + 1.0,
+                vapply=lambda v, w: v + 1.0),
 )
 
 #: Token of the default hop function (identity).

@@ -1,0 +1,272 @@
+"""Backend equivalence: the vectorized backend IS the golden model.
+
+The wave-synchronous numpy backend must be bit-for-bit
+indistinguishable from the exact-Python worklist on every observable:
+final marker state (status bits, complex value/origin registers),
+collect results, WorkReport counters, and the propagation statistics
+(alpha, max_hops, remote_messages, arrivals).  Anything less and
+``--backend vectorized`` would silently change experiment outputs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FunctionalEngine
+from repro.isa import (
+    CollectMarker,
+    CollectNode,
+    FunctionRegistry,
+    Propagate,
+    SearchNode,
+    assemble,
+    chain,
+)
+from repro.core.state import MachineState
+from repro.network import SemanticNetwork
+
+from .test_equivalence import (
+    MARKERS,
+    random_network,
+    random_program,
+)
+
+
+def machine_bytes(engine):
+    """Every marker-state byte of a machine, per cluster."""
+    return [
+        (
+            tables.status.snapshot().tobytes(),
+            tables.node_table.value.tobytes(),
+            tables.node_table.origin.tobytes(),
+        )
+        for tables in engine.state.clusters
+    ]
+
+
+def record_facts(result):
+    """The observable content of every execution record."""
+    return [
+        (
+            record.opcode,
+            (record.work.words, record.work.nodes, record.work.slots,
+             record.work.sets, record.work.fp_ops, record.work.messages,
+             record.work.links_made),
+            record.alpha,
+            record.max_hops,
+            record.remote_messages,
+            record.arrivals,
+            record.result,
+        )
+        for record in result.records
+    ]
+
+
+def assert_backends_agree(make_engine, program):
+    """Run a program through both backends on fresh engines; every
+    observable must match exactly."""
+    engine_py = make_engine("python")
+    engine_vec = make_engine("vectorized")
+    result_py = engine_py.run(program)
+    result_vec = engine_vec.run(program)
+    assert record_facts(result_py) == record_facts(result_vec)
+    assert machine_bytes(engine_py) == machine_bytes(engine_vec)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_property_backend_equivalence(seed):
+    """Random KB x random program: byte-identical state and records."""
+    network_seed, program_seed = seed, seed + 977
+    program = random_program(program_seed, nodes=24, length=12)
+    clusters = 1 + seed % 5
+
+    def make_engine(backend):
+        return FunctionalEngine(
+            random_network(network_seed, nodes=24, links=60),
+            clusters, "round-robin", backend=backend,
+        )
+
+    assert_backends_agree(make_engine, program)
+
+
+@pytest.mark.parametrize("policy", ["round-robin", "semantic",
+                                    "sequential"])
+def test_backend_equivalence_across_policies(policy):
+    program = random_program(4242, nodes=30, length=16)
+
+    def make_engine(backend):
+        return FunctionalEngine(
+            random_network(7, nodes=30, links=90), 4, policy,
+            backend=backend,
+        )
+
+    assert_backends_agree(make_engine, program)
+
+
+def test_duplicate_arrivals_same_wave():
+    """Many links converging on one node in one wave exercises the
+    duplicate-resolution scalar path of the vectorized backend."""
+    def make_network():
+        net = SemanticNetwork()
+        for i in range(10):
+            net.add_node(f"n{i}")
+        for i in range(1, 9):
+            net.add_link(0, "r1", i, float(i))
+            # All fan back into node 9 with distinct weights: one wave,
+            # eight simultaneous arrivals at the same destination.
+            net.add_link(i, "r1", 9, 0.5 * i)
+        return net
+
+    program = assemble("""
+    SEARCH-NODE n0 m0 0.0
+    PROPAGATE m0 m1 chain(r1) add-weight
+    COLLECT-MARKER m1
+    """)
+    assert_backends_agree(
+        lambda backend: FunctionalEngine(make_network(), 3,
+                                         backend=backend),
+        program,
+    )
+
+
+def test_negative_cycle_hits_expansion_cap():
+    """A negative-cost cycle under min-value re-expansion terminates
+    only through the per-(node,state) expansion cap — both backends
+    must cut off at the identical arrival."""
+    def make_network():
+        net = SemanticNetwork()
+        for i in range(4):
+            net.add_node(f"c{i}")
+        for i in range(4):
+            net.add_link(i, "r1", (i + 1) % 4, -1.0)
+        return net
+
+    program = assemble("""
+    SEARCH-NODE c0 m0 0.0
+    PROPAGATE m0 m1 chain(r1) add-weight
+    COLLECT-MARKER m1
+    """)
+    assert_backends_agree(
+        lambda backend: FunctionalEngine(make_network(), 2,
+                                         backend=backend),
+        program,
+    )
+
+
+def test_threshold_hop_function():
+    """Custom registered hop with a liveness predicate: the vectorized
+    backend must apply the predicate with scalar-identical results."""
+    def make_engine(backend):
+        functions = FunctionRegistry()
+        fid = functions.make_threshold(2.5, below=True)
+        network = random_network(11, nodes=20, links=70)
+        state = MachineState(network, 3, functions=functions)
+        engine = FunctionalEngine(network, state=state, backend=backend)
+        engine.threshold_fid = fid
+        return engine
+
+    probe = make_engine("python")
+    program = [
+        SearchNode(0, 0, 0.0),
+        Propagate(0, 1, chain("r1"), probe.threshold_fid),
+        CollectMarker(1),
+        CollectNode(1),
+    ]
+    engine_py, engine_vec = make_engine("python"), make_engine("vectorized")
+    facts = []
+    for engine in (engine_py, engine_vec):
+        facts.append([
+            record_facts_one(engine.execute(instr)) for instr in program
+        ])
+    assert facts[0] == facts[1]
+    assert machine_bytes(engine_py) == machine_bytes(engine_vec)
+
+
+def record_facts_one(record):
+    return (
+        record.opcode,
+        (record.work.words, record.work.nodes, record.work.slots,
+         record.work.sets, record.work.fp_ops, record.work.messages,
+         record.work.links_made),
+        record.alpha, record.max_hops, record.remote_messages,
+        record.arrivals, record.result,
+    )
+
+
+def test_runtime_mutation_invalidates_adjacency():
+    """CREATE/DELETE between propagations: the vectorized backend's
+    cached adjacency must be rebuilt, not silently reused."""
+    program = assemble("""
+    SEARCH-NODE a b0
+    PROPAGATE b0 b1 chain(r1)
+    COLLECT-NODE b1
+    CREATE a r1 1.0 d
+    SEARCH-NODE a b2
+    PROPAGATE b2 b3 chain(r1)
+    COLLECT-NODE b3
+    DELETE b r1 c
+    SEARCH-NODE a b4
+    PROPAGATE b4 b5 chain(r1)
+    COLLECT-NODE b5
+    """)
+
+    def make_engine(backend):
+        net = SemanticNetwork()
+        for name in ("a", "b", "c", "d"):
+            net.add_node(name)
+        net.add_link(0, "r1", 1, 1.0)
+        net.add_link(1, "r1", 2, 1.0)
+        return FunctionalEngine(net, 2, backend=backend)
+
+    assert_backends_agree(make_engine, program)
+
+    # And the third sweep really did see the mutated topology.
+    engine = make_engine("vectorized")
+    result = engine.run(program)
+    collects = [r.result for r in result.records if r.result is not None]
+    assert len(collects[0]) == 2   # reached from a: b, c
+    assert len(collects[1]) == 3   # + d
+    assert len(collects[2]) == 2   # - (b -> c): b, d
+
+
+def test_hierarchy_inheritance_collects_match(fig5_kb):
+    program = assemble("""
+    SEARCH-NODE w:we m1 0.0
+    SEARCH-NODE w:saw m2 0.0
+    PROPAGATE m1 m3 spread(is-a,last) add-weight
+    PROPAGATE m2 m4 chain(is-a) add-weight
+    AND-MARKER m3 m4 m5 min
+    COLLECT-NODE m3
+    COLLECT-MARKER m4
+    """)
+    import copy
+
+    assert_backends_agree(
+        lambda backend: FunctionalEngine(copy.deepcopy(fig5_kb), 4,
+                                         backend=backend),
+        program,
+    )
+
+
+def test_baselines_accept_backend():
+    """Serial and SIMD baselines produce identical reports on either
+    backend (timing included: it derives only from exact counters)."""
+    from repro.baselines import SerialMachine, SimdMachine
+    from repro.network.generator import generate_hierarchy_kb
+
+    program = assemble("""
+    SEARCH-NODE thing b0
+    PROPAGATE b0 b1 chain(inverse:is-a)
+    COLLECT-NODE b1
+    """)
+    for machine_cls in (SerialMachine, SimdMachine):
+        reports = []
+        for backend in ("python", "vectorized"):
+            machine = machine_cls(
+                generate_hierarchy_kb(120, branching=3), backend=backend
+            )
+            reports.append(machine.run(program))
+        assert reports[0].total_time_us == reports[1].total_time_us
+        assert reports[0].results() == reports[1].results()
