@@ -207,6 +207,28 @@ def cmd_analyze(args) -> int:
     return analyze_main(argv)
 
 
+def cmd_monitor(args) -> int:
+    """Handle the `monitor` subcommand."""
+    from repro.obs.live.cli import main as monitor_main
+
+    argv = [args.workload]
+    if args.full:
+        argv.append("--full")
+    if args.from_trace:
+        argv.extend(["--from-trace", args.from_trace])
+    if args.report:
+        argv.extend(["--report", args.report])
+    if args.json:
+        argv.extend(["--json", args.json])
+    if args.compare:
+        argv.extend(["--compare", args.compare])
+    if args.check:
+        argv.append("--check")
+    if args.mute:
+        argv.extend(["--mute", args.mute])
+    return monitor_main(argv)
+
+
 def cmd_bench(args) -> int:
     """Handle the `bench` subcommand."""
     from repro.bench import main as bench_main
@@ -329,6 +351,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("--snapshot-out", metavar="PATH",
                    help="write this run's metrics snapshot")
     p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "monitor",
+        help="live SLO monitor: windowed telemetry, burn-rate alerts, "
+             "ground-truth detection scoring",
+    )
+    p.add_argument("workload", choices=["chaos", "fleetchaos"],
+                   help="workload to replay under the monitor")
+    p.add_argument("--full", action="store_true",
+                   help="full-size run (default: fast/smoke size)")
+    p.add_argument("--from-trace", metavar="TRACE",
+                   help="ingest an existing trace capture instead of "
+                        "replaying (timeline only, no ground truth)")
+    p.add_argument("--report", metavar="PATH",
+                   help="write the ops timeline report here "
+                        "(default: stdout)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the monitor snapshot (drift-gate "
+                        "document) here")
+    p.add_argument("--compare", metavar="GOLDEN",
+                   help="golden snapshot; exit 1 on drift")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 unless the detection gate passes")
+    p.add_argument("--mute", metavar="RULES",
+                   help="comma-separated alert rules to mute")
+    p.set_defaults(fn=cmd_monitor)
 
     p = sub.add_parser(
         "bench", help="wall-clock events/sec on the simulator hot paths"

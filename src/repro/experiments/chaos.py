@@ -34,6 +34,8 @@ from ..machine.faults import (
     RetryPolicy,
 )
 from ..network.generator import generate_hierarchy_kb
+from ..obs.live import TelemetrySink, truth_from_replica_timeline
+from ..obs.live.monitor import chaos_spec, run_pipeline
 from .common import ExperimentResult, experiment, timed
 from .overload import build_queries, uncontended_profile
 
@@ -163,7 +165,21 @@ def run(fast: bool = True) -> ExperimentResult:
             "timeline (x = mean service): r1 gray @2.0x..10.0x, "
             "r2 cluster-flap @6.0x..14.0x, r3 gray @12.0x..20.0x"
         )
-        report = ServingHost(network, config).serve(queries)
+        sink = TelemetrySink()
+        report = ServingHost(network, config, sink=sink).serve(queries)
+        # Live monitoring rides the same run: window the telemetry
+        # stream, fire burn-rate/symptom alerts, and score detection
+        # against the replica timeline's exact fault windows.
+        horizon = max(
+            report.total_time_us,
+            max((e.ts_us for e in sink.events), default=0.0),
+        )
+        truth = truth_from_replica_timeline(
+            config.replica_timeline, horizon_us=horizon
+        )
+        mon = run_pipeline(
+            chaos_spec(m), sink.ordered(), truth, horizon_us=horizon
+        )
 
         # Replicas whose degradation is *silent* (slowdown + drop)
         # versus every replica the timeline touches at all.
@@ -193,6 +209,16 @@ def run(fast: bool = True) -> ExperimentResult:
             f"audit {report.audit_checks} checks, "
             f"{report.audit_mismatches} mismatches"
         )
+        score = mon.score
+        result.add(
+            f"monitor: {len(mon.alerts)} alert(s), recall "
+            f"{score.recall:.2f}, precision {score.precision:.2f}, "
+            f"worst ttd "
+            + (
+                f"{score.max_ttd_us / m:.1f}x mean service"
+                if score.max_ttd_us is not None else "n/a"
+            )
+        )
 
         gray_quarantines = sum(quarantines[rid] for rid in gray_ids)
         total_readmissions = sum(readmissions.values())
@@ -211,6 +237,15 @@ def run(fast: bool = True) -> ExperimentResult:
                     for r in report.replicas
                     if r.replica_id not in touched_ids
                 ),
+            ),
+            (
+                "monitor detected every fault in bound, no warmup "
+                "alerts",
+                not mon.gate_problems(),
+            ),
+            (
+                "monitor raised no false alerts",
+                not score.false_alerts,
             ),
         ]
         result.add()
@@ -234,6 +269,10 @@ def run(fast: bool = True) -> ExperimentResult:
             "breaker_opens": sum(
                 r.breaker_opens for r in report.replicas
             ),
+            "monitor_alerts": len(mon.alerts),
+            "monitor_recall": score.recall,
+            "monitor_precision": score.precision,
+            "monitor_max_ttd_us": score.max_ttd_us,
         }
         return result
 

@@ -33,6 +33,8 @@ from ..host import Query
 from ..isa import assemble
 from ..machine.faults import RegionEvent, RegionSchedule
 from ..network.generator import generate_hierarchy_kb
+from ..obs.live import TelemetrySink
+from ..obs.live.monitor import fleetchaos_spec, run_pipeline
 from .common import ExperimentResult, experiment, timed
 
 FLEETCHAOS_SEED = 20260808
@@ -136,7 +138,8 @@ def run(fast: bool = True) -> ExperimentResult:
                         "requires answers through a full-region failure",
         )
         network, config, queries, profile = build_scenario(fast)
-        router = FleetRouter(network, config)
+        sink = TelemetrySink()
+        router = FleetRouter(network, config, sink=sink)
         result.add(
             f"{config.num_shards} shards x R={config.replication_factor} "
             f"over {config.num_regions} regions; "
@@ -149,6 +152,18 @@ def run(fast: bool = True) -> ExperimentResult:
             f"@{GRAY_ON_US / 1e3:.0f}..{GRAY_OFF_US / 1e3:.0f} ms"
         )
         report = router.serve(queries)
+        # Live monitoring rides the same run: window the telemetry
+        # stream, fire burn-rate/symptom alerts, and score detection
+        # against the region schedule's exact fault windows.
+        horizon = max(
+            report.total_time_us,
+            max((e.ts_us for e in sink.events), default=0.0),
+            profile["gray_off_us"],
+        )
+        mon = run_pipeline(
+            fleetchaos_spec(), sink.ordered(),
+            config.region_schedule.fault_windows(), horizon_us=horizon,
+        )
 
         result.add()
         result.add(
@@ -177,6 +192,16 @@ def run(fast: bool = True) -> ExperimentResult:
         result.add(
             f"replication at end: {report.final_replication} "
             f"(R={config.replication_factor})"
+        )
+        score = mon.score
+        result.add(
+            f"monitor: {len(mon.alerts)} alert(s), recall "
+            f"{score.recall:.2f}, precision {score.precision:.2f}, "
+            f"worst ttd "
+            + (
+                f"{score.max_ttd_us / 1e3:.0f} ms"
+                if score.max_ttd_us is not None else "n/a"
+            )
         )
 
         stale_legs = sum(s.legs_stale for s in report.shards)
@@ -207,6 +232,15 @@ def run(fast: bool = True) -> ExperimentResult:
                     for s in report.shards
                 ),
             ),
+            (
+                "monitor detected every fault in bound, no warmup "
+                "alerts",
+                not mon.gate_problems(),
+            ),
+            (
+                "monitor raised no false alerts",
+                not score.false_alerts,
+            ),
         ]
         result.add()
         for label, ok in checks:
@@ -232,6 +266,10 @@ def run(fast: bool = True) -> ExperimentResult:
             "rebuilds_aborted": report.rebuilds_aborted,
             "final_replication": list(report.final_replication),
             "stale_legs": stale_legs,
+            "monitor_alerts": len(mon.alerts),
+            "monitor_recall": score.recall,
+            "monitor_precision": score.precision,
+            "monitor_max_ttd_us": score.max_ttd_us,
         }
         return result
 

@@ -73,6 +73,15 @@ class FleetOutcome:
         """Shards that produced an answer (fresh + stale)."""
         return len(self.shards_fresh) + len(self.shards_stale)
 
+    @property
+    def ok(self) -> bool:
+        """Answered with quorum AND every answered leg was correct.
+
+        The availability-SLO "good event" predicate: a degraded-but-
+        correct answer counts, a complete-but-corrupted one does not.
+        """
+        return self.status in ANSWERED_STATUSES and self.correct
+
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict view (JSON-friendly; payloads omitted)."""
         return {
@@ -86,6 +95,7 @@ class FleetOutcome:
             "shards_shed": list(self.shards_shed),
             "failovers": self.failovers,
             "correct": self.correct,
+            "ok": self.ok,
             "shed_reason": self.shed_reason,
         }
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..host.health import HealthState
+from ..host.health import HealthState, health_transition_records
 from ..machine.config import Timing
 from ..machine.des import Job, Server, Simulator
 from ..network.graph import SemanticNetwork
@@ -95,6 +95,7 @@ class FleetRouter:
         timing: Optional[Timing] = None,
         tracer=None,
         metrics=None,
+        sink=None,
     ) -> None:
         self.config = config or FleetConfig()
         self.shards = build_shards(network, self.config)
@@ -137,6 +138,11 @@ class FleetRouter:
         self._tr = obs_tracer if obs_tracer.enabled else None
         self._metrics = metrics
         self._observed = self._tr is not None or metrics is not None
+        # Live-telemetry sink (duck-typed, append-only; normally a
+        # repro.obs.live.TelemetrySink).  Deliberately independent of
+        # `_observed`: the sink reads nothing back, so attaching one
+        # leaves the fleet report byte-identical.
+        self._sink = sink
         if self._tr is not None:
             tr = self._tr
             self._tk_router = tr.track("fleet", "router")
@@ -188,6 +194,8 @@ class FleetRouter:
         stuck = [s.query.query_id for s in self._states if not s.finished]
         if stuck:
             raise RuntimeError(f"fleet deadlock: queries {stuck}")
+        if self._sink is not None:
+            self._emit_lifecycle_telemetry()
         return self._build_report()
 
     # ------------------------------------------------------------------
@@ -203,6 +211,10 @@ class FleetRouter:
             state.span = self._tr.begin(
                 state.track, f"query {qid}", now,
                 template=getattr(state.query, "template", "") or "",
+            )
+        if self._sink is not None:
+            self._sink.emit(
+                now, "arrival", query_id=state.query.query_id
             )
         cap = self.config.queue_capacity
         if cap is not None and self._in_flight >= cap:
@@ -337,6 +349,14 @@ class FleetRouter:
             self._legs_missed[sid] += 1
         if self._observed:
             self._note_leg_done(leg, answer, fresh, now)
+        if self._sink is not None:
+            self._sink.emit(
+                now, "leg",
+                shard=sid,
+                status=leg.status,
+                region=replica.region,
+                miss=answer.miss,
+            )
         state = leg.state
         state.resolved += 1
         if state.resolved == len(state.legs):
@@ -366,6 +386,10 @@ class FleetRouter:
             self._tr.end(leg.span, now, status=_SHED)
         if self._metrics is not None:
             self._metrics.counter("fleet.legs.shed").inc()
+        if self._sink is not None:
+            self._sink.emit(
+                now, "leg", shard=sid, status=_SHED, region=leg.region
+            )
         state = leg.state
         state.resolved += 1
         if state.resolved == len(state.legs):
@@ -391,6 +415,11 @@ class FleetRouter:
                     self._tr.end(leg.span, self.sim.now, status=_SHED)
                 if self._metrics is not None:
                     self._metrics.counter("fleet.legs.shed").inc()
+                if self._sink is not None:
+                    self._sink.emit(
+                        self.sim.now, "leg", shard=leg.shard_id,
+                        status=_SHED, region=leg.region,
+                    )
         answered = sum(
             1 for leg in state.legs if leg.status in (_FRESH, _STALE)
         )
@@ -462,6 +491,17 @@ class FleetRouter:
         )
         self._outcomes.append(outcome)
         self._last_terminal_us = now
+        if self._sink is not None:
+            self._sink.emit(
+                now, "query",
+                query_id=query.query_id,
+                status=status.value,
+                arrival_us=query.arrival_us,
+                latency_us=now - query.arrival_us,
+                ok=outcome.ok,
+                stale=len(stale),
+                reason=shed_reason,
+            )
         if state.legs and status is not FleetStatus.SHED:
             self._in_flight -= 1
             if self._observed:
@@ -475,6 +515,30 @@ class FleetRouter:
                 stale=len(stale), shed=len(shed),
             )
 
+    def _emit_lifecycle_telemetry(self) -> None:
+        """Replay replica health trails into the telemetry sink.
+
+        Post-run, like the serving host's: transition ledgers already
+        carry their simulated timestamps, so the windowed view places
+        them correctly after sorting and the scatter-gather hot path
+        pays nothing per transition.  Replicas dropped at
+        ``region-repair`` lose their (empty-by-then) trails; the
+        quarantine transitions that matter for gray detection belong
+        to surviving slowdown-region replicas.
+        """
+        emit = self._sink.emit
+        for sid, placed in enumerate(self.placement.replicas):
+            for region in sorted(placed):
+                replica = placed[region]
+                if replica.health is None:
+                    continue
+                for ts, fields in health_transition_records(
+                    replica.health, region
+                ):
+                    fields = dict(fields, shard=sid, region=region)
+                    fields.pop("replica", None)
+                    emit(ts, "health", **fields)
+
     # ------------------------------------------------------------------
     # Region fault timeline
     # ------------------------------------------------------------------
@@ -485,6 +549,13 @@ class FleetRouter:
         if self._tr is not None:
             self._tr.instant(
                 self._tk_router, event.kind, now, region=event.region,
+            )
+        if self._sink is not None:
+            self._sink.emit(
+                now, "fault",
+                event=event.kind,
+                region=event.region,
+                value=event.value,
             )
         if event.kind == "region-fail":
             self.placement.region_fail(event.region)

@@ -38,6 +38,7 @@ from .health import (
     HealthTransition,
     PhiAccrualDetector,
     ReplicaHealth,
+    health_transition_records,
 )
 from .host import ServingHost, run_serial
 from .query import HostError, Query, QueryOutcome, QueryStatus
@@ -51,7 +52,7 @@ __all__ = [
     "default_replica_faults",
     "AttemptResult", "Replica", "ReplicaArray",
     "HealthError", "HealthState", "HealthTransition",
-    "PhiAccrualDetector", "ReplicaHealth",
+    "PhiAccrualDetector", "ReplicaHealth", "health_transition_records",
     "ServingHost", "run_serial",
     "HostError", "Query", "QueryOutcome", "QueryStatus",
     "ReplicaSummary", "ServingReport", "percentile",

@@ -274,3 +274,29 @@ class ReplicaHealth:
         if not self.enabled or self.state is HealthState.QUARANTINED:
             return
         self._quarantine(now, self.detector.phi(), "audit")
+
+
+def health_transition_records(
+    health: "ReplicaHealth", replica_id: int
+) -> List[tuple]:
+    """One ``(ts_us, fields)`` record per lifecycle transition.
+
+    The shape telemetry sinks ingest (``kind="health"`` events):
+    flat fields, enum values as strings, phi rounded so downstream
+    snapshots are platform-stable.  Shared by the serving host and
+    the fleet router so host-level and fleet-level health events
+    aggregate identically.
+    """
+    return [
+        (
+            t.time_us,
+            {
+                "replica": replica_id,
+                "from_state": t.from_state.value,
+                "to_state": t.to_state.value,
+                "phi": round(t.phi, 4),
+                "reason": t.reason,
+            },
+        )
+        for t in health.transitions
+    ]

@@ -49,7 +49,7 @@ from .admission import REJECT_NEWEST, AdmissionQueue
 from .breaker import BreakerState
 from .config import HostConfig
 from .executor import AttemptResult, Replica, ReplicaArray
-from .health import HealthState, ReplicaHealth
+from .health import HealthState, ReplicaHealth, health_transition_records
 from .query import HostError, Query, QueryOutcome, QueryStatus
 from .report import ReplicaSummary, ServingReport
 
@@ -124,6 +124,7 @@ class ServingHost:
         timing: Optional[Timing] = None,
         tracer=None,
         metrics=None,
+        sink=None,
     ) -> None:
         self.config = config or HostConfig()
         self.sim = Simulator()
@@ -190,6 +191,12 @@ class ServingHost:
         self._tr = obs_tracer if obs_tracer.enabled else None
         self._metrics = metrics
         self._observed = self._tr is not None or metrics is not None
+        # Live-telemetry sink (duck-typed: anything with .emit(ts, kind,
+        # **fields), normally repro.obs.live.TelemetrySink).  Kept off
+        # the `_observed` flag on purpose: the sink is append-only and
+        # reads nothing back, so attaching one must leave the tracer/
+        # metrics paths — and the serving report — byte-identical.
+        self._sink = sink
         if self._tr is not None:
             tr = self._tr
             self._tk_queue = tr.track("host", "queue")
@@ -250,6 +257,8 @@ class ServingHost:
             raise RuntimeError(f"serving deadlock: queries {stuck}")
         if self._observed:
             self._note_post_run()
+        if self._sink is not None:
+            self._emit_lifecycle_telemetry()
         return self._build_report()
 
     def health_export(self) -> Dict[str, Any]:
@@ -288,6 +297,10 @@ class ServingHost:
             self._next_arrival = nxt + 1
         if self._observed:
             self._trace_arrival(state)
+        if self._sink is not None:
+            self._sink.emit(
+                self.sim.now, "arrival", query_id=state.query.query_id
+            )
         # Fast path: nothing waiting ahead and a replica free now —
         # dispatch directly, bypassing the (possibly zero-capacity)
         # buffer.  FIFO order is preserved because the queue is empty.
@@ -526,6 +539,31 @@ class ServingHost:
                 self._metrics.counter("host.audit.mismatches").inc(
                     self.audit_mismatches
                 )
+
+    def _emit_lifecycle_telemetry(self) -> None:
+        """Replay lifecycle trails into the telemetry sink (post-run).
+
+        Breaker/health transitions and audit verdicts accumulate in
+        their own ledgers during the run; replaying them here keeps
+        the serving hot path free of per-transition sink calls.  The
+        events carry their original simulated timestamps, so windowed
+        consumers see them in the right place on the timeline after
+        the ``(ts_us, seq)`` sort.
+        """
+        emit = self._sink.emit
+        for replica in self._replicas:
+            rid = replica.replica_id
+            for t in replica.breaker.transitions:
+                emit(
+                    t.time_us, "breaker", replica=rid,
+                    from_state=t.from_state.value,
+                    to_state=t.to_state.value,
+                )
+        for rid, health in enumerate(self._health):
+            for record in health_transition_records(health, rid):
+                emit(record[0], "health", **record[1])
+        for when, qid, rid, ok in self._audit_log:
+            emit(when, "audit", query_id=qid, replica=rid, ok=ok)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -797,6 +835,15 @@ class ServingHost:
         now = self.sim.now
         query = state.query
         arrival = query.arrival_us
+        if self._sink is not None:
+            self._sink.emit(
+                now, "query",
+                query_id=query.query_id,
+                status=status.value,
+                arrival_us=arrival,
+                latency_us=now - arrival,
+                reason=shed_reason,
+            )
         primaries = state.primary_attempts
         hedges = state.hedges
         # Positional construction (field order matches QueryOutcome):

@@ -164,6 +164,107 @@ class FaultSchedule:
         """The no-op schedule."""
         return cls()
 
+    def fault_windows(self) -> Tuple["FaultWindow", ...]:
+        """Ground-truth injected-fault intervals, start-time ordered.
+
+        Pairs each degradation onset with its repair: ``*-fail`` →
+        matching ``*-repair`` (outage windows per cluster/link);
+        ``mu-slowdown`` with factor > 1 opens a gray window that a
+        factor-1.0 event closes; ``corrupt-rate``/``marker-drop``
+        with probability > 0 open gray windows closed by a rate of 0.
+        Unrepaired faults yield open windows (``end_us=None``).
+        """
+        spans: List[Tuple[float, Optional[float], str, str]] = []
+        opens: Dict[str, Tuple[float, str]] = {}
+        for event in self.events:
+            if event.kind in ("cluster-fail", "mu-fail"):
+                target = f"cluster:{event.cluster}"
+                opens.setdefault(target, (event.time_us, "outage"))
+            elif event.kind in ("cluster-repair", "mu-repair"):
+                target = f"cluster:{event.cluster}"
+                if target in opens:
+                    start, kind = opens.pop(target)
+                    spans.append((start, event.time_us, kind, target))
+            elif event.kind in ("link-fail", "link-repair"):
+                a, b = sorted(event.link)  # type: ignore[misc]
+                target = f"link:{a}-{b}"
+                if event.kind == "link-fail":
+                    opens.setdefault(target, (event.time_us, "outage"))
+                elif target in opens:
+                    start, kind = opens.pop(target)
+                    spans.append((start, event.time_us, kind, target))
+            elif event.kind == "mu-slowdown":
+                target = f"slowdown:{event.cluster}"
+                if event.value and event.value > 1.0:
+                    opens.setdefault(target, (event.time_us, "gray"))
+                elif target in opens:
+                    start, kind = opens.pop(target)
+                    spans.append((start, event.time_us, kind, target))
+            else:  # corrupt-rate / marker-drop
+                target = event.kind
+                if event.value and event.value > 0.0:
+                    opens.setdefault(target, (event.time_us, "gray"))
+                elif target in opens:
+                    start, kind = opens.pop(target)
+                    spans.append((start, event.time_us, kind, target))
+        return _pair_windows(spans, opens)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One ground-truth injected-fault interval, exported for scoring.
+
+    The schedules know *exactly* when each fault began and (if ever)
+    was repaired — that exactness is what lets the live-monitoring
+    layer be scored instead of merely existing: detection latency and
+    alert precision/recall are measured against these windows
+    (:mod:`repro.obs.live.score`), not against the monitor's own
+    event stream.
+
+    ``end_us is None`` means the fault was never repaired on the
+    timeline (open through the run's horizon).  ``kind`` is
+    ``outage`` (hard fail/repair pairs) or ``gray`` (slowdown /
+    corruption / marker-drop spans); ``target`` names the component,
+    e.g. ``region:0``, ``cluster:3``, ``link:1-2``, ``corrupt-rate``.
+    """
+
+    start_us: float
+    end_us: Optional[float]
+    kind: str
+    target: str
+
+    def duration_us(self, horizon_us: Optional[float] = None) -> float:
+        """Window length; open windows clamp to ``horizon_us``."""
+        if self.end_us is not None:
+            return self.end_us - self.start_us
+        if horizon_us is None:
+            raise FaultConfigError(
+                f"open fault window {self.target} needs a horizon"
+            )
+        return max(0.0, horizon_us - self.start_us)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "kind": self.kind,
+            "target": self.target,
+        }
+
+
+def _pair_windows(
+    spans: List[Tuple[float, Optional[float], str, str]],
+    opens: Dict[str, Tuple[float, str]],
+) -> Tuple[FaultWindow, ...]:
+    """Close out still-open spans and emit sorted windows."""
+    for target, (start, kind) in opens.items():
+        spans.append((start, None, kind, target))
+    spans.sort(key=lambda s: (s[0], s[3]))
+    return tuple(
+        FaultWindow(start_us=s, end_us=e, kind=k, target=t)
+        for s, e, k, t in spans
+    )
+
 
 #: Region-scoped timeline event kinds (fleet failure domains).
 #: ``region-fail``/``region-repair`` flip a whole failure domain;
@@ -247,6 +348,35 @@ class RegionSchedule:
     def for_region(self, region: int) -> Tuple[RegionEvent, ...]:
         """The events of one region, in delivery order."""
         return tuple(e for e in self.events if e.region == region)
+
+    def fault_windows(self) -> Tuple[FaultWindow, ...]:
+        """Ground-truth injected-fault intervals, start-time ordered.
+
+        ``region-fail`` → ``region-repair`` pairs become ``outage``
+        windows; a ``region-slowdown`` with factor > 1 opens a
+        ``gray`` window that a factor-1.0 event closes.  Unrepaired
+        faults yield open windows (``end_us=None``).  Targets are
+        ``region:<id>`` / ``slowdown:region:<id>``.
+        """
+        spans: List[Tuple[float, Optional[float], str, str]] = []
+        opens: Dict[str, Tuple[float, str]] = {}
+        for event in self.events:
+            if event.kind == "region-fail":
+                target = f"region:{event.region}"
+                opens.setdefault(target, (event.time_us, "outage"))
+            elif event.kind == "region-repair":
+                target = f"region:{event.region}"
+                if target in opens:
+                    start, kind = opens.pop(target)
+                    spans.append((start, event.time_us, kind, target))
+            else:  # region-slowdown
+                target = f"slowdown:region:{event.region}"
+                if event.value and event.value > 1.0:
+                    opens.setdefault(target, (event.time_us, "gray"))
+                elif target in opens:
+                    start, kind = opens.pop(target)
+                    spans.append((start, event.time_us, kind, target))
+        return _pair_windows(spans, opens)
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,11 @@ contract and the metric catalogue):
   hedges → outcome), queue-depth and replica-occupancy series,
   breaker transitions.
 
+Live monitoring lives in :mod:`.live`: a telemetry-event sink the
+host and fleet layers stream into, windowed aggregation, burn-rate
+SLO alerting, and ground-truth detection scoring over the injected
+fault schedules (``python -m repro monitor <workload>``).
+
 Capture entry points: ``python -m repro trace <workload>``
 (:mod:`.capture`), the ``--trace PATH`` flags on ``serve`` and
 ``experiments``, or programmatically::
@@ -45,8 +50,10 @@ from .tracer import (
     get_tracer,
     set_tracer,
 )
+from .live import TelemetryEvent, TelemetrySink
 from .validate import (
     TraceValidationError,
+    metrics_errors,
     validate_chrome_trace,
     validation_errors,
 )
@@ -66,5 +73,8 @@ __all__ = [
     "write_chrome_json",
     "validate_chrome_trace",
     "validation_errors",
+    "metrics_errors",
     "TraceValidationError",
+    "TelemetrySink",
+    "TelemetryEvent",
 ]

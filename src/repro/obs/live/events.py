@@ -1,0 +1,85 @@
+"""The telemetry stream: timestamped events from the serving layers.
+
+A :class:`TelemetrySink` is the fourth observability hook next to
+``tracer``/``metrics`` (and the cheapest): producers call
+:meth:`TelemetrySink.emit` with a simulated timestamp, an event kind,
+and flat keyword fields; the sink appends.  Nothing is scheduled on
+the DES, no state is read back, and the default (``sink=None``)
+skips every call site behind one ``is not None`` check — attaching a
+sink can never change a run's behaviour or report.
+
+Event kinds emitted today (field names in parentheses):
+
+``arrival``
+    A query entered the system (``query_id``).
+``query``
+    A query reached a terminal state (``query_id``, ``status``,
+    ``arrival_us``, ``latency_us``, and for shed queries ``reason``).
+    Fleet outcomes also carry ``ok`` (answered-with-quorum) and
+    ``stale`` (stale legs in the answer).
+``leg``
+    One shard's slice of a fleet scatter-gather resolved (``shard``,
+    ``status`` fresh/stale/shed, ``region`` when dispatched,
+    ``service_us``/``miss`` for answered legs).
+``health``
+    A replica health-lifecycle transition (``replica`` or
+    ``shard``+``region``, ``from_state``, ``to_state``, ``reason``).
+``breaker``
+    A circuit-breaker transition (``replica``, ``from_state``,
+    ``to_state``).
+``audit``
+    One answer-integrity audit (``query_id``, ``replica``, ``ok``).
+``fault``
+    A fault-layer timeline event reaching the serving layer (region
+    events today: ``event`` kind, ``region``, optional ``value``).
+    Ground truth for detection scoring does *not* come from these —
+    it is exported straight from the schedules
+    (:meth:`repro.machine.faults.RegionSchedule.fault_windows`) — but
+    they annotate the ops timeline report.
+
+The stream is not guaranteed time-ordered at the sink (lifecycle
+trails are replayed post-run); consumers sort by ``(ts_us, seq)``,
+which is deterministic because emission order is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryEvent:
+    """One timestamped telemetry record."""
+
+    ts_us: float
+    kind: str
+    #: Emission sequence number (the deterministic tie-break).
+    seq: int
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Field accessor (missing fields return ``default``)."""
+        return self.fields.get(name, default)
+
+
+class TelemetrySink:
+    """An append-only collector of :class:`TelemetryEvent` records."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[TelemetryEvent] = []
+
+    def emit(self, ts_us: float, kind: str, **fields: Any) -> None:
+        """Record one event at simulated time ``ts_us``."""
+        self.events.append(
+            TelemetryEvent(ts_us, kind, len(self.events), fields)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def ordered(self) -> List[TelemetryEvent]:
+        """Events sorted by ``(ts_us, seq)`` (emission-stable)."""
+        return sorted(self.events, key=lambda e: (e.ts_us, e.seq))

@@ -1,0 +1,296 @@
+"""Ground-truth detection scoring: measuring the monitoring itself.
+
+The fault schedules are exact — every injected outage and gray window
+has a known ``[start, end)`` on the simulated clock
+(:meth:`~repro.machine.faults.FaultSchedule.fault_windows`,
+:meth:`~repro.machine.faults.RegionSchedule.fault_windows`,
+:func:`truth_from_replica_timeline` for host replica timelines).
+That turns "does the monitor work?" from a vibe into a metric:
+
+* **time-to-detect** (ttd) — first alert fire minus fault onset, per
+  truth window (0 when an already-open alert spans the onset);
+* **time-to-resolve** (ttr) — last matching alert resolution minus
+  fault repair (how long the pager stayed noisy after the fix);
+* **precision** — alerts overlapping some truth window over all
+  alerts (a false alert overlaps none);
+* **recall** — truth windows with at least one overlapping alert;
+* **warmup fires** — alerts opened during the fault-free warmup (any
+  is a false page by construction).
+
+Deliberately, scoring never reads the monitor's own ``fault``
+telemetry events — the truth comes straight from the schedules, so a
+monitor that drops signals scores badly instead of grading its own
+homework.  The CI gate (:meth:`DetectionScore.gate_problems`) demands
+full recall within a ttd bound and zero warmup fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...machine.faults import FaultConfig, FaultWindow
+from .alerts import Alert
+
+
+@dataclass(frozen=True)
+class ScoreConfig:
+    """Matching and gating parameters for detection scoring."""
+
+    #: Gate: every truth window must be detected within this bound.
+    ttd_bound_us: float
+    #: An alert firing up to this long after a fault's repair still
+    #: counts as detecting it (trailing-window evaluation lag).
+    grace_us: float = 0.0
+    #: Warmup ends here; defaults to the first truth-window onset.
+    warmup_end_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.ttd_bound_us <= 0:
+            raise ValueError(
+                f"ttd_bound_us must be > 0: {self.ttd_bound_us}"
+            )
+        if self.grace_us < 0:
+            raise ValueError(f"grace_us must be >= 0: {self.grace_us}")
+
+
+@dataclass
+class TruthMatch:
+    """One truth window's detection verdict."""
+
+    truth: FaultWindow
+    detected: bool = False
+    #: Rule that fired first among matching alerts.
+    first_rule: Optional[str] = None
+    fired_at_us: Optional[float] = None
+    #: First fire minus onset, clamped at 0 (an alert already open at
+    #: onset detects instantly).
+    ttd_us: Optional[float] = None
+    #: Last matching resolution minus repair, clamped at 0; None when
+    #: a matching alert never resolved (or the fault never repaired).
+    ttr_us: Optional[float] = None
+    #: Rules of every alert overlapping this window, sorted.
+    rules: Tuple[str, ...] = ()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.truth.target,
+            "kind": self.truth.kind,
+            "start_us": self.truth.start_us,
+            "end_us": self.truth.end_us,
+            "detected": self.detected,
+            "first_rule": self.first_rule,
+            "ttd_us": self.ttd_us,
+            "ttr_us": self.ttr_us,
+            "rules": list(self.rules),
+        }
+
+
+@dataclass
+class DetectionScore:
+    """A run's monitoring scorecard."""
+
+    matches: List[TruthMatch]
+    #: Alerts overlapping no truth window (each one a false page).
+    false_alerts: List[Alert]
+    #: Alerts that opened before the warmup boundary.
+    fired_in_warmup: int
+    total_alerts: int
+    warmup_end_us: float
+
+    @property
+    def truth_count(self) -> int:
+        return len(self.matches)
+
+    @property
+    def detected_count(self) -> int:
+        return sum(1 for m in self.matches if m.detected)
+
+    @property
+    def recall(self) -> float:
+        """Detected truth windows (1.0 when nothing was injected)."""
+        if not self.matches:
+            return 1.0
+        return self.detected_count / len(self.matches)
+
+    @property
+    def precision(self) -> float:
+        """True alerts over all alerts (1.0 when none fired)."""
+        if not self.total_alerts:
+            return 1.0
+        return 1.0 - len(self.false_alerts) / self.total_alerts
+
+    @property
+    def max_ttd_us(self) -> Optional[float]:
+        ttds = [m.ttd_us for m in self.matches if m.ttd_us is not None]
+        return max(ttds) if ttds else None
+
+    @property
+    def mean_ttd_us(self) -> Optional[float]:
+        ttds = [m.ttd_us for m in self.matches if m.ttd_us is not None]
+        return sum(ttds) / len(ttds) if ttds else None
+
+    @property
+    def max_ttr_us(self) -> Optional[float]:
+        ttrs = [m.ttr_us for m in self.matches if m.ttr_us is not None]
+        return max(ttrs) if ttrs else None
+
+    def gate_problems(self, config: ScoreConfig) -> List[str]:
+        """The CI gate: empty iff the monitoring passed.
+
+        Requires every truth window detected, each within the ttd
+        bound, and zero alerts fired during the fault-free warmup.
+        """
+        problems: List[str] = []
+        for match in self.matches:
+            if not match.detected:
+                problems.append(
+                    f"missed fault {match.truth.target} "
+                    f"[{match.truth.start_us:.0f}us..)"
+                )
+            elif (
+                match.ttd_us is not None
+                and match.ttd_us > config.ttd_bound_us
+            ):
+                problems.append(
+                    f"slow detection of {match.truth.target}: "
+                    f"ttd {match.ttd_us:.0f}us > bound "
+                    f"{config.ttd_bound_us:.0f}us"
+                )
+        if self.fired_in_warmup:
+            problems.append(
+                f"{self.fired_in_warmup} alert(s) fired during the "
+                f"fault-free warmup (< {self.warmup_end_us:.0f}us)"
+            )
+        return problems
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "truth_count": self.truth_count,
+            "detected_count": self.detected_count,
+            "recall": round(self.recall, 6),
+            "precision": round(self.precision, 6),
+            "false_alert_count": len(self.false_alerts),
+            "fired_in_warmup": self.fired_in_warmup,
+            "total_alerts": self.total_alerts,
+            "max_ttd_us": self.max_ttd_us,
+            "mean_ttd_us": (
+                round(self.mean_ttd_us, 3)
+                if self.mean_ttd_us is not None
+                else None
+            ),
+            "max_ttr_us": self.max_ttr_us,
+            "matches": [m.as_dict() for m in self.matches],
+        }
+
+
+def _interval(
+    window: FaultWindow, horizon_us: float
+) -> Tuple[float, float]:
+    end = window.end_us if window.end_us is not None else horizon_us
+    return window.start_us, max(end, window.start_us)
+
+
+def score_detection(
+    truth: Sequence[FaultWindow],
+    alerts: Sequence[Alert],
+    config: ScoreConfig,
+    horizon_us: float,
+) -> DetectionScore:
+    """Match the alert history against the injected-fault ground truth.
+
+    An alert's live interval is ``[fired_at, resolved_at]`` (open
+    alerts extend to the horizon); it detects a truth window when the
+    two intervals overlap, with ``grace_us`` appended to the truth
+    window for evaluation lag.  Each alert may detect several
+    overlapping faults (one page can cover a correlated outage), and
+    a fault may be detected by several rules.
+    """
+    warmup_end = config.warmup_end_us
+    if warmup_end is None:
+        warmup_end = min(
+            (w.start_us for w in truth), default=horizon_us
+        )
+    matches: List[TruthMatch] = []
+    matched_alerts = set()
+    for window in truth:
+        start, end = _interval(window, horizon_us)
+        end += config.grace_us
+        hits: List[Alert] = []
+        for alert in alerts:
+            alert_end = (
+                alert.resolved_at_us
+                if alert.resolved_at_us is not None
+                else horizon_us
+            )
+            if alert.fired_at_us <= end and alert_end >= start:
+                hits.append(alert)
+                matched_alerts.add(id(alert))
+        match = TruthMatch(truth=window)
+        if hits:
+            first = min(hits, key=lambda a: (a.fired_at_us, a.rule))
+            match.detected = True
+            match.first_rule = first.rule
+            match.fired_at_us = first.fired_at_us
+            match.ttd_us = max(0.0, first.fired_at_us - window.start_us)
+            match.rules = tuple(sorted({a.rule for a in hits}))
+            if window.end_us is not None and all(
+                a.resolved_at_us is not None for a in hits
+            ):
+                last = max(a.resolved_at_us for a in hits)
+                match.ttr_us = max(0.0, last - window.end_us)
+        matches.append(match)
+    false_alerts = [a for a in alerts if id(a) not in matched_alerts]
+    fired_in_warmup = sum(
+        1 for a in alerts if a.fired_at_us < warmup_end
+    )
+    return DetectionScore(
+        matches=matches,
+        false_alerts=false_alerts,
+        fired_in_warmup=fired_in_warmup,
+        total_alerts=len(alerts),
+        warmup_end_us=warmup_end,
+    )
+
+
+def _timeline_kind(faults: FaultConfig) -> str:
+    """Classify a replica fault regime: hard outage vs gray."""
+    schedule = getattr(faults, "schedule", None)
+    if schedule and any(
+        e.kind in ("cluster-fail", "mu-fail", "link-fail")
+        for e in schedule.events
+    ):
+        return "outage"
+    if getattr(faults, "failed_cluster_fraction", 0.0):
+        return "outage"
+    return "gray"
+
+
+def truth_from_replica_timeline(
+    timeline: Sequence[object], horizon_us: Optional[float] = None
+) -> Tuple[FaultWindow, ...]:
+    """Ground truth from a host ``replica_timeline``.
+
+    Each :class:`~repro.host.config.ReplicaFaultEvent` with a fault
+    config opens a window on ``replica:<id>``; the next ``faults=None``
+    event on the same replica closes it.  Never-repaired replicas
+    yield open windows (clamped to ``horizon_us`` if given).
+    """
+    spans: List[Tuple[float, Optional[float], str, str]] = []
+    opens: Dict[str, Tuple[float, str]] = {}
+    for event in sorted(timeline, key=lambda e: e.time_us):
+        target = f"replica:{event.replica}"
+        if event.faults is not None:
+            opens.setdefault(
+                target, (event.time_us, _timeline_kind(event.faults))
+            )
+        elif target in opens:
+            start, kind = opens.pop(target)
+            spans.append((start, event.time_us, kind, target))
+    for target, (start, kind) in opens.items():
+        spans.append((start, horizon_us, kind, target))
+    spans.sort(key=lambda s: (s[0], s[3]))
+    return tuple(
+        FaultWindow(start_us=s, end_us=e, kind=k, target=t)
+        for s, e, k, t in spans
+    )

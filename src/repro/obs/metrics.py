@@ -46,30 +46,64 @@ class Counter:
 class Gauge:
     """A sampled value series over simulated time.
 
-    Keeps every ``(ts, value)`` sample (runs are bounded, and the
-    series *is* the product — queue depth over time is exactly what
-    post-hoc totals could not show).
+    By default keeps every ``(ts, value)`` sample (runs are bounded,
+    and the series *is* the product — queue depth over time is exactly
+    what post-hoc totals could not show).  Long-running workloads can
+    bound retention with ``max_points``: when the series fills, it is
+    compacted in place to every second retained sample and the record
+    stride doubles, so memory stays within the cap while the retained
+    points remain evenly spaced over the whole run.  ``last`` and
+    ``peak`` are tracked as exact scalars over *all* observations —
+    downsampling never changes them.
     """
 
-    __slots__ = ("name", "samples")
+    __slots__ = (
+        "name", "samples", "max_points",
+        "_stride", "_count", "_last", "_peak",
+    )
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, max_points: Optional[int] = None) -> None:
+        if max_points is not None and max_points < 2:
+            raise ValueError(
+                f"gauge max_points must be >= 2: {max_points}"
+            )
         self.name = name
         self.samples: List[Tuple[float, float]] = []
+        self.max_points = max_points
+        self._stride = 1
+        self._count = 0
+        self._last = 0.0
+        self._peak: Optional[float] = None
 
     def set(self, ts: float, value: float) -> None:
         """Record the gauge's value at simulated time ``ts``."""
+        self._count += 1
+        self._last = value
+        if self._peak is None or value > self._peak:
+            self._peak = value
+        if (self._count - 1) % self._stride:
+            return
         self.samples.append((ts, value))
+        if self.max_points is not None and len(self.samples) > self.max_points:
+            # Keep even indices: exactly the observations at the
+            # doubled stride, so future appends stay evenly spaced.
+            del self.samples[1::2]
+            self._stride *= 2
+
+    @property
+    def observations(self) -> int:
+        """Total ``set`` calls, including downsampled-away ones."""
+        return self._count
 
     @property
     def last(self) -> float:
-        """Most recent sampled value (0.0 when never set)."""
-        return self.samples[-1][1] if self.samples else 0.0
+        """Most recent observed value (0.0 when never set)."""
+        return self._last if self._count else 0.0
 
     @property
     def peak(self) -> float:
-        """Largest sampled value (0.0 when never set)."""
-        return max((v for _, v in self.samples), default=0.0)
+        """Largest observed value (0.0 when never set)."""
+        return self._peak if self._peak is not None else 0.0
 
 
 class Histogram:
@@ -158,10 +192,13 @@ class MetricsRegistry:
     (the host layer, the machine layer) need no shared setup.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, gauge_max_points: Optional[int] = None) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        #: Default retention cap applied to gauges created without an
+        #: explicit ``max_points`` (None = keep every sample).
+        self._gauge_max_points = gauge_max_points
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -171,11 +208,25 @@ class MetricsRegistry:
             instrument = self._counters[name] = Counter(name)
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
-        """The gauge called ``name`` (created on first use)."""
+    def gauge(self, name: str, max_points: Optional[int] = None) -> Gauge:
+        """The gauge called ``name`` (created on first use).
+
+        ``max_points`` applies only on creation (falling back to the
+        registry-wide default); a later call with a *different*
+        explicit cap raises rather than silently re-bounding.
+        """
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name)
+            cap = (
+                max_points if max_points is not None
+                else self._gauge_max_points
+            )
+            instrument = self._gauges[name] = Gauge(name, cap)
+        elif max_points is not None and max_points != instrument.max_points:
+            raise ValueError(
+                f"gauge {name!r} already exists with max_points "
+                f"{instrument.max_points}, requested {max_points}"
+            )
         return instrument
 
     def histogram(

@@ -10,12 +10,21 @@ in Perfetto, without requiring any external schema library:
   non-negative numeric ``ts``;
 * complete (``"X"``) events carry a non-negative ``dur``;
 * counter (``"C"``) events carry numeric ``args`` — a dict-valued
-  series (nesting one level too deep) is called out by name;
+  series (nesting one level too deep) is called out by name; NaN and
+  infinite values are rejected everywhere a number is expected;
+* counter series whose *name* follows the counter convention
+  (``*_total``/``*_count``/``*.total``/``*.count``) must be monotone
+  non-decreasing per track — gauge-like series (``queue_depth``,
+  ``busy``, ``mu_busy``) go up and down by design and are exempt;
 * ``process_name``/``thread_name`` metadata is declared at most once
   per ``pid`` / ``(pid, tid)``;
 * per ``(pid, tid)`` track, ``ts`` is monotone non-decreasing — the
   exporter sorts by timestamp, and a violation means interleaved or
-  corrupted tracks.
+  corrupted tracks;
+* a top-level embedded ``"metrics"`` payload (counters/gauges/
+  histograms, see :mod:`repro.obs.metrics`) is checked for finite
+  values, non-negative counters, ordered gauge samples, and
+  internally-consistent histograms.
 
 Run standalone as ``python -m repro.obs.validate trace.json``.
 """
@@ -23,6 +32,7 @@ Run standalone as ``python -m repro.obs.validate trace.json``.
 from __future__ import annotations
 
 import json
+import math
 import numbers
 import sys
 from typing import Any, Dict, List, Optional, Sequence
@@ -37,6 +47,120 @@ KNOWN_PHASES = frozenset(
     {"X", "B", "E", "i", "I", "C", "M", "b", "e", "n", "S", "T", "F"}
 )
 
+#: Counter-convention name endings: series named like this carry a
+#: cumulative count and must never decrease on a track.
+MONOTONE_SUFFIXES = ("_total", "_count", ".total", ".count")
+
+
+def _is_counter_series(name: str) -> bool:
+    """True when ``name`` follows the cumulative-counter convention."""
+    return name.endswith(MONOTONE_SUFFIXES)
+
+
+def _bad_number(value: Any) -> bool:
+    """True unless ``value`` is a finite real number (bools excluded)."""
+    return (
+        not isinstance(value, numbers.Real)
+        or isinstance(value, bool)
+        or not math.isfinite(value)
+    )
+
+
+def metrics_errors(metrics: Any) -> List[str]:
+    """Violations in an embedded ``"metrics"`` payload (empty = valid).
+
+    Validates the :meth:`repro.obs.metrics.MetricsRegistry.as_dict`
+    shape a capture rides along inside the trace JSON: counters are
+    finite and non-negative, gauge samples are finite ``[ts, value]``
+    pairs in non-decreasing time order, histogram counts reconcile
+    with their total.  NaN/inf anywhere is an error — one poisoned
+    sample silently corrupts every downstream aggregate.
+    """
+    errors: List[str] = []
+    if not isinstance(metrics, dict):
+        return [f"metrics: must be an object, got {type(metrics).__name__}"]
+
+    counters = metrics.get("counters", {})
+    if not isinstance(counters, dict):
+        errors.append("metrics: counters must be an object")
+        counters = {}
+    for name, value in sorted(counters.items()):
+        if _bad_number(value):
+            errors.append(f"metrics: counter {name} must be finite")
+        elif value < 0:
+            errors.append(f"metrics: counter {name} is negative ({value})")
+
+    gauges = metrics.get("gauges", {})
+    if not isinstance(gauges, dict):
+        errors.append("metrics: gauges must be an object")
+        gauges = {}
+    for name, gauge in sorted(gauges.items()):
+        if not isinstance(gauge, dict):
+            errors.append(f"metrics: gauge {name} must be an object")
+            continue
+        for key in ("last", "peak"):
+            if key in gauge and _bad_number(gauge[key]):
+                errors.append(
+                    f"metrics: gauge {name}.{key} must be finite"
+                )
+        samples = gauge.get("samples", [])
+        if not isinstance(samples, list):
+            errors.append(f"metrics: gauge {name}.samples must be a list")
+            continue
+        previous_ts = None
+        for index, sample in enumerate(samples):
+            if not (
+                isinstance(sample, (list, tuple)) and len(sample) == 2
+            ):
+                errors.append(
+                    f"metrics: gauge {name}.samples[{index}] must be "
+                    "a [ts, value] pair"
+                )
+                continue
+            ts, value = sample
+            if _bad_number(ts) or _bad_number(value):
+                errors.append(
+                    f"metrics: gauge {name}.samples[{index}] must be "
+                    "finite"
+                )
+                continue
+            if previous_ts is not None and ts < previous_ts:
+                errors.append(
+                    f"metrics: gauge {name}.samples[{index}] ts {ts} "
+                    f"goes backwards (previous {previous_ts})"
+                )
+            previous_ts = ts
+
+    histograms = metrics.get("histograms", {})
+    if not isinstance(histograms, dict):
+        errors.append("metrics: histograms must be an object")
+        histograms = {}
+    for name, hist in sorted(histograms.items()):
+        if not isinstance(hist, dict):
+            errors.append(f"metrics: histogram {name} must be an object")
+            continue
+        bounds = hist.get("bounds", [])
+        if any(_bad_number(b) for b in bounds):
+            errors.append(f"metrics: histogram {name} bounds must be finite")
+        elif any(b <= a for a, b in zip(bounds, bounds[1:])):
+            errors.append(
+                f"metrics: histogram {name} bounds must increase"
+            )
+        counts = hist.get("counts", [])
+        if any(_bad_number(c) or c < 0 for c in counts):
+            errors.append(
+                f"metrics: histogram {name} counts must be finite and "
+                "non-negative"
+            )
+        elif "total" in hist and hist.get("total") != sum(counts):
+            errors.append(
+                f"metrics: histogram {name} total {hist.get('total')} "
+                f"!= sum of counts {sum(counts)}"
+            )
+        if "sum" in hist and _bad_number(hist["sum"]):
+            errors.append(f"metrics: histogram {name} sum must be finite")
+    return errors
+
 
 def validation_errors(document: Any) -> List[str]:
     """All schema violations in a trace document (empty = valid)."""
@@ -50,7 +174,11 @@ def validation_errors(document: Any) -> List[str]:
     else:
         return [f"trace must be an array or object, got {type(document).__name__}"]
 
+    if isinstance(document, dict) and "metrics" in document:
+        errors.extend(metrics_errors(document["metrics"]))
+
     last_ts: Dict[tuple, float] = {}
+    counter_last: Dict[tuple, float] = {}
     named_threads: Dict[tuple, str] = {}
     named_processes: Dict[Any, str] = {}
     for index, event in enumerate(events):
@@ -99,12 +227,18 @@ def validation_errors(document: Any) -> List[str]:
         if not isinstance(ts, numbers.Real) or isinstance(ts, bool):
             errors.append(f"{where}: ts must be a number")
             continue
+        if not math.isfinite(ts):
+            errors.append(f"{where}: non-finite ts {ts}")
+            continue
         if ts < 0:
             errors.append(f"{where}: negative ts {ts}")
+        track = (event.get("pid"), event.get("tid"))
         if phase == "X":
             dur = event.get("dur")
             if not isinstance(dur, numbers.Real) or isinstance(dur, bool):
                 errors.append(f"{where}: X event dur must be a number")
+            elif not math.isfinite(dur):
+                errors.append(f"{where}: non-finite dur {dur}")
             elif dur < 0:
                 errors.append(f"{where}: negative dur {dur}")
         if phase == "C":
@@ -131,7 +265,28 @@ def validation_errors(document: Any) -> List[str]:
                             f"(series {name}.{series} is "
                             f"{type(value).__name__})"
                         )
-        track = (event.get("pid"), event.get("tid"))
+                    elif not math.isfinite(value):
+                        errors.append(
+                            f"{where}: counter series {name}.{series} "
+                            f"has a non-finite value ({value})"
+                        )
+                    elif _is_counter_series(series) or _is_counter_series(
+                        str(name)
+                    ):
+                        # Cumulative counters may never decrease; a dip
+                        # means a producer reset or double-count bug.
+                        mkey = (track, name, series)
+                        previous = counter_last.get(mkey)
+                        if previous is not None and value < previous:
+                            errors.append(
+                                f"{where}: counter series {name}.{series}"
+                                f" decreased from {previous} to {value} "
+                                f"on track pid={track[0]} tid={track[1]}"
+                            )
+                        counter_last[mkey] = (
+                            value if previous is None
+                            else max(value, previous)
+                        )
         previous = last_ts.get(track)
         if previous is not None and ts < previous:
             errors.append(

@@ -283,3 +283,30 @@ class TestObservability:
                 for o in plain.outcomes] == \
                [(o.query_id, o.status, o.latency_us)
                 for o in traced.outcomes]
+
+
+class TestFleetOutcomeOk:
+    """The availability-SLO good-event predicate on fleet outcomes."""
+
+    @staticmethod
+    def _outcome(status, correct=True):
+        from repro.fleet.report import FleetOutcome
+
+        return FleetOutcome(
+            query_id=0, status=status, arrival_us=0.0, finish_us=1.0,
+            latency_us=1.0, correct=correct,
+        )
+
+    def test_answered_and_correct_is_ok(self):
+        for status in ANSWERED_STATUSES:
+            outcome = self._outcome(status)
+            assert outcome.ok
+            assert outcome.as_dict()["ok"] is True
+
+    def test_corrupted_answer_is_not_ok(self):
+        assert not self._outcome(FleetStatus.COMPLETE, correct=False).ok
+
+    def test_unanswered_is_not_ok(self):
+        for status in (FleetStatus.FAILED, FleetStatus.SHED,
+                       FleetStatus.TIMED_OUT):
+            assert not self._outcome(status).ok

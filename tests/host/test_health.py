@@ -373,3 +373,27 @@ class TestFleetIdentityAndExport:
         assert export["group_id"] is None
         assert not export["health_enabled"]
         assert export["replicas"] == []
+
+
+class TestHealthTransitionRecords:
+    """The shared telemetry view of a health trail."""
+
+    def test_records_mirror_transitions(self):
+        from repro.host import health_transition_records
+
+        health = fast_health()
+        now = quarantined(health)
+        records = health_transition_records(health, replica_id=7)
+        assert len(records) == len(health.transitions)
+        ts, fields = records[-1]
+        assert ts == health.transitions[-1].time_us
+        assert fields["replica"] == 7
+        assert fields["to_state"] == "quarantined"
+        assert fields["reason"] == "phi"
+        assert fields["phi"] == round(health.transitions[-1].phi, 4)
+        assert now >= 0.0
+
+    def test_untouched_health_yields_no_records(self):
+        from repro.host import health_transition_records
+
+        assert health_transition_records(fast_health(), 0) == []

@@ -342,3 +342,69 @@ class TestFaultStatsSync:
             markers_dropped=50,
         )
         assert stats.query_visible_failures() == 6
+
+
+class TestFaultWindows:
+    """Ground-truth extraction: schedules -> exact fault windows."""
+
+    def test_cluster_flap_pairs_into_outage_window(self):
+        from repro.machine.faults import FaultWindow
+
+        schedule = FaultSchedule((
+            FaultEvent(10.0, "cluster-fail", cluster=1),
+            FaultEvent(50.0, "cluster-repair", cluster=1),
+            FaultEvent(20.0, "mu-slowdown", cluster=2, value=3.0),
+        ))
+        windows = schedule.fault_windows()
+        assert windows[0] == FaultWindow(
+            start_us=10.0, end_us=50.0, kind="outage", target="cluster:1"
+        )
+        # Never-reverted slowdown stays open.
+        assert windows[1].target == "slowdown:2"
+        assert windows[1].kind == "gray"
+        assert windows[1].end_us is None
+
+    def test_slowdown_reverted_by_unit_factor(self):
+        schedule = FaultSchedule((
+            FaultEvent(10.0, "mu-slowdown", cluster=2, value=3.0),
+            FaultEvent(40.0, "mu-slowdown", cluster=2, value=1.0),
+        ))
+        (window,) = schedule.fault_windows()
+        assert (window.start_us, window.end_us) == (10.0, 40.0)
+        assert window.kind == "gray"
+
+    def test_gray_rate_events_closed_by_zero(self):
+        schedule = FaultSchedule((
+            FaultEvent(5.0, "marker-drop", value=0.1),
+            FaultEvent(25.0, "marker-drop", value=0.0),
+            FaultEvent(30.0, "corrupt-rate", value=0.2),
+        ))
+        windows = schedule.fault_windows()
+        targets = {w.target: (w.start_us, w.end_us) for w in windows}
+        assert targets["marker-drop"] == (5.0, 25.0)
+        assert targets["corrupt-rate"] == (30.0, None)
+
+    def test_region_schedule_windows(self):
+        from repro.machine.faults import RegionEvent, RegionSchedule
+
+        schedule = RegionSchedule((
+            RegionEvent(30.0, "region-fail", 0),
+            RegionEvent(300.0, "region-repair", 0),
+            RegionEvent(330.0, "region-slowdown", 2, 3.0),
+            RegionEvent(400.0, "region-slowdown", 2, 1.0),
+        ))
+        windows = schedule.fault_windows()
+        assert [(w.target, w.kind, w.start_us, w.end_us)
+                for w in windows] == [
+            ("region:0", "outage", 30.0, 300.0),
+            ("slowdown:region:2", "gray", 330.0, 400.0),
+        ]
+
+    def test_window_duration_uses_horizon_when_open(self):
+        from repro.machine.faults import FaultWindow
+
+        window = FaultWindow(
+            start_us=10.0, end_us=None, kind="gray", target="x"
+        )
+        assert window.duration_us(110.0) == 100.0
+        assert window.as_dict()["end_us"] is None

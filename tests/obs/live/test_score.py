@@ -1,0 +1,174 @@
+"""Detection-scoring tests: matching, ttd/ttr, gates, ground truth."""
+
+import pytest
+
+from repro.host import ReplicaFaultEvent
+from repro.machine.faults import (
+    FaultConfig, FaultEvent, FaultSchedule, FaultWindow,
+)
+from repro.obs.live.alerts import Alert
+from repro.obs.live.score import (
+    ScoreConfig, score_detection, truth_from_replica_timeline,
+)
+
+HORIZON = 1_000.0
+
+
+def _truth(start, end, target="replica:1", kind="gray"):
+    return FaultWindow(start_us=start, end_us=end, kind=kind,
+                       target=target)
+
+
+def _alert(fired, resolved=None, rule="page"):
+    return Alert(rule=rule, severity="page", fired_at_us=fired,
+                 ack_at_us=fired + 5.0, resolved_at_us=resolved)
+
+
+class TestMatching:
+    def test_overlap_detects(self):
+        score = score_detection(
+            [_truth(100.0, 300.0)], [_alert(150.0, 250.0)],
+            ScoreConfig(ttd_bound_us=100.0), HORIZON,
+        )
+        (match,) = score.matches
+        assert match.detected
+        assert match.ttd_us == 50.0
+        assert score.recall == 1.0
+        assert score.precision == 1.0
+
+    def test_alert_open_at_onset_detects_instantly(self):
+        score = score_detection(
+            [_truth(100.0, 300.0)], [_alert(50.0, 400.0)],
+            ScoreConfig(ttd_bound_us=100.0), HORIZON,
+        )
+        assert score.matches[0].ttd_us == 0.0  # clamped, never negative
+
+    def test_grace_extends_the_truth_window(self):
+        truth = [_truth(100.0, 300.0)]
+        late = [_alert(320.0, 400.0)]
+        missed = score_detection(
+            truth, late, ScoreConfig(ttd_bound_us=500.0), HORIZON
+        )
+        assert not missed.matches[0].detected
+        caught = score_detection(
+            truth, late,
+            ScoreConfig(ttd_bound_us=500.0, grace_us=50.0), HORIZON,
+        )
+        assert caught.matches[0].detected
+
+    def test_ttr_needs_repair_and_resolution(self):
+        config = ScoreConfig(ttd_bound_us=500.0)
+        resolved = score_detection(
+            [_truth(100.0, 300.0)], [_alert(150.0, 380.0)], config,
+            HORIZON,
+        )
+        assert resolved.matches[0].ttr_us == pytest.approx(80.0)
+        still_open = score_detection(
+            [_truth(100.0, 300.0)], [_alert(150.0)], config, HORIZON
+        )
+        assert still_open.matches[0].ttr_us is None
+        never_repaired = score_detection(
+            [_truth(100.0, None)], [_alert(150.0, 380.0)], config,
+            HORIZON,
+        )
+        assert never_repaired.matches[0].ttr_us is None
+
+    def test_one_alert_can_cover_correlated_faults(self):
+        score = score_detection(
+            [_truth(100.0, 300.0), _truth(200.0, 400.0, "replica:2")],
+            [_alert(250.0, 500.0)],
+            ScoreConfig(ttd_bound_us=500.0), HORIZON,
+        )
+        assert all(m.detected for m in score.matches)
+        assert not score.false_alerts
+
+    def test_false_alert_counted(self):
+        score = score_detection(
+            [_truth(100.0, 200.0)],
+            [_alert(150.0, 180.0), _alert(800.0, 900.0, rule="noisy")],
+            ScoreConfig(ttd_bound_us=500.0), HORIZON,
+        )
+        assert len(score.false_alerts) == 1
+        assert score.false_alerts[0].rule == "noisy"
+        assert score.precision == pytest.approx(0.5)
+
+    def test_no_truth_no_alerts_is_perfect(self):
+        score = score_detection(
+            [], [], ScoreConfig(ttd_bound_us=1.0), HORIZON
+        )
+        assert score.recall == 1.0
+        assert score.precision == 1.0
+        assert score.max_ttd_us is None
+
+
+class TestGate:
+    def test_missed_fault_named(self):
+        score = score_detection(
+            [_truth(100.0, 200.0)], [],
+            ScoreConfig(ttd_bound_us=50.0), HORIZON,
+        )
+        (problem,) = score.gate_problems(ScoreConfig(ttd_bound_us=50.0))
+        assert "missed fault replica:1" in problem
+
+    def test_slow_detection_named(self):
+        config = ScoreConfig(ttd_bound_us=50.0)
+        score = score_detection(
+            [_truth(100.0, 400.0)], [_alert(200.0, 500.0)], config,
+            HORIZON,
+        )
+        (problem,) = score.gate_problems(config)
+        assert "slow detection" in problem
+        assert "ttd 100us" in problem
+
+    def test_warmup_fires_fail_the_gate(self):
+        config = ScoreConfig(ttd_bound_us=500.0)
+        score = score_detection(
+            [_truth(100.0, 400.0)], [_alert(50.0, 500.0)], config,
+            HORIZON,
+        )
+        # The early alert still detects the fault, but firing before
+        # any fault existed is a false page by construction.
+        assert score.fired_in_warmup == 1
+        assert any("warmup" in p for p in score.gate_problems(config))
+
+    def test_clean_run_passes(self):
+        config = ScoreConfig(ttd_bound_us=500.0)
+        score = score_detection(
+            [_truth(100.0, 400.0)], [_alert(150.0, 500.0)], config,
+            HORIZON,
+        )
+        assert score.gate_problems(config) == []
+
+
+class TestTruthFromReplicaTimeline:
+    def test_gray_and_outage_windows(self):
+        gray = FaultConfig(seed=1, mu_slowdown_factor=3.0)
+        flap = FaultConfig(
+            seed=2,
+            schedule=FaultSchedule((
+                FaultEvent(10.0, "cluster-fail", cluster=1),
+                FaultEvent(20.0, "cluster-repair", cluster=1),
+            )),
+        )
+        timeline = (
+            ReplicaFaultEvent(100.0, 1, gray),
+            ReplicaFaultEvent(300.0, 1, None),
+            ReplicaFaultEvent(200.0, 2, flap),
+            ReplicaFaultEvent(400.0, 2, None),
+        )
+        windows = truth_from_replica_timeline(timeline)
+        assert [(w.target, w.start_us, w.end_us, w.kind)
+                for w in windows] == [
+            ("replica:1", 100.0, 300.0, "gray"),
+            ("replica:2", 200.0, 400.0, "outage"),
+        ]
+
+    def test_never_repaired_clamps_to_horizon(self):
+        timeline = (
+            ReplicaFaultEvent(
+                100.0, 1, FaultConfig(seed=1, marker_drop_prob=0.1)
+            ),
+        )
+        (window,) = truth_from_replica_timeline(timeline, horizon_us=900.0)
+        assert window.end_us == 900.0
+        assert window.duration_us(2_000.0) == 800.0

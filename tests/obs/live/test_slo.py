@@ -1,0 +1,203 @@
+"""SLO engine tests: burn-rate math, event rules, budget accounting."""
+
+import pytest
+
+from repro.obs.live.slo import (
+    BurnRateRule, EventRule, SLOEngine, SLOError, SLOSpec,
+)
+from repro.obs.live.windows import WindowSnapshot
+
+
+def _window(i, ok=0, finished=0, latencies=(), quarantines=0, **kw):
+    window = WindowSnapshot(
+        index=i, start_us=i * 10.0, end_us=(i + 1) * 10.0,
+        ok=ok, quarantines=quarantines, **kw
+    )
+    window.outcomes = {"served": ok, "failed": finished - ok}
+    window.latencies = sorted(latencies)
+    return window
+
+
+class TestSLOSpec:
+    def test_budget(self):
+        assert SLOSpec("a", "availability", 0.99).budget == pytest.approx(
+            0.01
+        )
+
+    @pytest.mark.parametrize("objective", [0.0, 1.0, -0.5, 1.5])
+    def test_objective_out_of_range_raises(self, objective):
+        with pytest.raises(SLOError):
+            SLOSpec("a", "availability", objective)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(SLOError, match="unknown SLO kind"):
+            SLOSpec("a", "throughput", 0.9)
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(SLOError, match="latency_threshold_us"):
+            SLOSpec("l", "latency", 0.9)
+
+    def test_good_total_availability(self):
+        spec = SLOSpec("a", "availability", 0.9)
+        assert spec.good_total(_window(0, ok=7, finished=10)) == (7, 10)
+
+    def test_good_total_latency_counts_under_threshold(self):
+        spec = SLOSpec("l", "latency", 0.9, latency_threshold_us=100.0)
+        window = _window(
+            0, ok=3, finished=3, latencies=[50.0, 100.0, 150.0]
+        )
+        # <= threshold is good (boundary counts).
+        assert spec.good_total(window) == (2, 3)
+
+    def test_good_total_freshness(self):
+        spec = SLOSpec("f", "freshness", 0.95)
+        window = _window(0)
+        window.legs_fresh = {0: 3}
+        window.legs_stale = {1: 1}
+        assert spec.good_total(window) == (3, 4)
+
+
+class TestBurnRateRule:
+    def test_validation(self):
+        with pytest.raises(SLOError):
+            BurnRateRule("r", "a", threshold=0.0, long_windows=2,
+                         short_windows=1)
+        with pytest.raises(SLOError):
+            BurnRateRule("r", "a", threshold=1.0, long_windows=1,
+                         short_windows=2)
+        with pytest.raises(SLOError, match="severity"):
+            BurnRateRule("r", "a", threshold=1.0, long_windows=2,
+                         short_windows=1, severity="email")
+
+    def test_breach_requires_both_spans(self):
+        # Objective 0.9 → budget 0.1.  A single fully-bad window burns
+        # at 10x, but the long span dilutes it: with three prior
+        # all-good windows the long burn is 10 * (1/4) = 2.5.
+        engine = SLOEngine(
+            [SLOSpec("a", "availability", 0.9)],
+            [BurnRateRule("page", "a", threshold=5.0, long_windows=4,
+                          short_windows=1)],
+        )
+        windows = [_window(i, ok=10, finished=10) for i in range(3)]
+        windows.append(_window(3, ok=0, finished=10))
+        last = engine.evaluate(windows)[-1]
+        assert not last.breached
+        assert last.value == pytest.approx(2.5)  # min(long, short)
+
+    def test_sustained_burn_breaches(self):
+        engine = SLOEngine(
+            [SLOSpec("a", "availability", 0.9)],
+            [BurnRateRule("page", "a", threshold=5.0, long_windows=4,
+                          short_windows=1)],
+        )
+        windows = [_window(i, ok=0, finished=10) for i in range(4)]
+        evaluations = engine.evaluate(windows)
+        assert evaluations[-1].breached
+        assert evaluations[-1].value == pytest.approx(10.0)
+
+    def test_zero_traffic_never_breaches(self):
+        engine = SLOEngine(
+            [SLOSpec("a", "availability", 0.9)],
+            [BurnRateRule("page", "a", threshold=1.0, long_windows=2,
+                          short_windows=1)],
+        )
+        evaluations = engine.evaluate([_window(0), _window(1)])
+        assert all(not e.breached for e in evaluations)
+        assert all(e.value == 0.0 for e in evaluations)
+
+    def test_empty_short_span_suppresses_breach(self):
+        # All the damage is old: the short span has traffic but is
+        # clean, so min(long, short) stays under threshold — the alert
+        # resets once the system recovers.
+        engine = SLOEngine(
+            [SLOSpec("a", "availability", 0.9)],
+            [BurnRateRule("page", "a", threshold=5.0, long_windows=3,
+                          short_windows=1)],
+        )
+        windows = [
+            _window(0, ok=0, finished=10),
+            _window(1, ok=10, finished=10),
+            _window(2, ok=10, finished=10),
+        ]
+        assert not engine.evaluate(windows)[-1].breached
+
+
+class TestEventRule:
+    def test_unknown_signal_raises(self):
+        with pytest.raises(SLOError, match="unknown event signal"):
+            EventRule("r", "explosions", threshold=1.0)
+
+    def test_trailing_sum_breaches(self):
+        engine = SLOEngine(
+            [], [EventRule("quar", "quarantines", threshold=2.0,
+                           windows=2)],
+        )
+        windows = [
+            _window(0, quarantines=1),
+            _window(1, quarantines=1),
+            _window(2),
+            _window(3),
+        ]
+        flags = [e.breached for e in engine.evaluate(windows)]
+        # Only window 1's trailing-2 span (windows 0+1) sums to 2; by
+        # window 2 the first quarantine has slid out of the span.
+        assert flags == [False, True, False, False]
+
+
+class TestEngineValidation:
+    def test_duplicate_slo_raises(self):
+        with pytest.raises(SLOError, match="duplicate SLO"):
+            SLOEngine([
+                SLOSpec("a", "availability", 0.9),
+                SLOSpec("a", "availability", 0.99),
+            ])
+
+    def test_duplicate_rule_raises(self):
+        with pytest.raises(SLOError, match="duplicate rule"):
+            SLOEngine(
+                [SLOSpec("a", "availability", 0.9)],
+                [
+                    BurnRateRule("r", "a", threshold=1.0, long_windows=1,
+                                 short_windows=1),
+                    EventRule("r", "errors", threshold=1.0),
+                ],
+            )
+
+    def test_unknown_slo_reference_raises(self):
+        with pytest.raises(SLOError, match="unknown SLO"):
+            SLOEngine(
+                [], [BurnRateRule("r", "ghost", threshold=1.0,
+                                  long_windows=1, short_windows=1)],
+            )
+
+    def test_rule_names_ordered(self):
+        engine = SLOEngine(
+            [SLOSpec("a", "availability", 0.9)],
+            [
+                BurnRateRule("burn", "a", threshold=1.0, long_windows=1,
+                             short_windows=1),
+                EventRule("event", "errors", threshold=1.0),
+            ],
+        )
+        assert engine.rule_names == ["burn", "event"]
+
+
+class TestSLOStates:
+    def test_budget_accounting(self):
+        engine = SLOEngine([SLOSpec("a", "availability", 0.9)])
+        windows = [
+            _window(0, ok=9, finished=10),
+            _window(1, ok=8, finished=10),
+        ]
+        state = engine.slo_states(windows)["a"]
+        assert state.good == 17
+        assert state.total == 20
+        assert state.attained == pytest.approx(0.85)
+        # 15% bad against a 10% budget: 150% of budget consumed.
+        assert state.budget_consumed == pytest.approx(1.5)
+
+    def test_no_traffic_is_innocent(self):
+        engine = SLOEngine([SLOSpec("a", "availability", 0.9)])
+        state = engine.slo_states([_window(0)])["a"]
+        assert state.attained == 1.0
+        assert state.budget_consumed == 0.0

@@ -198,3 +198,122 @@ class TestValidatorHardening:
     def test_exported_captures_have_unique_metadata(self):
         document = export_chrome_json(_small_capture())
         assert validation_errors(document) == []
+
+
+class TestNonFiniteRejection:
+    """NaN/inf is poison everywhere a number is expected."""
+
+    def test_nan_ts_rejected(self):
+        errors = validation_errors([
+            {"ph": "i", "name": "x", "pid": 1, "tid": 1,
+             "ts": float("nan"), "s": "t"},
+        ])
+        assert any("non-finite ts" in e for e in errors)
+
+    def test_inf_dur_rejected(self):
+        errors = validation_errors([
+            {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0,
+             "dur": float("inf")},
+        ])
+        assert any("non-finite dur" in e for e in errors)
+
+    def test_nan_counter_value_rejected(self):
+        errors = validation_errors([
+            {"ph": "C", "name": "c", "pid": 1, "tid": 1, "ts": 0,
+             "args": {"depth": float("nan")}},
+        ])
+        (error,) = errors
+        assert "c.depth" in error
+        assert "non-finite" in error
+
+
+class TestCounterMonotonicity:
+    """Cumulative counter series (by naming convention) must never
+    decrease on a track; gauge-like series are exempt."""
+
+    @staticmethod
+    def _series(name, values, tid=1):
+        return [
+            {"ph": "C", "name": name, "pid": 1, "tid": tid, "ts": float(i),
+             "args": {name: v}}
+            for i, v in enumerate(values)
+        ]
+
+    def test_decreasing_counter_series_flagged(self):
+        errors = validation_errors(
+            self._series("hops_total", [1, 5, 3])
+        )
+        (error,) = errors
+        assert "hops_total" in error
+        assert "decreased from 5 to 3" in error
+
+    def test_nondecreasing_counter_series_accepted(self):
+        assert validation_errors(
+            self._series("hops_total", [1, 1, 5, 9])
+        ) == []
+
+    def test_gauge_like_series_exempt(self):
+        # queue_depth/busy/mu_busy go up and down by design — the
+        # naming convention keeps them out of the monotone check.
+        for name in ("queue_depth", "busy", "mu_busy"):
+            assert validation_errors(
+                self._series(name, [0, 4, 1, 3])
+            ) == []
+
+    def test_tracks_checked_independently(self):
+        events = (
+            self._series("msgs.count", [1, 9], tid=1)
+            + self._series("msgs.count", [2, 4], tid=2)
+        )
+        assert validation_errors(sorted(events, key=lambda e: e["ts"])) == []
+
+
+class TestEmbeddedMetricsValidation:
+    @staticmethod
+    def _doc(metrics):
+        return {"traceEvents": [], "metrics": metrics}
+
+    def test_valid_registry_dump_accepted(self):
+        metrics = MetricsRegistry()
+        metrics.counter("host.queries").inc(2)
+        metrics.gauge("host.queue_depth").set(1.0, 3)
+        metrics.histogram("lat", bounds=(10.0,)).observe(4.0)
+        assert validation_errors(self._doc(metrics.as_dict())) == []
+
+    def test_nan_gauge_sample_rejected(self):
+        metrics = {
+            "gauges": {"g": {"samples": [[1.0, float("nan")]],
+                             "last": 0.0, "peak": 0.0}},
+        }
+        errors = validation_errors(self._doc(metrics))
+        assert any("gauge g.samples[0]" in e for e in errors)
+
+    def test_inf_counter_rejected(self):
+        errors = validation_errors(
+            self._doc({"counters": {"c": float("inf")}})
+        )
+        assert any("counter c must be finite" in e for e in errors)
+
+    def test_negative_counter_rejected(self):
+        errors = validation_errors(self._doc({"counters": {"c": -1}}))
+        assert any("counter c is negative" in e for e in errors)
+
+    def test_unordered_gauge_samples_rejected(self):
+        metrics = {
+            "gauges": {"g": {"samples": [[5.0, 1.0], [1.0, 2.0]],
+                             "last": 2.0, "peak": 2.0}},
+        }
+        errors = validation_errors(self._doc(metrics))
+        assert any("goes backwards" in e for e in errors)
+
+    def test_histogram_total_mismatch_rejected(self):
+        metrics = {
+            "histograms": {"h": {"bounds": [1.0], "counts": [1, 0],
+                                 "total": 5, "sum": 0.5}},
+        }
+        errors = validation_errors(self._doc(metrics))
+        assert any("!= sum of counts" in e for e in errors)
+
+    def test_malformed_payload_named_not_crashed(self):
+        errors = validation_errors(self._doc("not a dict"))
+        assert any("metrics: must be an object" in e for e in errors)

@@ -43,6 +43,111 @@ class TestGauge:
         assert gauge.peak == 7
 
 
+class TestGaugeRetention:
+    def test_uncapped_keeps_every_sample(self):
+        gauge = Gauge("g")
+        for i in range(5_000):
+            gauge.set(float(i), i)
+        assert len(gauge.samples) == 5_000
+        assert gauge.observations == 5_000
+
+    def test_cap_bounds_series_and_preserves_scalars(self):
+        capped = Gauge("g", max_points=16)
+        full = Gauge("g")
+        for i in range(10_000):
+            value = float((i * 37) % 101 - 3)  # sawtooth, dips negative
+            capped.set(float(i), value)
+            full.set(float(i), value)
+        assert len(capped.samples) <= 16
+        assert capped.observations == 10_000
+        # Downsampling never moves the exact scalars.
+        assert capped.last == full.last
+        assert capped.peak == full.peak
+        # Retained points are a time-ordered subsequence of the full
+        # series — downsampling drops samples, never invents them.
+        assert capped.samples == sorted(capped.samples)
+        assert set(capped.samples) <= set(full.samples)
+
+    def test_retained_points_spread_over_the_whole_run(self):
+        gauge = Gauge("g", max_points=8)
+        for i in range(1_000):
+            gauge.set(float(i), i)
+        stamps = [ts for ts, _ in gauge.samples]
+        assert stamps[0] == 0.0  # the run's start survives
+        assert stamps[-1] >= 500.0  # and the tail is represented
+        # Stride doubling keeps retained points evenly spaced.
+        gaps = {b - a for a, b in zip(stamps, stamps[1:])}
+        assert len(gaps) == 1
+
+    def test_negative_only_series_peak_is_exact(self):
+        gauge = Gauge("g", max_points=4)
+        for i in range(100):
+            gauge.set(float(i), -10.0 - i)
+        assert gauge.peak == -10.0
+        assert gauge.last == -109.0
+
+    def test_tiny_cap_raises(self):
+        with pytest.raises(ValueError, match="max_points"):
+            Gauge("g", max_points=1)
+
+    def test_registry_default_cap_applies_to_new_gauges(self):
+        registry = MetricsRegistry(gauge_max_points=8)
+        gauge = registry.gauge("g")
+        for i in range(1_000):
+            gauge.set(float(i), i)
+        assert len(gauge.samples) <= 8
+        assert registry.gauge("explicit", max_points=32).max_points == 32
+
+    def test_registry_cap_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", max_points=8)
+        registry.gauge("g")  # no cap requested: reuse is fine
+        registry.gauge("g", max_points=8)  # same cap: fine
+        with pytest.raises(ValueError, match="already exists"):
+            registry.gauge("g", max_points=16)
+
+    def test_long_overload_run_stays_bounded(self):
+        # Regression for unbounded gauge growth: a long overload run
+        # hammers host.queue_depth with a sample per arrival/dispatch.
+        # A capped registry must bound the series without changing the
+        # run (the sink of samples reads nothing back) or the exact
+        # last/peak scalars the drift snapshots pin.
+        from repro.experiments.overload import (
+            build_queries, uncontended_profile,
+        )
+        from repro.host import HostConfig, ServingHost
+        from repro.network.generator import generate_hierarchy_kb
+
+        network = generate_hierarchy_kb(120, branching=3)
+        config = HostConfig(
+            num_replicas=2, clusters_per_replica=2, mus_per_cluster=2,
+            queue_capacity=8,
+        )
+        mean_service, p99_0 = uncontended_profile(network, config)
+        queries = build_queries(
+            400, 2.0 * config.num_replicas / mean_service, 20.0 * p99_0
+        )
+
+        unbounded = MetricsRegistry()
+        capped = MetricsRegistry(gauge_max_points=64)
+        report_a = ServingHost(
+            network, config, metrics=unbounded
+        ).serve(queries)
+        report_b = ServingHost(
+            network, config, metrics=capped
+        ).serve(queries)
+
+        free = unbounded.gauge("host.queue_depth")
+        bound = capped.gauge("host.queue_depth")
+        assert len(free.samples) > 64  # the run is genuinely long
+        assert len(bound.samples) <= 64
+        assert bound.observations == len(free.samples)
+        assert bound.last == free.last
+        assert bound.peak == free.peak
+        # Metrics retention must not perturb the run itself.
+        assert report_b.as_dict() == report_a.as_dict()
+
+
 class TestHistogram:
     def test_increasing_bounds_accepted(self):
         # Regression: the bounds check once used an inverted
