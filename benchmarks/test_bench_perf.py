@@ -7,10 +7,19 @@ workload or malformed BENCH_PERF.json fails here rather than in CI.
 """
 
 import json
+import platform
+import statistics
 
 import pytest
 
-from repro.bench import DEFAULT_OUT, WORKLOADS, main, run_bench
+from repro.bench import (
+    DEFAULT_OUT,
+    WORKLOADS,
+    BackendDivergenceError,
+    _scrub_nondeterministic,
+    main,
+    run_bench,
+)
 
 
 class TestRunBench:
@@ -100,11 +109,95 @@ class TestRunBench:
         assert row["unreliable"] is True
         assert row["events_per_sec"] > 0
 
+    def test_noisy_per_run_walls_flagged_unreliable(self, monkeypatch):
+        """Per-run walls scattering beyond the relative-stdev threshold
+        flag the lane even when the total wall is comfortably above the
+        clock floor."""
+        import repro.bench as bench
+
+        walls = [0.010, 0.011, 0.050]  # one 5x outlier run
+        monkeypatch.setitem(
+            bench._RUNNERS, "propagate",
+            lambda smoke, backend: {
+                "events": 5000, **bench._wall_stats(walls),
+            },
+        )
+        row = run_bench(["propagate"], smoke=True)["workloads"]["propagate"]
+        assert row["unreliable"] is True
+
+    def test_steady_per_run_walls_not_flagged(self, monkeypatch):
+        import repro.bench as bench
+
+        walls = [0.010, 0.0101, 0.0099, 0.0102]
+        monkeypatch.setitem(
+            bench._RUNNERS, "propagate",
+            lambda smoke, backend: {
+                "events": 5000, **bench._wall_stats(walls),
+            },
+        )
+        row = run_bench(["propagate"], smoke=True)["workloads"]["propagate"]
+        assert "unreliable" not in row
+
+    def test_lanes_record_per_run_wall_stats(self):
+        record = run_bench(["propagate", "dispatch"], smoke=True)
+        for lane in ("propagate", "dispatch"):
+            row = record["workloads"][lane]
+            walls = row["wall_runs"]
+            assert len(walls) >= 2
+            assert row["wall_s"] == pytest.approx(sum(walls))
+            assert row["wall_min_s"] == min(walls)
+            assert row["wall_median_s"] == statistics.median(walls)
+            assert row["wall_stdev_s"] == pytest.approx(
+                statistics.stdev(walls)
+            )
+
+    def test_overload_lane_is_one_run(self):
+        row = run_bench(["overload"], smoke=True)["workloads"]["overload"]
+        assert len(row["wall_runs"]) == 1
+        assert row["wall_stdev_s"] == 0.0
+
+    def test_environment_fingerprint_stamped(self):
+        record = run_bench(["dispatch"], smoke=True, backend="python")
+        env = record["environment"]
+        assert env["python"] == platform.python_version()
+        assert env["backend"] == "python"
+        assert env["smoke"] is True
+        assert env["cpu_count"] is None or env["cpu_count"] >= 1
+
+    def test_scrub_drops_all_timing_and_environment_keys(self):
+        record = run_bench(["propagate"], smoke=True)
+        scrubbed = _scrub_nondeterministic(
+            {"environment": record["environment"], **record["workloads"]}
+        )
+        flat = json.dumps(scrubbed)
+        for key in ("wall_s", "wall_runs", "wall_min_s", "wall_median_s",
+                    "wall_stdev_s", "events_per_sec", "environment"):
+            assert key not in flat
+        assert "events" in scrubbed["propagate"]
+
+    def test_backend_divergence_raises_with_record(self, monkeypatch):
+        import repro.bench as bench
+
+        digests = iter(["aaa", "bbb"])
+
+        def fake(smoke, backend, nodes):
+            return (
+                {"events": 10, **bench._wall_stats([0.01]), "runs": 1,
+                 "nodes": nodes, "clusters": 16, "backend": backend},
+                next(digests),
+            )
+
+        monkeypatch.setattr(bench, "_functional_propagate", fake)
+        with pytest.raises(BackendDivergenceError) as excinfo:
+            run_bench(["propagate-vec"], smoke=True)
+        assert excinfo.value.record["equivalent"] is False
+
 
 class TestCli:
     def test_main_writes_trajectory_json(self, tmp_path, capsys):
         out = tmp_path / "BENCH_PERF.json"
-        assert main(["propagate", "--smoke", "--out", str(out)]) == 0
+        assert main(["propagate", "--smoke", "--out", str(out),
+                     "--no-history"]) == 0
         record = json.loads(out.read_text())
         assert record["bench"] == "snap1-hot-path"
         assert record["smoke"] is True
@@ -113,6 +206,53 @@ class TestCli:
         printed = capsys.readouterr().out
         assert "ev/s" in printed
         assert str(out) in printed
+
+    def test_main_appends_history_records(self, tmp_path):
+        from repro.obs.perf.history import load_history
+
+        out = tmp_path / "BENCH_PERF.json"
+        hist = tmp_path / "BENCH_HISTORY.jsonl"
+        for _ in range(2):
+            assert main(["dispatch", "--smoke", "--out", str(out),
+                         "--history", str(hist)]) == 0
+        records = load_history(str(hist))
+        assert len(records) == 2
+        assert records[0]["lane"] == "dispatch"
+        assert records[0]["environment"]["python"]
+        assert records[0]["wall_runs"]
+
+    def test_no_history_skips_append(self, tmp_path):
+        out = tmp_path / "BENCH_PERF.json"
+        hist = tmp_path / "BENCH_HISTORY.jsonl"
+        assert main(["dispatch", "--smoke", "--out", str(out),
+                     "--history", str(hist), "--no-history"]) == 0
+        assert not hist.exists()
+
+    def test_divergence_exits_nonzero_with_message(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """The smoke path's failure mode is an exit code and a
+        diagnostic, not a traceback."""
+        import repro.bench as bench
+
+        digests = iter(["aaa", "bbb"])
+
+        def fake(smoke, backend, nodes):
+            return (
+                {"events": 10, **bench._wall_stats([0.01]), "runs": 1,
+                 "nodes": nodes, "clusters": 16, "backend": backend},
+                next(digests),
+            )
+
+        monkeypatch.setattr(bench, "_functional_propagate", fake)
+        out = tmp_path / "BENCH_PERF.json"
+        code = main(["propagate-vec", "--smoke", "--out", str(out),
+                     "--no-history"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "divergence" in err
+        assert "equivalence gate" in err
+        assert not out.exists()  # no trajectory written on divergence
 
     def test_default_out_is_repo_trajectory_file(self):
         assert DEFAULT_OUT == "BENCH_PERF.json"

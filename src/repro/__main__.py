@@ -38,8 +38,22 @@ Commands
     propagate-heavy, fault-recovery, overload-serving, and
     instruction-dispatch workloads, plus ``propagate-vec``, which runs
     the large-KB functional lane on both propagation backends and
-    pins their bit-for-bit equivalence.  ``--backend
-    python|vectorized|both`` selects the backend for engine lanes.
+    pins their bit-for-bit equivalence (exits non-zero on
+    divergence).  ``--backend python|vectorized|both`` selects the
+    backend for engine lanes.  Every run also appends one record per
+    lane — per-run walls, environment fingerprint — to
+    ``BENCH_HISTORY.jsonl`` (``--history PATH`` / ``--no-history``).
+``perf profile WORKLOAD [--folded-out F --report R --json J]``
+    Run a bench lane under the wall-clock sampling profiler: folded
+    flamegraph stacks, a hot-spot report with subsystem bucket
+    rollups, and (with ``--trace-join``) a wall-vs-simulated join of
+    real seconds onto pipeline phases.  See ``docs/PERF.md``.
+``perf check [--history PATH] [--window N]``
+    Statistical regression gate over the bench-history trajectory:
+    the newest record per lane vs its trailing window (median
+    baseline, MAD/bootstrap bands).  Exits 1 on a significant
+    regression — the wall-clock counterpart of the ``analyze`` drift
+    gate.
 ``info``
     Print the machine configuration and knowledge-base statistics.
 """
@@ -114,6 +128,8 @@ def cmd_experiments(args) -> int:
         argv.extend(["--backend", args.backend])
     if args.out:
         argv.extend(["--out", args.out])
+    if args.profile:
+        argv.extend(["--profile", args.profile])
     if args.list:
         argv.append("--list")
     if not args.trace:
@@ -241,7 +257,17 @@ def cmd_bench(args) -> int:
     argv.extend(["--out", args.out])
     if args.snapshot:
         argv.extend(["--snapshot", args.snapshot])
+    argv.extend(["--history", args.history])
+    if args.no_history:
+        argv.append("--no-history")
     return bench_main(argv)
+
+
+def cmd_perf(args) -> int:
+    """Handle the `perf` subcommand (profile / check)."""
+    from repro.obs.perf.cli import main as perf_main
+
+    return perf_main(args.perf_args)
 
 
 def cmd_info(args) -> int:
@@ -297,6 +323,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                    help="list experiment ids and exit")
     p.add_argument("--trace", metavar="PATH",
                    help="capture every simulation into a Perfetto trace")
+    p.add_argument("--profile", metavar="PATH",
+                   help="write wall-clock folded stacks of the whole run")
     p.set_defaults(fn=cmd_experiments)
 
     p = sub.add_parser(
@@ -393,7 +421,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("--out", default="BENCH_PERF.json")
     p.add_argument("--snapshot", metavar="PATH",
                    help="write deterministic fields as a drift snapshot")
+    p.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                   metavar="PATH",
+                   help="append per-lane records to this JSONL trajectory")
+    p.add_argument("--no-history", action="store_true",
+                   help="skip appending to the bench history")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "perf",
+        help="wall-clock observatory: sampling profiler + bench-history "
+             "regression gate",
+    )
+    p.add_argument("perf_args", nargs=argparse.REMAINDER,
+                   help="perf subcommand and flags: "
+                        "`profile WORKLOAD [--folded-out ...]` or "
+                        "`check [--history ...]`")
+    p.set_defaults(fn=cmd_perf)
 
     p = sub.add_parser("info", help="machine + knowledge base statistics")
     p.add_argument("--kb-nodes", type=int, default=3000)

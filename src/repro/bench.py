@@ -34,9 +34,15 @@ Because the simulator is deterministic, the event counts of a workload
 never change between runs or code versions (the byte-identical-reports
 guarantee); only the wall-clock denominator moves.  That makes
 ``events_per_sec`` a directly comparable trajectory across PRs —
-``python -m repro bench`` writes it to ``BENCH_PERF.json``.  A lane
-whose wall time is below :data:`MIN_RELIABLE_WALL_S` (coarse clocks,
-tiny smoke sizes) is tagged ``"unreliable": true`` rather than left to
+``python -m repro bench`` writes the latest snapshot to
+``BENCH_PERF.json`` and appends one record per lane (per-run walls,
+environment fingerprint) to ``BENCH_HISTORY.jsonl``, the trajectory
+``python -m repro perf check`` gates on.  Lanes time each repeat
+separately, so every row carries ``wall_runs`` plus
+min/median/stdev; a lane is tagged ``"unreliable": true`` when its
+wall is below :data:`MIN_RELIABLE_WALL_S` (coarse clocks, tiny smoke
+sizes) *or* its per-run walls scatter beyond
+:data:`MAX_RELIABLE_REL_STDEV` — either way the rate must not
 masquerade as a real measurement.
 """
 
@@ -46,8 +52,23 @@ import gc
 import hashlib
 import json
 import platform
+import statistics
+import sys
 import time
 from typing import Any, Dict, List, Optional, Tuple
+
+
+class BackendDivergenceError(RuntimeError):
+    """The python and vectorized backends disagreed on a bench lane.
+
+    Carries the partially-built lane ``record`` (with
+    ``"equivalent": false``) so callers — the CLI, CI — can render
+    what diverged instead of a bare traceback.
+    """
+
+    def __init__(self, message: str, record: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.record = record
 
 
 def _start_clock() -> float:
@@ -72,10 +93,37 @@ BACKEND_CHOICES = ("python", "vectorized", "both")
 #: measurement; such lanes are flagged ``"unreliable": true``.
 MIN_RELIABLE_WALL_S = 1e-4
 
+#: A lane whose per-run walls scatter beyond this relative stdev
+#: (stdev / median, ≥3 runs) is flagged unreliable: the machine was
+#: too noisy for the rate to be a measurement.
+MAX_RELIABLE_REL_STDEV = 0.25
+
+#: Default history path for the appended per-lane trajectory.
+DEFAULT_HISTORY = "BENCH_HISTORY.jsonl"
+
 #: Keys that vary run to run and must never enter a drift snapshot.
 _NONDETERMINISTIC_KEYS = frozenset(
-    ("wall_s", "events_per_sec", "unreliable", "speedup")
+    (
+        "wall_s", "events_per_sec", "unreliable", "speedup",
+        "wall_runs", "wall_min_s", "wall_median_s", "wall_stdev_s",
+        "environment",
+    )
 )
+
+
+def _wall_stats(walls: List[float]) -> Dict[str, Any]:
+    """Aggregate per-run wall times into a lane row's timing fields."""
+    stats: Dict[str, Any] = {
+        "wall_s": sum(walls),
+        "wall_runs": list(walls),
+    }
+    if walls:
+        stats["wall_min_s"] = min(walls)
+        stats["wall_median_s"] = statistics.median(walls)
+        stats["wall_stdev_s"] = (
+            statistics.stdev(walls) if len(walls) >= 2 else 0.0
+        )
+    return stats
 
 
 def _finalize_rate(record: Dict[str, Any]) -> Dict[str, Any]:
@@ -86,6 +134,11 @@ def _finalize_rate(record: Dict[str, Any]) -> Dict[str, Any]:
     )
     if wall < MIN_RELIABLE_WALL_S:
         record["unreliable"] = True
+    walls = record.get("wall_runs") or []
+    median = record.get("wall_median_s", 0.0)
+    if len(walls) >= 3 and median > 0:
+        if record.get("wall_stdev_s", 0.0) / median > MAX_RELIABLE_REL_STDEV:
+            record["unreliable"] = True
     return record
 
 
@@ -204,22 +257,23 @@ def _functional_propagate(
     state.reset_markers()
     events = 0
     results = []
-    start = _start_clock()
+    walls: List[float] = []
     for _ in range(repeats):
+        start = _start_clock()
         state.reset_markers()
         results = [engine.run(program) for program in programs]
+        walls.append(time.perf_counter() - start)
         events += sum(
             record.arrivals
             for result in results
             for record in result.records
         )
-    wall = time.perf_counter() - start
     # Collect results enter the fingerprint but not the clock (a
     # full-KB collect is backend-independent Python).
     results.append(engine.run(_collect_program()))
     row = {
         "events": events,
-        "wall_s": wall,
+        **_wall_stats(walls),
         "runs": repeats * len(programs),
         "nodes": nodes,
         "clusters": num_clusters,
@@ -256,13 +310,18 @@ def bench_propagate(
     programs = _propagate_programs()
     machine.run(programs[0])  # warm allocator/tables outside the clock
     events = 0
-    start = _start_clock()
+    walls: List[float] = []
     for _ in range(repeats):
+        start = _start_clock()
         for program in programs:
             machine.reset_markers()
             events += machine.run(program).events_processed
-    wall = time.perf_counter() - start
-    return {"events": events, "wall_s": wall, "runs": repeats * len(programs)}
+        walls.append(time.perf_counter() - start)
+    return {
+        "events": events,
+        **_wall_stats(walls),
+        "runs": repeats * len(programs),
+    }
 
 
 def bench_propagate_vec(
@@ -284,17 +343,21 @@ def bench_propagate_vec(
     record: Dict[str, Any] = {"nodes": nodes, "backends": rows}
     primary = rows[names[-1]]
     record["events"] = primary["events"]
-    record["wall_s"] = primary["wall_s"]
     record["runs"] = primary["runs"]
+    for key in ("wall_s", "wall_runs", "wall_min_s", "wall_median_s",
+                "wall_stdev_s"):
+        if key in primary:
+            record[key] = primary[key]
     if len(names) == 2:
         record["equivalent"] = (
             digests["python"] == digests["vectorized"]
         )
         if not record["equivalent"]:
-            raise RuntimeError(
+            raise BackendDivergenceError(
                 "backend divergence: python and vectorized backends "
                 "produced different marker state or reports on the "
-                "propagate-vec workload"
+                "propagate-vec workload",
+                record=record,
             )
         python_rate = rows["python"]["events_per_sec"]
         vec_rate = rows["vectorized"]["events_per_sec"]
@@ -327,13 +390,18 @@ def bench_faults(
     programs = _propagate_programs()
     machine.run(programs[0])
     events = 0
-    start = _start_clock()
+    walls: List[float] = []
     for _ in range(repeats):
+        start = _start_clock()
         for program in programs:
             machine.reset_markers()
             events += machine.run(program).events_processed
-    wall = time.perf_counter() - start
-    return {"events": events, "wall_s": wall, "runs": repeats * len(programs)}
+        walls.append(time.perf_counter() - start)
+    return {
+        "events": events,
+        **_wall_stats(walls),
+        "runs": repeats * len(programs),
+    }
 
 
 def bench_overload(
@@ -391,9 +459,11 @@ def bench_overload(
     start = _start_clock()
     report = host.serve(queries)
     wall = time.perf_counter() - start
+    # One continuous serving run — the lane is a single measurement,
+    # so the per-run wall list has one entry.
     return {
         "events": host.sim.events_processed,
-        "wall_s": wall,
+        **_wall_stats([wall]),
         "queries": count,
         "served": report.served,
         "shed": report.shed,
@@ -434,15 +504,23 @@ def bench_dispatch(
     instructions = list(program)
     engine.run(program)  # warm tables outside the clock
     events = 0
-    start = _start_clock()
-    for _ in range(repeats):
-        for instruction in instructions:
-            engine.execute(instruction)
-        events += len(instructions)
-    wall = time.perf_counter() - start
+    walls: List[float] = []
+    # Individual repeats are microseconds; time chunks of ~a tenth of
+    # the stream so per-run walls are measurements, not clock reads.
+    chunk = max(1, repeats // 10)
+    done = 0
+    while done < repeats:
+        batch = min(chunk, repeats - done)
+        start = _start_clock()
+        for _ in range(batch):
+            for instruction in instructions:
+                engine.execute(instruction)
+        walls.append(time.perf_counter() - start)
+        events += batch * len(instructions)
+        done += batch
     return {
         "events": events,
-        "wall_s": wall,
+        **_wall_stats(walls),
         "runs": repeats,
         "instructions": len(instructions),
     }
@@ -474,11 +552,14 @@ def run_bench(
         record = _RUNNERS[name](smoke=smoke, backend=backend)
         _finalize_rate(record)
         results[name] = record
+    from .obs.perf.history import environment_fingerprint
+
     return {
         "bench": "snap1-hot-path",
         "smoke": smoke,
         "backend": backend,
         "python": platform.python_version(),
+        "environment": environment_fingerprint(backend=backend, smoke=smoke),
         "workloads": results,
     }
 
@@ -528,10 +609,29 @@ def main(argv=None) -> int:
              "served/shed — never wall time) as a drift-gate snapshot "
              "for `python -m repro analyze --compare`",
     )
-    args = parser.parse_args(argv)
-    record = run_bench(
-        args.workloads or None, smoke=args.smoke, backend=args.backend
+    parser.add_argument(
+        "--history", default=DEFAULT_HISTORY, metavar="PATH",
+        help="append one record per lane to this JSONL trajectory "
+             f"(default: {DEFAULT_HISTORY}; gated by "
+             "`python -m repro perf check`)",
     )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip appending to the bench history",
+    )
+    args = parser.parse_args(argv)
+    try:
+        record = run_bench(
+            args.workloads or None, smoke=args.smoke, backend=args.backend
+        )
+    except BackendDivergenceError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        print(
+            "bench: the propagate-vec equivalence gate failed — the "
+            "vectorized backend no longer reproduces the golden model",
+            file=sys.stderr,
+        )
+        return 1
     if args.snapshot:
         from .obs.analyze import make_snapshot
 
@@ -547,10 +647,13 @@ def main(argv=None) -> int:
         json.dump(record, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.out}")
+    if not args.no_history:
+        from .obs.perf.history import append_history
+
+        appended = append_history(record, args.history)
+        print(f"appended {appended} lane record(s) to {args.history}")
     return 0
 
 
 if __name__ == "__main__":
-    import sys
-
     sys.exit(main())

@@ -507,8 +507,11 @@ class VectorizedBackend(PropagationBackend):
                 for k, i in enumerate(members):
                     v = float(values[i])
                     if (k == 0 and not bit) or v < current:
-                        current = v
                         write_value(node, v, int(origins[i]))
+                        # Re-read, not cache: the register is float32,
+                        # and the golden model compares each arrival
+                        # against the *rounded* stored value.
+                        current = read_value(node)
                         work.fp_ops += 1
 
         def decide(dest, sidxs, values):

@@ -86,6 +86,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="process-wide propagation backend for every "
              "functional-engine run in the selected experiments",
     )
+    parser.add_argument(
+        "--profile", metavar="PATH",
+        help="sample wall-clock stacks across the whole run and write "
+             "flamegraph-compatible folded stacks here",
+    )
     args = parser.parse_args(argv)
 
     if args.backend:
@@ -115,7 +120,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
-    results = run_experiments(args.experiments or None, fast=not args.full)
+    profiler = None
+    if args.profile:
+        from ..obs.perf import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
+    try:
+        results = run_experiments(
+            args.experiments or None, fast=not args.full
+        )
+    finally:
+        if profiler is not None:
+            profile = profiler.stop()
+            with open(args.profile, "w") as handle:
+                handle.write(profile.folded())
+            print(
+                f"wrote {args.profile} ({profile.sample_count} samples, "
+                f"{len(profile.samples)} stacks)"
+            )
     text = "\n\n".join(r.render() for r in results)
     print(text)
     if args.out:

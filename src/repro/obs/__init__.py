@@ -25,6 +25,12 @@ host and fleet layers stream into, windowed aggregation, burn-rate
 SLO alerting, and ground-truth detection scoring over the injected
 fault schedules (``python -m repro monitor <workload>``).
 
+Wall-clock performance observability lives in :mod:`.perf`: a
+background-thread sampling profiler with flamegraph export
+(``python -m repro perf profile <lane>``), the ``BENCH_HISTORY.jsonl``
+trajectory, and the statistical bench-regression gate
+(``python -m repro perf check``).
+
 Capture entry points: ``python -m repro trace <workload>``
 (:mod:`.capture`), the ``--trace PATH`` flags on ``serve`` and
 ``experiments``, or programmatically::
@@ -51,6 +57,7 @@ from .tracer import (
     set_tracer,
 )
 from .live import TelemetryEvent, TelemetrySink
+from .perf import Profile, SamplingProfiler
 from .validate import (
     TraceValidationError,
     metrics_errors,
@@ -77,4 +84,6 @@ __all__ = [
     "TraceValidationError",
     "TelemetrySink",
     "TelemetryEvent",
+    "SamplingProfiler",
+    "Profile",
 ]

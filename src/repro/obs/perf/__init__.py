@@ -1,0 +1,65 @@
+"""`repro.obs.perf` — wall-clock performance observatory.
+
+The rest of :mod:`repro.obs` watches *simulated* time; this package
+watches the **host clock**, the quantity the ROADMAP's "as fast as
+the hardware allows" north star is denominated in:
+
+* :mod:`.profiler` — a background-thread sampling profiler (no
+  ``sys.setprofile``, no signals) producing folded flamegraph stacks,
+  a deterministic hot-spot report with subsystem bucket rollups, and
+  a wall-vs-simulated join that attributes real seconds to pipeline
+  phases when a trace is captured on the same run.
+* :mod:`.history` — ``BENCH_HISTORY.jsonl`` (one line per bench lane
+  per run, with per-run walls and an environment fingerprint) and a
+  robust median/MAD/bootstrap regression detector over the trailing
+  window.
+* :mod:`.cli` — ``python -m repro perf profile <lane>`` and
+  ``python -m repro perf check`` (exits 1 on a significant
+  regression; the CI gate).
+"""
+
+from .history import (
+    DEFAULT_HISTORY,
+    HISTORY_KIND,
+    LaneCheck,
+    append_history,
+    check_history,
+    check_lane,
+    environment_fingerprint,
+    load_history,
+    record_rate,
+    records_from_bench,
+)
+from .profiler import (
+    BUCKET_PREFIXES,
+    DEFAULT_HZ,
+    Profile,
+    SamplingProfiler,
+    bucket_of,
+    frame_label,
+    module_of,
+    phase_durations_us,
+    wall_simulated_join,
+)
+
+__all__ = [
+    "BUCKET_PREFIXES",
+    "DEFAULT_HISTORY",
+    "DEFAULT_HZ",
+    "HISTORY_KIND",
+    "LaneCheck",
+    "Profile",
+    "SamplingProfiler",
+    "append_history",
+    "bucket_of",
+    "check_history",
+    "check_lane",
+    "environment_fingerprint",
+    "frame_label",
+    "load_history",
+    "module_of",
+    "phase_durations_us",
+    "record_rate",
+    "records_from_bench",
+    "wall_simulated_join",
+]

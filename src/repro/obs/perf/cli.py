@@ -1,0 +1,217 @@
+"""``python -m repro perf`` — profile lanes, gate on bench history.
+
+Two subcommands:
+
+``profile WORKLOAD``
+    Run one bench lane under the sampling profiler.  Emits folded
+    stacks (``--folded-out``, flamegraph-compatible), the hot-spot
+    report (``--report``, stdout by default), and/or the structured
+    record (``--json``).  ``--trace-join`` additionally captures a
+    simulated-time trace on the same run and joins real seconds onto
+    pipeline phases (DES lanes; engine lanes report an empty join).
+
+``check``
+    Read ``BENCH_HISTORY.jsonl`` and classify the newest record of
+    every lane against its trailing window (median baseline, MAD or
+    bootstrap band — see :mod:`.history`).  Exits 1 on any
+    ``regression`` verdict; everything else (noise, improvement,
+    insufficient history, unreliable) exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from .history import (
+    DEFAULT_HISTORY,
+    DEFAULT_MIN_WINDOW,
+    DEFAULT_REL_FLOOR,
+    DEFAULT_WINDOW,
+    check_history,
+    load_history,
+)
+from .profiler import (
+    DEFAULT_HZ,
+    SamplingProfiler,
+    phase_durations_us,
+    wall_simulated_join,
+)
+
+
+def _profile_workload(args) -> int:
+    from ...bench import _RUNNERS, BackendDivergenceError
+
+    runner = _RUNNERS[args.workload]
+    tracer = None
+    if args.trace_join:
+        from .. import Tracer, set_tracer
+
+        tracer = Tracer()
+        set_tracer(tracer)
+    profiler = SamplingProfiler(hz=args.hz)
+    profiler.start()
+    try:
+        lane = runner(smoke=args.smoke, backend=args.backend)
+    except BackendDivergenceError as exc:
+        print(f"perf profile: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        profile = profiler.stop()
+        if tracer is not None:
+            from .. import set_tracer
+
+            set_tracer(None)
+
+    join_rows: Optional[List[Dict[str, Any]]] = None
+    if tracer is not None:
+        from ..analyze import from_tracer
+
+        join_rows = wall_simulated_join(
+            profile, phase_durations_us(from_tracer(tracer))
+        )
+
+    label = args.workload + (" --smoke" if args.smoke else "")
+    report = profile.report(label=label, top=args.top, join_rows=join_rows)
+    if profile.sample_count == 0:
+        print(
+            "perf profile: no samples captured — raise --hz or profile "
+            "a longer (non-smoke) run", file=sys.stderr,
+        )
+    if args.folded_out:
+        with open(args.folded_out, "w") as handle:
+            handle.write(profile.folded())
+        print(f"wrote {args.folded_out} ({len(profile.samples)} stacks)")
+    if args.json:
+        record = profile.as_dict(top=args.top, join_rows=join_rows)
+        record["workload"] = args.workload
+        record["smoke"] = args.smoke
+        record["backend"] = args.backend
+        record["lane"] = {
+            key: value for key, value in lane.items()
+            if isinstance(value, (int, float, str, bool)) or value is None
+        }
+        with open(args.json, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.report} ({profile.sample_count} samples)")
+    else:
+        print(report, end="")
+    return 0
+
+
+def _check_history(args) -> int:
+    try:
+        records = load_history(args.history)
+    except FileNotFoundError:
+        print(
+            f"perf check: no history at {args.history!r} "
+            "(run `python -m repro bench` to start one)",
+            file=sys.stderr,
+        )
+        return 2
+    except ValueError as exc:
+        print(f"perf check: {exc}", file=sys.stderr)
+        return 2
+    ok, checks = check_history(
+        records, window=args.window, min_window=args.min_window,
+        rel_floor=args.rel_floor, band=args.band,
+    )
+    if not checks:
+        print(f"perf check: history {args.history!r} holds no lane records")
+    for check in checks:
+        prefix = "REGRESSION " if check.gating else ""
+        print(prefix + check.describe())
+    if args.json:
+        document = {
+            "kind": "repro-perf-check",
+            "history": args.history,
+            "ok": ok,
+            "lanes": [
+                {
+                    "lane": check.lane,
+                    "verdict": check.verdict,
+                    "newest_rate": check.newest_rate,
+                    "baseline_rate": check.baseline_rate,
+                    "change": check.change,
+                    "allowed": check.allowed,
+                    "window": check.window,
+                    "detail": check.detail,
+                }
+                for check in checks
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    print("perf check: " + ("ok" if ok else "regression detected"))
+    return 0 if ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    from ...bench import BACKEND_CHOICES, WORKLOADS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro perf", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "profile", help="sample a bench lane's wall-clock stacks"
+    )
+    p.add_argument("workload", choices=WORKLOADS,
+                   help="bench lane to run under the profiler")
+    p.add_argument("--smoke", action="store_true",
+                   help="small lane sizes (shorter profile)")
+    p.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
+                   help="propagation backend for engine lanes")
+    p.add_argument("--hz", type=float, default=DEFAULT_HZ,
+                   help=f"sampling rate (default {DEFAULT_HZ:g})")
+    p.add_argument("--top", type=int, default=15,
+                   help="frames in the hot-frame table (default 15)")
+    p.add_argument("--folded-out", metavar="PATH",
+                   help="write flamegraph-compatible folded stacks")
+    p.add_argument("--report", metavar="PATH",
+                   help="write the hot-spot report here (default: stdout)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the structured profile record")
+    p.add_argument("--trace-join", action="store_true",
+                   help="capture a simulated-time trace on the same run "
+                        "and join wall seconds onto pipeline phases")
+    p.set_defaults(fn=_profile_workload)
+
+    p = sub.add_parser(
+        "check", help="gate on the bench-history trajectory"
+    )
+    p.add_argument("--history", default=DEFAULT_HISTORY,
+                   help=f"history path (default {DEFAULT_HISTORY})")
+    p.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                   help="trailing records per lane to compare against "
+                        f"(default {DEFAULT_WINDOW})")
+    p.add_argument("--min-window", type=int, default=DEFAULT_MIN_WINDOW,
+                   help="comparable records required before a verdict "
+                        f"(default {DEFAULT_MIN_WINDOW})")
+    p.add_argument("--rel-floor", type=float, default=DEFAULT_REL_FLOOR,
+                   help="relative band floor around the baseline "
+                        f"(default {DEFAULT_REL_FLOOR:g})")
+    p.add_argument("--band", choices=("mad", "bootstrap"), default="mad",
+                   help="window-spread estimator (default mad)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the check verdicts as JSON")
+    p.set_defaults(fn=_check_history)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

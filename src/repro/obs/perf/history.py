@@ -1,0 +1,339 @@
+"""Bench-history persistence and statistical regression detection.
+
+``BENCH_PERF.json`` is a single overwritten snapshot; this module
+gives the bench a *trajectory*: every ``python -m repro bench`` run
+appends one JSON line per lane to ``BENCH_HISTORY.jsonl`` —
+
+::
+
+    {"kind": "repro-bench-history", "lane": "propagate",
+     "events": 55220, "events_per_sec": 119463.4,
+     "wall_runs": [...], "wall_median_s": ..., "unreliable": false,
+     "smoke": false, "backend": null,
+     "environment": {"python": "3.11.7", "cpu_count": 8,
+                     "git_sha": "...", ...}}
+
+— and :func:`check_history` turns the trajectory into a gate.
+
+**Detection model.**  Per lane, the newest record is compared against
+the trailing window of comparable records (same ``smoke``/``backend``
+shape, ``unreliable`` rows excluded).  A record's rate is the
+*median-of-runs* rate (events per run over the median per-run wall)
+when per-run walls are present, falling back to aggregate
+``events_per_sec``.  The baseline is the window median; the allowed
+band is the wider of a relative floor (machine-to-machine jitter that
+no amount of statistics removes) and a spread estimate from the
+window itself — ``mad``: 3 × the MAD-derived robust sigma
+(1.4826 · MAD), or ``bootstrap``: a seeded bootstrap of window
+medians (order-invariant: resampling runs over the *sorted* rates).
+Outside the band below → ``regression``; above → ``improvement``;
+inside → ``noise``.  Both estimators are order-invariant, so
+permuting the window never changes a verdict — pinned by a property
+test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Default history path (repo-root trajectory file, like BENCH_PERF).
+DEFAULT_HISTORY = "BENCH_HISTORY.jsonl"
+
+#: Document marker on every history line.
+HISTORY_KIND = "repro-bench-history"
+
+#: Trailing-window size the checker compares the newest record against.
+DEFAULT_WINDOW = 8
+
+#: Minimum comparable records in the window before a verdict is made.
+DEFAULT_MIN_WINDOW = 3
+
+#: Relative band floor: rate moves within ±10% of the baseline are
+#: never flagged, however tight the window's own spread is.
+DEFAULT_REL_FLOOR = 0.10
+
+#: MAD multiplier (≈3 robust sigmas) for the ``mad`` band.
+MAD_K = 3.0
+
+#: 1.4826 · MAD estimates sigma for normally-distributed noise.
+MAD_SIGMA_SCALE = 1.4826
+
+#: Bootstrap resamples for the ``bootstrap`` band (seeded, cheap).
+BOOTSTRAP_ITERS = 300
+
+
+# ----------------------------------------------------------------------
+# Environment fingerprint
+# ----------------------------------------------------------------------
+def git_sha() -> Optional[str]:
+    """Current commit sha, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_fingerprint(
+    backend: Optional[str] = None, smoke: Optional[bool] = None
+) -> Dict[str, Any]:
+    """Where a measurement came from — everything that can move a
+    wall-clock rate without a code change."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": git_sha(),
+        "backend": backend,
+        "smoke": smoke,
+    }
+
+
+# ----------------------------------------------------------------------
+# History file
+# ----------------------------------------------------------------------
+def records_from_bench(record: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Per-lane history records from one ``run_bench`` result."""
+    environment = dict(
+        record.get("environment")
+        or environment_fingerprint(
+            backend=record.get("backend"), smoke=record.get("smoke")
+        )
+    )
+    rows: List[Dict[str, Any]] = []
+    for lane, row in (record.get("workloads") or {}).items():
+        entry: Dict[str, Any] = {
+            "kind": HISTORY_KIND,
+            "lane": lane,
+            "recorded_at": time.time(),
+            "events": row.get("events"),
+            "runs": row.get("runs"),
+            "events_per_sec": row.get("events_per_sec"),
+            "wall_s": row.get("wall_s"),
+            "unreliable": bool(row.get("unreliable")),
+            "smoke": bool(record.get("smoke")),
+            "backend": record.get("backend"),
+            "environment": environment,
+        }
+        for key in ("wall_runs", "wall_min_s", "wall_median_s",
+                    "wall_stdev_s", "speedup"):
+            if key in row:
+                entry[key] = row[key]
+        rows.append(entry)
+    return rows
+
+
+def append_history(
+    record: Mapping[str, Any], path: str = DEFAULT_HISTORY
+) -> int:
+    """Append one line per lane of a bench record; returns the count."""
+    rows = records_from_bench(record)
+    if rows:
+        with open(path, "a") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)
+
+
+def load_history(path: str = DEFAULT_HISTORY) -> List[Dict[str, Any]]:
+    """Chronological history records (other document kinds skipped)."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed history line: {exc}"
+                ) from exc
+            if (
+                isinstance(document, dict)
+                and document.get("kind") == HISTORY_KIND
+            ):
+                records.append(document)
+    return records
+
+
+# ----------------------------------------------------------------------
+# Regression detection
+# ----------------------------------------------------------------------
+def record_rate(record: Mapping[str, Any]) -> float:
+    """Robust rate for one record: median-of-runs when available.
+
+    ``events / runs`` over the median per-run wall shrugs off a single
+    slow run (GC pause, noisy neighbour) that would skew the aggregate
+    ``events_per_sec``.
+    """
+    walls = record.get("wall_runs") or []
+    events = record.get("events")
+    if walls and events:
+        median_wall = statistics.median(walls)
+        if median_wall > 0:
+            return (float(events) / len(walls)) / median_wall
+    return float(record.get("events_per_sec") or 0.0)
+
+
+def _mad_band(rates: List[float]) -> float:
+    baseline = statistics.median(rates)
+    mad = statistics.median(abs(rate - baseline) for rate in rates)
+    return MAD_K * MAD_SIGMA_SCALE * mad
+
+
+def _bootstrap_band(rates: List[float]) -> float:
+    """Half-width of a ~95% bootstrap interval of the window median.
+
+    Resampling indexes the *sorted* rates with a fixed seed, so the
+    band is a pure function of the multiset of rates — permuting the
+    window cannot change it.
+    """
+    ordered = sorted(rates)
+    rng = Random(0)
+    n = len(ordered)
+    medians = sorted(
+        statistics.median(ordered[rng.randrange(n)] for _ in range(n))
+        for _ in range(BOOTSTRAP_ITERS)
+    )
+    lo = medians[int(0.025 * (BOOTSTRAP_ITERS - 1))]
+    hi = medians[int(0.975 * (BOOTSTRAP_ITERS - 1))]
+    baseline = statistics.median(ordered)
+    return max(baseline - lo, hi - baseline)
+
+
+@dataclass
+class LaneCheck:
+    """Verdict for one lane's newest record vs its trailing window."""
+
+    lane: str
+    #: "regression" | "improvement" | "noise" | "insufficient-history"
+    #: | "unreliable"
+    verdict: str
+    newest_rate: Optional[float] = None
+    baseline_rate: Optional[float] = None
+    #: Relative change of the newest rate vs the baseline (signed).
+    change: Optional[float] = None
+    #: Allowed relative band around the baseline.
+    allowed: Optional[float] = None
+    window: int = 0
+    detail: str = ""
+
+    @property
+    def gating(self) -> bool:
+        return self.verdict == "regression"
+
+    def describe(self) -> str:
+        head = f"{self.lane}: {self.verdict}"
+        if self.baseline_rate is None or self.newest_rate is None:
+            return f"{head} ({self.detail})" if self.detail else head
+        return (
+            f"{head} — newest {self.newest_rate:,.0f} ev/s vs baseline "
+            f"{self.baseline_rate:,.0f} ev/s "
+            f"({100.0 * (self.change or 0.0):+.1f}%, allowed "
+            f"±{100.0 * (self.allowed or 0.0):.1f}%, "
+            f"window {self.window})"
+        )
+
+
+def _comparable(record: Mapping[str, Any], newest: Mapping[str, Any]) -> bool:
+    """Window membership: the same lane shape as the newest record."""
+    return (
+        bool(record.get("smoke")) == bool(newest.get("smoke"))
+        and record.get("backend") == newest.get("backend")
+    )
+
+
+def check_lane(
+    records: List[Mapping[str, Any]],
+    window: int = DEFAULT_WINDOW,
+    min_window: int = DEFAULT_MIN_WINDOW,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    band: str = "mad",
+) -> LaneCheck:
+    """Classify the newest record of one lane's chronological history."""
+    if band not in ("mad", "bootstrap"):
+        raise ValueError(f"unknown band estimator {band!r}")
+    if not records:
+        raise ValueError("check_lane needs at least one record")
+    lane = str(records[-1].get("lane"))
+    newest = records[-1]
+    if newest.get("unreliable"):
+        return LaneCheck(
+            lane, "unreliable",
+            detail="newest record is flagged unreliable; not gated",
+        )
+    trailing = [
+        record for record in records[:-1]
+        if not record.get("unreliable") and _comparable(record, newest)
+    ][-window:]
+    if len(trailing) < min_window:
+        return LaneCheck(
+            lane, "insufficient-history", window=len(trailing),
+            detail=(
+                f"{len(trailing)} comparable record(s) in window, "
+                f"need {min_window}"
+            ),
+        )
+    rates = [record_rate(record) for record in trailing]
+    baseline = statistics.median(rates)
+    newest_rate = record_rate(newest)
+    if baseline <= 0:
+        return LaneCheck(
+            lane, "insufficient-history", window=len(trailing),
+            detail="baseline rate is zero",
+        )
+    spread = (
+        _bootstrap_band(rates) if band == "bootstrap" else _mad_band(rates)
+    )
+    allowed_abs = max(rel_floor * baseline, spread)
+    delta = newest_rate - baseline
+    if delta < -allowed_abs:
+        verdict = "regression"
+    elif delta > allowed_abs:
+        verdict = "improvement"
+    else:
+        verdict = "noise"
+    return LaneCheck(
+        lane, verdict,
+        newest_rate=newest_rate,
+        baseline_rate=baseline,
+        change=delta / baseline,
+        allowed=allowed_abs / baseline,
+        window=len(trailing),
+    )
+
+
+def check_history(
+    records: Iterable[Mapping[str, Any]],
+    window: int = DEFAULT_WINDOW,
+    min_window: int = DEFAULT_MIN_WINDOW,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    band: str = "mad",
+) -> Tuple[bool, List[LaneCheck]]:
+    """Check every lane in a history; ok iff no lane regressed."""
+    by_lane: Dict[str, List[Mapping[str, Any]]] = {}
+    for record in records:
+        by_lane.setdefault(str(record.get("lane")), []).append(record)
+    checks = [
+        check_lane(
+            lane_records, window=window, min_window=min_window,
+            rel_floor=rel_floor, band=band,
+        )
+        for _, lane_records in sorted(by_lane.items())
+    ]
+    return (not any(check.gating for check in checks), checks)

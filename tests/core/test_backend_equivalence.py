@@ -91,6 +91,25 @@ def test_property_backend_equivalence(seed):
     assert_backends_agree(make_engine, program)
 
 
+def test_duplicate_arrival_float32_rounding():
+    """Found by the property test (seed 5284): a comb rule listing the
+    same relation twice delivers identical float64 values twice to one
+    node in one wave.  The value register is float32, and the golden
+    model compares each arrival against the *rounded* stored value —
+    when rounding lands above the arrival, the duplicate writes again.
+    The vectorized duplicate path must not cache the unrounded value."""
+    seed = 5284
+    program = random_program(seed + 977, nodes=24, length=12)
+
+    def make_engine(backend):
+        return FunctionalEngine(
+            random_network(seed, nodes=24, links=60),
+            1 + seed % 5, "round-robin", backend=backend,
+        )
+
+    assert_backends_agree(make_engine, program)
+
+
 @pytest.mark.parametrize("policy", ["round-robin", "semantic",
                                     "sequential"])
 def test_backend_equivalence_across_policies(policy):

@@ -1,0 +1,306 @@
+"""Bench history + regression detector: fixtures, flags, invariance."""
+
+import json
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.perf.history import (
+    HISTORY_KIND,
+    append_history,
+    check_history,
+    check_lane,
+    environment_fingerprint,
+    load_history,
+    record_rate,
+    records_from_bench,
+)
+
+
+def make_record(
+    lane="propagate",
+    rate=100_000.0,
+    runs=4,
+    events_per_run=2_500.0,
+    unreliable=False,
+    smoke=True,
+    backend=None,
+):
+    """A history record whose median-of-runs rate is exactly ``rate``."""
+    wall = events_per_run / rate
+    walls = [wall] * runs
+    return {
+        "kind": HISTORY_KIND,
+        "lane": lane,
+        "events": events_per_run * runs,
+        "runs": runs,
+        "events_per_sec": rate,
+        "wall_s": sum(walls),
+        "wall_runs": walls,
+        "wall_median_s": wall,
+        "unreliable": unreliable,
+        "smoke": smoke,
+        "backend": backend,
+        "environment": {"python": "3.11.7", "cpu_count": 4},
+    }
+
+
+def history(rates, newest_rate, **kwargs):
+    records = [make_record(rate=rate) for rate in rates]
+    records.append(make_record(rate=newest_rate, **kwargs))
+    return records
+
+
+NOISE_RATES = [100_000, 98_500, 103_000, 101_000, 97_000, 102_000]
+
+
+class TestEnvironmentFingerprint:
+    def test_fields(self):
+        env = environment_fingerprint(backend="vectorized", smoke=True)
+        assert env["backend"] == "vectorized"
+        assert env["smoke"] is True
+        assert isinstance(env["python"], str)
+        assert env["cpu_count"] is None or env["cpu_count"] >= 1
+        # Inside this repo's checkout the sha resolves; elsewhere None.
+        assert env["git_sha"] is None or len(env["git_sha"]) == 40
+
+
+class TestRecordsFromBench:
+    def bench_record(self):
+        return {
+            "bench": "snap1-hot-path",
+            "smoke": True,
+            "backend": None,
+            "environment": {"python": "3.11.7"},
+            "workloads": {
+                "propagate": {
+                    "events": 100, "runs": 4, "wall_s": 0.5,
+                    "events_per_sec": 200.0, "wall_runs": [0.1, 0.4],
+                    "wall_median_s": 0.25,
+                },
+                "overload": {
+                    "events": 50, "wall_s": 0.1, "events_per_sec": 500.0,
+                    "unreliable": True,
+                },
+            },
+        }
+
+    def test_one_record_per_lane_with_environment(self):
+        rows = records_from_bench(self.bench_record())
+        assert {row["lane"] for row in rows} == {"propagate", "overload"}
+        for row in rows:
+            assert row["kind"] == HISTORY_KIND
+            assert row["environment"]["python"] == "3.11.7"
+            assert row["smoke"] is True
+        by_lane = {row["lane"]: row for row in rows}
+        assert by_lane["propagate"]["wall_runs"] == [0.1, 0.4]
+        assert by_lane["overload"]["unreliable"] is True
+        assert by_lane["propagate"]["unreliable"] is False
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        assert append_history(self.bench_record(), str(path)) == 2
+        assert append_history(self.bench_record(), str(path)) == 2
+        records = load_history(str(path))
+        assert len(records) == 4
+        assert records[0]["lane"] == "propagate"
+
+    def test_load_skips_blanks_and_foreign_kinds(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(
+            "\n"
+            + json.dumps({"kind": "something-else"}) + "\n"
+            + json.dumps(make_record()) + "\n"
+        )
+        records = load_history(str(path))
+        assert len(records) == 1
+
+    def test_load_raises_on_malformed_line(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError, match="history.jsonl:1"):
+            load_history(str(path))
+
+
+class TestRecordRate:
+    def test_median_of_runs_preferred(self):
+        record = make_record(rate=100_000.0, runs=5)
+        # One catastrophically slow run must not move the rate: the
+        # median per-run wall is unchanged.
+        record["wall_runs"] = list(record["wall_runs"])
+        record["wall_runs"][0] *= 50
+        assert record_rate(record) == pytest.approx(100_000.0)
+
+    def test_falls_back_to_aggregate_rate(self):
+        assert record_rate({"events_per_sec": 42.0}) == 42.0
+        assert record_rate({}) == 0.0
+
+
+class TestDetectorVerdicts:
+    def test_injected_regression_detected(self):
+        records = history(NOISE_RATES, newest_rate=65_000)  # -35%
+        check = check_lane(records)
+        assert check.verdict == "regression"
+        assert check.gating
+        assert check.change < -0.30
+
+    def test_improvement_detected_and_not_gating(self):
+        records = history(NOISE_RATES, newest_rate=140_000)
+        check = check_lane(records)
+        assert check.verdict == "improvement"
+        assert not check.gating
+
+    def test_pure_noise_passes(self):
+        records = history(NOISE_RATES, newest_rate=101_500)
+        check = check_lane(records)
+        assert check.verdict == "noise"
+        assert not check.gating
+
+    def test_bootstrap_band_agrees_on_clear_cases(self):
+        assert check_lane(
+            history(NOISE_RATES, newest_rate=65_000), band="bootstrap"
+        ).verdict == "regression"
+        assert check_lane(
+            history(NOISE_RATES, newest_rate=101_500), band="bootstrap"
+        ).verdict == "noise"
+
+    def test_insufficient_history(self):
+        records = history(NOISE_RATES[:2], newest_rate=50_000)
+        check = check_lane(records)
+        assert check.verdict == "insufficient-history"
+        assert not check.gating
+
+    def test_unreliable_newest_not_gated(self):
+        records = history(NOISE_RATES, newest_rate=10_000, unreliable=True)
+        check = check_lane(records)
+        assert check.verdict == "unreliable"
+        assert not check.gating
+
+    def test_unreliable_window_records_excluded(self):
+        records = [make_record(rate=1.0, unreliable=True)] * 5
+        records += history(NOISE_RATES, newest_rate=101_000)
+        check = check_lane(records)
+        assert check.verdict == "noise"
+        assert check.window == len(NOISE_RATES)
+
+    def test_mismatched_shape_records_excluded(self):
+        # Full-size history must not judge a smoke run (and vice versa).
+        records = [make_record(rate=r, smoke=False) for r in NOISE_RATES]
+        records.append(make_record(rate=50_000, smoke=True))
+        check = check_lane(records)
+        assert check.verdict == "insufficient-history"
+
+    def test_window_limits_trailing_records(self):
+        # Ancient fast records outside the window must not drag the
+        # baseline up.
+        records = [make_record(rate=1_000_000.0)] * 10
+        records += history(NOISE_RATES, newest_rate=99_000)
+        check = check_lane(records, window=len(NOISE_RATES))
+        assert check.verdict == "noise"
+
+    def test_unknown_band_rejected(self):
+        with pytest.raises(ValueError):
+            check_lane(history(NOISE_RATES, newest_rate=1.0), band="vibes")
+
+
+class TestCheckHistory:
+    def test_groups_lanes_and_reports_overall_ok(self):
+        records = []
+        for rate in NOISE_RATES + [101_000]:
+            records.append(make_record(lane="propagate", rate=rate))
+        for rate in NOISE_RATES + [60_000]:
+            records.append(make_record(lane="overload", rate=rate))
+        ok, checks = check_history(records)
+        assert not ok
+        by_lane = {check.lane: check for check in checks}
+        assert by_lane["propagate"].verdict == "noise"
+        assert by_lane["overload"].verdict == "regression"
+
+    def test_all_noise_is_ok(self):
+        records = [
+            make_record(lane=lane, rate=rate)
+            for lane in ("a", "b")
+            for rate in NOISE_RATES + [100_500]
+        ]
+        ok, checks = check_history(records)
+        assert ok
+        assert all(check.verdict == "noise" for check in checks)
+
+    def test_empty_history_is_ok_with_no_checks(self):
+        ok, checks = check_history([])
+        assert ok
+        assert checks == []
+
+
+class TestOrderInvariance:
+    """Permuting the trailing window can never change a verdict."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rates=st.lists(
+            st.floats(min_value=50_000, max_value=200_000),
+            min_size=3, max_size=8,
+        ),
+        newest=st.floats(min_value=10_000, max_value=400_000),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        band=st.sampled_from(["mad", "bootstrap"]),
+    )
+    def test_window_permutation_preserves_verdict(
+        self, rates, newest, seed, band
+    ):
+        import random
+
+        baseline = history(rates, newest_rate=newest)
+        shuffled_window = baseline[:-1]
+        random.Random(seed).shuffle(shuffled_window)
+        permuted = shuffled_window + [baseline[-1]]
+        original = check_lane(baseline, band=band)
+        reordered = check_lane(permuted, band=band)
+        assert original.verdict == reordered.verdict
+        assert original.baseline_rate == reordered.baseline_rate
+        assert original.allowed == reordered.allowed
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rates=st.lists(
+            st.floats(min_value=50_000, max_value=200_000),
+            min_size=4, max_size=8,
+        ),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_per_run_wall_permutation_preserves_rate(self, rates, seed):
+        import random
+
+        record = make_record(rate=100_000.0, runs=len(rates))
+        record["wall_runs"] = [2_500.0 / rate for rate in rates]
+        shuffled = dict(record)
+        shuffled["wall_runs"] = list(record["wall_runs"])
+        random.Random(seed).shuffle(shuffled["wall_runs"])
+        assert record_rate(shuffled) == pytest.approx(record_rate(record))
+
+
+class TestStatisticalSanity:
+    def test_mad_band_widens_with_noisier_windows(self):
+        tight = history([100_000 + d for d in (-500, 0, 500, -250, 250)],
+                        newest_rate=100_000)
+        loose = history([100_000 + d for d in
+                         (-15_000, 0, 15_000, -8_000, 8_000)],
+                        newest_rate=100_000)
+        assert (
+            check_lane(loose).allowed > check_lane(tight).allowed
+        )
+
+    def test_rel_floor_is_a_floor(self):
+        # A perfectly quiet window still allows the relative floor.
+        records = history([100_000.0] * 5, newest_rate=95_000)
+        check = check_lane(records, rel_floor=0.10)
+        assert check.verdict == "noise"
+        assert check.allowed == pytest.approx(0.10)
+
+    def test_baseline_is_window_median(self):
+        records = history(NOISE_RATES, newest_rate=100_000)
+        check = check_lane(records)
+        assert check.baseline_rate == pytest.approx(
+            statistics.median(NOISE_RATES)
+        )
